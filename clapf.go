@@ -1,0 +1,267 @@
+package clapf
+
+import (
+	"io"
+
+	"clapf/internal/core"
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/rank"
+	"clapf/internal/sampling"
+	"clapf/internal/store"
+)
+
+// Variant selects which rank-biased measure CLAPF smooths and optimizes.
+type Variant = sampling.Objective
+
+// The two CLAPF instantiations of the paper.
+const (
+	// MAP optimizes the smoothed Mean Average Precision objective
+	// (CLAPF-MAP, Eqs. 15–18).
+	MAP = sampling.MAP
+	// MRR optimizes the smoothed Mean Reciprocal Rank objective
+	// (CLAPF-MRR, Eqs. 19–21).
+	MRR = sampling.MRR
+)
+
+// SamplerStrategy selects how training triples are drawn.
+type SamplerStrategy = sampling.Strategy
+
+// Sampler strategies; DSS is the paper's Double Sampling Strategy
+// ("CLAPF+" rows in Table 2).
+const (
+	SamplerUniform  = sampling.Uniform
+	SamplerDSS      = sampling.DSS
+	SamplerPositive = sampling.PositiveOnly
+	SamplerNegative = sampling.NegativeOnly
+)
+
+// Dataset is an immutable implicit-feedback dataset.
+type Dataset = dataset.Dataset
+
+// Interaction is one observed (user, item) pair.
+type Interaction = dataset.Interaction
+
+// Rating is an explicit-feedback record for preprocessing.
+type Rating = dataset.Rating
+
+// NewDataset builds a dataset from positive interactions.
+func NewDataset(name string, numUsers, numItems int, pairs []Interaction) (*Dataset, error) {
+	return dataset.FromInteractions(name, numUsers, numItems, pairs)
+}
+
+// DatasetFromRatings applies the paper's preprocessing: ratings strictly
+// above threshold become positive implicit feedback.
+func DatasetFromRatings(name string, numUsers, numItems int, ratings []Rating, threshold float64) (*Dataset, error) {
+	return dataset.FromRatings(name, numUsers, numItems, ratings, threshold)
+}
+
+// ReadDatasetTSV parses the TSV format written by WriteDatasetTSV.
+func ReadDatasetTSV(r io.Reader) (*Dataset, error) { return dataset.ReadTSV(r) }
+
+// WriteDatasetTSV serializes a dataset as tab-separated pairs.
+func WriteDatasetTSV(w io.Writer, d *Dataset) error { return dataset.WriteTSV(w, d) }
+
+// Split divides a dataset 50/50 into train and test halves under the given
+// seed, the paper's evaluation protocol.
+func Split(d *Dataset, seed uint64) (train, test *Dataset) {
+	return dataset.Split(d, mathx.NewRNG(seed), 0.5)
+}
+
+// SplitFrac divides a dataset with an arbitrary training fraction.
+func SplitFrac(d *Dataset, seed uint64, trainFrac float64) (train, test *Dataset) {
+	return dataset.Split(d, mathx.NewRNG(seed), trainFrac)
+}
+
+// Profile names a synthetic corpus shape mirroring the paper's Table 1.
+type Profile = datagen.Profile
+
+// The six Table 1 corpus profiles.
+var (
+	ProfileML100K  = mustProfile("ML100K")
+	ProfileML1M    = mustProfile("ML1M")
+	ProfileUserTag = mustProfile("UserTag")
+	ProfileML20M   = mustProfile("ML20M")
+	ProfileFlixter = mustProfile("Flixter")
+	ProfileNetflix = mustProfile("Netflix")
+)
+
+func mustProfile(name string) Profile {
+	p, err := datagen.ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Profiles returns all six Table 1 profiles.
+func Profiles() []Profile { return append([]Profile(nil), datagen.Table1Profiles...) }
+
+// ProfileByName resolves a Table 1 profile case-insensitively.
+func ProfileByName(name string) (Profile, error) { return datagen.ProfileByName(name) }
+
+// GenerateDataset synthesizes an implicit-feedback dataset with the
+// profile's statistical shape, scaled down by scale (0 < scale < 1; 0 or 1
+// keeps full size).
+func GenerateDataset(p Profile, scale float64, seed uint64) (*Dataset, error) {
+	w, err := datagen.Generate(p.Scaled(scale), mathx.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	return w.Data, nil
+}
+
+// Config parameterizes a CLAPF trainer; see DefaultConfig.
+type Config = core.Config
+
+// SamplerConfig tunes triple sampling inside a Config.
+type SamplerConfig = sampling.TripleConfig
+
+// DefaultConfig returns the paper's baseline hyper-parameters for the
+// variant and a step budget of 30 passes over trainPairs.
+func DefaultConfig(v Variant, trainPairs int) Config {
+	return core.DefaultConfig(v, trainPairs)
+}
+
+// Trainer learns a CLAPF model by stochastic gradient descent.
+type Trainer = core.Trainer
+
+// NewTrainer validates cfg and prepares a trainer over the training split.
+func NewTrainer(cfg Config, train *Dataset) (*Trainer, error) {
+	return core.NewTrainer(cfg, train)
+}
+
+// Model is a learned matrix-factorization model: Score, ScoreAll, and the
+// factor accessors.
+type Model = mf.Model
+
+// SaveModel persists a model to w in the versioned binary format.
+func SaveModel(w io.Writer, m *Model) error { return store.Save(w, m) }
+
+// LoadModel reads a model written by SaveModel, verifying its checksum.
+func LoadModel(r io.Reader) (*Model, error) { return store.Load(r) }
+
+// SaveModelFile atomically writes a model to path.
+func SaveModelFile(path string, m *Model) error { return store.SaveFile(path, m) }
+
+// LoadModelFile reads a model from path.
+func LoadModelFile(path string) (*Model, error) { return store.LoadFile(path) }
+
+// Scorer is anything that can score all items for a user — every model in
+// this repository.
+type Scorer = eval.Scorer
+
+// EvalOptions tunes Evaluate.
+type EvalOptions = eval.Options
+
+// Result aggregates ranking metrics over evaluated users.
+type Result = eval.Result
+
+// Evaluate runs the paper's full-ranking protocol: for every test user,
+// all training-unobserved items are ranked and Precision@k, Recall@k,
+// F1@k, 1-call@k, NDCG@k, MAP, MRR, and AUC are averaged.
+func Evaluate(s Scorer, train, test *Dataset, opts EvalOptions) Result {
+	return eval.Evaluate(s, train, test, opts)
+}
+
+// Recommendation is one ranked item with its predicted score.
+type Recommendation struct {
+	Item  int32
+	Score float64
+}
+
+// Recommend returns the top-k unobserved items for user u under the model,
+// best first — the serving-path call of §4.3.
+func Recommend(m *Model, train *Dataset, u int32, k int) []Recommendation {
+	scores := make([]float64, m.NumItems())
+	m.ScoreAll(u, scores)
+	top := rank.TopK(scores, k, func(i int32) bool { return train.IsPositive(u, i) })
+	out := make([]Recommendation, len(top))
+	for idx, e := range top {
+		out[idx] = Recommendation{Item: e.Item, Score: e.Score}
+	}
+	return out
+}
+
+// RatingFormat names a supported on-disk ratings layout for LoadRatings.
+type RatingFormat = dataset.RatingFormat
+
+// Supported real-corpus formats.
+const (
+	// FormatML100K parses MovieLens-100K "u.data" (tab-separated).
+	FormatML100K = dataset.FormatML100K
+	// FormatML1M parses MovieLens-1M "ratings.dat" ("::"-separated).
+	FormatML1M = dataset.FormatML1M
+	// FormatCSV parses "user,item,rating[,timestamp]" with optional header.
+	FormatCSV = dataset.FormatCSV
+)
+
+// IDMapping translates the dense ids LoadRatings assigns back to the
+// source file's identifiers.
+type IDMapping = dataset.IDMapping
+
+// LoadRatings parses a real ratings file (MovieLens and friends), applies
+// the paper's >threshold preprocessing, and returns the implicit dataset
+// with its id mapping — so every experiment in this repository can run on
+// the actual corpora when you have them.
+func LoadRatings(r io.Reader, format RatingFormat, name string, threshold float64) (*Dataset, *IDMapping, error) {
+	return dataset.LoadRatings(r, format, name, threshold)
+}
+
+// FoldInUser computes factors for a user unseen at training time from
+// their interaction history — the cold-start serving path (one WMF ALS
+// half-step over frozen item factors).
+func FoldInUser(m *Model, history []int32, reg float64) ([]float64, error) {
+	return mf.FoldInUser(m, history, reg)
+}
+
+// RecommendFoldIn returns top-k items for a folded-in user vector,
+// excluding the history itself.
+func RecommendFoldIn(m *Model, userFactors []float64, history []int32, k int) []Recommendation {
+	seen := make(map[int32]bool, len(history))
+	for _, it := range history {
+		seen[it] = true
+	}
+	scores := make([]float64, m.NumItems())
+	m.ScoreAllFoldIn(userFactors, scores)
+	top := rank.TopK(scores, k, func(i int32) bool { return seen[i] })
+	out := make([]Recommendation, len(top))
+	for idx, e := range top {
+		out[idx] = Recommendation{Item: e.Item, Score: e.Score}
+	}
+	return out
+}
+
+// SimilarItems returns the k nearest items to item i by factor cosine.
+func SimilarItems(m *Model, i int32, k int) ([]Recommendation, error) {
+	es, err := mf.SimilarItems(m, i, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Recommendation, len(es))
+	for idx, e := range es {
+		out[idx] = Recommendation{Item: e.Item, Score: e.Score}
+	}
+	return out, nil
+}
+
+// MultiConfig parameterizes CLAPF-Multi, the three-pair extension
+// instantiating the paper's "not limited to the instantiations in this
+// paper" direction; see DefaultMultiConfig.
+type MultiConfig = core.MultiConfig
+
+// MultiTrainer learns a CLAPF-Multi model.
+type MultiTrainer = core.MultiTrainer
+
+// DefaultMultiConfig returns the default three-pair blend.
+func DefaultMultiConfig(trainPairs int) MultiConfig {
+	return core.DefaultMultiConfig(trainPairs)
+}
+
+// NewMultiTrainer validates cfg and prepares a CLAPF-Multi trainer.
+func NewMultiTrainer(cfg MultiConfig, train *Dataset) (*MultiTrainer, error) {
+	return core.NewMultiTrainer(cfg, train)
+}

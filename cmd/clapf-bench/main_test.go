@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// The bench CLI's run function is exercised at miniature scale so every
+// experiment path stays wired; the real reproduction runs use the flags
+// documented in the package comment.
+func TestRunAllExperimentsTiny(t *testing.T) {
+	for _, exp := range []string{"table1", "table2", "fig2", "fig3", "fig4"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			// scale 0.05, 1 rep, 2 epoch-equivalents: seconds, not minutes.
+			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunCSVModes(t *testing.T) {
+	for _, exp := range []string{"table2", "fig2", "fig3", "fig4"} {
+		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true); err != nil {
+			t.Fatalf("%s csv: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknowns(t *testing.T) {
+	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

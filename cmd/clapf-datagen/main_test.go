@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clapf"
+)
+
+func TestRunSingleFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.tsv")
+	if err := run("ML100K", 0.05, 1, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := clapf.ReadDatasetTSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() == 0 || d.Name() != "ML100K" {
+		t.Errorf("generated dataset wrong: %d pairs, name %q", d.NumPairs(), d.Name())
+	}
+}
+
+func TestRunSplit(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "s")
+	if err := run("usertag", 0.03, 2, true, prefix); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".train.tsv", ".test.tsv"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("missing %s: %v", suffix, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("ML100K", 0.05, 1, false, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("bogus", 0.05, 1, false, "x"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("ML100K", 0.05, 1, false, "/nonexistent-dir/x.tsv"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command clapf-serve exposes a trained model over HTTP.
+//
+// Usage:
+//
+//	clapf-serve -model model.clapf -train train.tsv [-addr :8080]
+//
+// Endpoints (JSON): GET /healthz, GET /recommend?user=U&k=K,
+// GET /recommend?items=1,2,3&k=K (cold-start fold-in), and
+// GET /similar?item=I&k=K. The server drains in-flight requests on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clapf"
+	"clapf/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model file (required)")
+		trainPath = flag.String("train", "", "training dataset TSV, for exclusions (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	if err := run(*modelPath, *trainPath, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "clapf-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer loads the model and dataset and wires the HTTP server.
+func buildServer(modelPath, trainPath string) (*serve.Server, error) {
+	if modelPath == "" || trainPath == "" {
+		return nil, fmt.Errorf("-model and -train are required")
+	}
+	model, err := clapf.LoadModelFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(trainPath)
+	if err != nil {
+		return nil, err
+	}
+	train, err := clapf.ReadDatasetTSV(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return serve.New(model, train)
+}
+
+func run(modelPath, trainPath, addr string) error {
+	server, err := buildServer(modelPath, trainPath)
+	if err != nil {
+		return err
+	}
+	model := server.Model()
+
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving %d users × %d items on %s\n", model.NumUsers(), model.NumItems(), addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		fmt.Printf("received %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

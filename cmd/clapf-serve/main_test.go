@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clapf"
+)
+
+func fixtureFiles(t *testing.T) (modelPath, trainPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	trainPath = filepath.Join(dir, "train.tsv")
+	modelPath = filepath.Join(dir, "m.clapf")
+
+	data, err := clapf.GenerateDataset(clapf.Profile{
+		Name: "srvcli", Users: 30, Items: 50, Pairs: 600, Dim: 4, ZipfExp: 0.6, Affinity: 5,
+	}, 1, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(trainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clapf.WriteDatasetTSV(f, data); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg := clapf.DefaultConfig(clapf.MAP, data.NumPairs())
+	cfg.Dim = 6
+	cfg.Steps = 3000
+	tr, err := clapf.NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run()
+	if err := clapf.SaveModelFile(modelPath, tr.Model()); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestBuildServerAndServe(t *testing.T) {
+	modelPath, trainPath := fixtureFiles(t)
+	s, err := buildServer(modelPath, trainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/recommend?user=1&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Items []struct {
+			Item  int32   `json:"item"`
+			Score float64 `json:"score"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Items) != 3 {
+		t.Errorf("got %d items", len(body.Items))
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	modelPath, trainPath := fixtureFiles(t)
+	if _, err := buildServer("", trainPath); err == nil {
+		t.Error("missing model path accepted")
+	}
+	if _, err := buildServer(modelPath, ""); err == nil {
+		t.Error("missing train path accepted")
+	}
+	if _, err := buildServer(filepath.Join(t.TempDir(), "gone"), trainPath); err == nil {
+		t.Error("missing model file accepted")
+	}
+	if _, err := buildServer(modelPath, filepath.Join(t.TempDir(), "gone")); err == nil {
+		t.Error("missing train file accepted")
+	}
+}

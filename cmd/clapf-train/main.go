@@ -1,0 +1,112 @@
+// Command clapf-train trains a CLAPF model on a TSV dataset, evaluates it
+// against an optional test split, and saves the learned model.
+//
+// Usage:
+//
+//	clapf-train -train train.tsv [-test test.tsv] [-variant map|mrr]
+//	            [-lambda 0.4] [-dss] [-epochs 30] [-out model.clapf]
+//
+// Dataset files use the clapf TSV format (see clapf-datagen or
+// clapf.WriteDatasetTSV).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clapf"
+)
+
+func main() {
+	var (
+		trainPath = flag.String("train", "", "training dataset (TSV, required)")
+		testPath  = flag.String("test", "", "test dataset (TSV, optional)")
+		variant   = flag.String("variant", "map", "objective: map or mrr")
+		lambda    = flag.Float64("lambda", 0.4, "list-vs-pairwise trade-off λ in [0,1]")
+		dss       = flag.Bool("dss", false, "use the Double Sampling Strategy (CLAPF+)")
+		dim       = flag.Int("dim", 20, "latent dimensionality")
+		epochs    = flag.Int("epochs", 30, "epoch-equivalents of SGD")
+		rate      = flag.Float64("rate", 0.05, "learning rate")
+		reg       = flag.Float64("reg", 0.01, "L2 regularization")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		outPath   = flag.String("out", "", "path to save the trained model (optional)")
+	)
+	flag.Parse()
+
+	if err := run(*trainPath, *testPath, *variant, *lambda, *dss, *dim, *epochs, *rate, *reg, *seed, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "clapf-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trainPath, testPath, variant string, lambda float64, dss bool,
+	dim, epochs int, rate, reg float64, seed uint64, outPath string) error {
+	if trainPath == "" {
+		return fmt.Errorf("-train is required")
+	}
+	train, err := loadTSV(trainPath)
+	if err != nil {
+		return err
+	}
+
+	var v clapf.Variant
+	switch variant {
+	case "map":
+		v = clapf.MAP
+	case "mrr":
+		v = clapf.MRR
+	default:
+		return fmt.Errorf("unknown variant %q (want map or mrr)", variant)
+	}
+
+	cfg := clapf.DefaultConfig(v, train.NumPairs())
+	cfg.Lambda = lambda
+	cfg.Dim = dim
+	cfg.Steps = epochs * train.NumPairs()
+	cfg.LearnRate = rate
+	cfg.RegUser, cfg.RegItem, cfg.RegBias = reg, reg, reg
+	cfg.Seed = seed
+	if dss {
+		cfg.Sampler.Strategy = clapf.SamplerDSS
+	}
+
+	trainer, err := clapf.NewTrainer(cfg, train)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps\n",
+		v, lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps)
+	trainer.Run()
+
+	if testPath != "" {
+		test, err := loadTSV(testPath)
+		if err != nil {
+			return err
+		}
+		res := clapf.Evaluate(trainer.Model(), train, test, clapf.EvalOptions{})
+		fmt.Printf("evaluated %d users:\n", res.Users)
+		for _, m := range res.AtK {
+			fmt.Printf("  k=%-3d Prec %.4f  Recall %.4f  F1 %.4f  1-call %.4f  NDCG %.4f\n",
+				m.K, m.Prec, m.Recall, m.F1, m.OneCall, m.NDCG)
+		}
+		fmt.Printf("  MAP %.4f  MRR %.4f  AUC %.4f\n", res.MAP, res.MRR, res.AUC)
+	}
+
+	if outPath != "" {
+		if err := clapf.SaveModelFile(outPath, trainer.Model()); err != nil {
+			return err
+		}
+		fmt.Printf("model saved to %s\n", outPath)
+	}
+	return nil
+}
+
+func loadTSV(path string) (*clapf.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return clapf.ReadDatasetTSV(f)
+}

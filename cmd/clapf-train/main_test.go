@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clapf"
+)
+
+func writeDataset(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	p := clapf.Profile{
+		Name: "cli", Users: 40, Items: 80, Pairs: 800,
+		ZipfExp: 0.7, Dim: 4, Affinity: 5,
+	}
+	d, err := clapf.GenerateDataset(p, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := clapf.WriteDatasetTSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainEvaluateSave(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	testPath := filepath.Join(dir, "test.tsv")
+	modelPath := filepath.Join(dir, "m.clapf")
+	writeDataset(t, trainPath, 1)
+	writeDataset(t, testPath, 2)
+
+	err := run(trainPath, testPath, "map", 0.3, false, 8, 5, 0.05, 0.01, 3, modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := clapf.LoadModelFile(modelPath)
+	if err != nil {
+		t.Fatalf("saved model unreadable: %v", err)
+	}
+	if m.Dim() != 8 {
+		t.Errorf("model dim = %d, want 8", m.Dim())
+	}
+}
+
+func TestTrainMRRWithDSS(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	writeDataset(t, trainPath, 3)
+	if err := run(trainPath, "", "mrr", 0.2, true, 8, 5, 0.05, 0.01, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	writeDataset(t, trainPath, 4)
+
+	if err := run("", "", "map", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
+		t.Error("missing -train accepted")
+	}
+	if err := run(trainPath, "", "bogus", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if err := run(trainPath, "", "map", 7, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
+		t.Error("λ out of range accepted")
+	}
+	if err := run(filepath.Join(dir, "absent.tsv"), "", "map", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
+		t.Error("missing training file accepted")
+	}
+}

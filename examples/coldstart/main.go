@@ -1,0 +1,66 @@
+// Coldstart: the day-2 serving problem — a brand-new user shows up with a
+// handful of interactions and no row in the trained model. This example
+// trains CLAPF+ once, then onboards new users by folding their history
+// into the frozen item space (one ALS half-step) and recommending
+// immediately, and shows item-to-item navigation via factor cosine.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clapf"
+)
+
+func main() {
+	data, err := clapf.GenerateDataset(clapf.ProfileML100K, 0.5, 51)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := clapf.DefaultConfig(clapf.MAP, data.NumPairs())
+	cfg.Lambda = 0.3
+	cfg.Steps = 120 * data.NumPairs()
+	cfg.Sampler.Strategy = clapf.SamplerDSS
+	cfg.Seed = 52
+	trainer, err := clapf.NewTrainer(cfg, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer.Run()
+	model := trainer.Model()
+	fmt.Printf("trained on %d users × %d items\n\n", model.NumUsers(), model.NumItems())
+
+	// A new user arrives having interacted with an existing user's taste
+	// profile — borrow user 7's first items as the new user's history.
+	history := data.Positives(7)
+	if len(history) > 5 {
+		history = history[:5]
+	}
+	fmt.Printf("new user history: %v\n", history)
+
+	uf, err := clapf.FoldInUser(model, history, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendations for the folded-in user:")
+	for rank, rec := range clapf.RecommendFoldIn(model, uf, history, 8) {
+		marker := " "
+		if data.IsPositive(7, rec.Item) {
+			marker = "≈" // matches the donor user's actual future taste
+		}
+		fmt.Printf("  %d. item %-5d score %.3f %s\n", rank+1, rec.Item, rec.Score, marker)
+	}
+
+	// Item-to-item: "because you liked X".
+	anchor := history[0]
+	fmt.Printf("\nitems similar to item %d (factor cosine):\n", anchor)
+	sims, err := clapf.SimilarItems(model, anchor, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sims {
+		fmt.Printf("  item %-5d cosine %.3f\n", s.Item, s.Score)
+	}
+}

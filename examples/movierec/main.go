@@ -1,0 +1,65 @@
+// Movierec: the movie-recommendation scenario the paper's introduction
+// motivates — users implicitly reveal preferences through watch records,
+// and we want the top-k list, not a rating predictor. This example trains
+// BPR (the pairwise baseline) and both CLAPF variants on the same
+// MovieLens-shaped world and compares them head-to-head, illustrating the
+// paper's headline: bringing the listwise pair into the pairwise objective
+// improves top-k ranking.
+//
+//	go run ./examples/movierec
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"clapf"
+)
+
+func main() {
+	data, err := clapf.GenerateDataset(clapf.ProfileML100K, 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := clapf.Split(data, 12)
+	fmt.Printf("movie world: %d users × %d movies, %d train pairs (density %.2f%%)\n\n",
+		data.NumUsers(), data.NumItems(), train.NumPairs(), 100*data.Density())
+
+	type contender struct {
+		name string
+		cfg  clapf.Config
+	}
+	epochs := 240
+	contenders := []contender{
+		{"BPR (λ=0)", withLambda(clapf.DefaultConfig(clapf.MAP, train.NumPairs()), 0, epochs, train.NumPairs())},
+		{"CLAPF-MAP (λ=0.3)", withLambda(clapf.DefaultConfig(clapf.MAP, train.NumPairs()), 0.3, epochs, train.NumPairs())},
+		{"CLAPF-MRR (λ=0.1)", withLambda(clapf.DefaultConfig(clapf.MRR, train.NumPairs()), 0.1, epochs, train.NumPairs())},
+	}
+
+	fmt.Printf("%-20s %8s %8s %8s %8s %10s\n", "model", "Prec@5", "NDCG@5", "MAP", "MRR", "train")
+	for _, c := range contenders {
+		trainer, err := clapf.NewTrainer(c.cfg, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		trainer.Run()
+		elapsed := time.Since(start)
+		res := clapf.Evaluate(trainer.Model(), train, test, clapf.EvalOptions{Ks: []int{5}})
+		m := res.MustAt(5)
+		fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %10s\n",
+			c.name, m.Prec, m.NDCG, res.MAP, res.MRR, elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nλ = 0 reduces CLAPF exactly to BPR; an interior λ adds the listwise")
+	fmt.Println("(observed, observed) ranking pair and lifts the top-k metrics — the")
+	fmt.Println("paper's Figure 3 sweeps this trade-off in full.")
+}
+
+func withLambda(cfg clapf.Config, lambda float64, epochs, pairs int) clapf.Config {
+	cfg.Lambda = lambda
+	cfg.Steps = epochs * pairs
+	cfg.Seed = 5
+	return cfg
+}

@@ -1,0 +1,65 @@
+// Samplers: a miniature of the paper's Figure 4 — train CLAPF-MAP under
+// the four sampling strategies (Uniform, Positive-only, Negative-only, and
+// the full Double Sampling Strategy) and print the test-MAP trajectory of
+// each, showing where rank-aware sampling buys convergence speed.
+//
+//	go run ./examples/samplers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clapf"
+)
+
+func main() {
+	data, err := clapf.GenerateDataset(clapf.ProfileML100K, 1.0, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := clapf.Split(data, 32)
+	fmt.Printf("world: %d users × %d items, %d train pairs\n\n",
+		data.NumUsers(), data.NumItems(), train.NumPairs())
+
+	strategies := []clapf.SamplerStrategy{
+		clapf.SamplerUniform, clapf.SamplerPositive, clapf.SamplerNegative, clapf.SamplerDSS,
+	}
+	const checkpoints = 6
+	totalSteps := 240 * train.NumPairs()
+
+	// Header.
+	fmt.Printf("%-10s", "steps")
+	for _, s := range strategies {
+		fmt.Printf("%10s", s.String())
+	}
+	fmt.Println("   (test MAP)")
+
+	// One trainer per strategy, advanced in lockstep.
+	trainers := make([]*clapf.Trainer, len(strategies))
+	for i, s := range strategies {
+		cfg := clapf.DefaultConfig(clapf.MAP, train.NumPairs())
+		cfg.Lambda = 0.3
+		cfg.Steps = totalSteps
+		cfg.Sampler.Strategy = s
+		cfg.Seed = 33
+		trainers[i], err = clapf.NewTrainer(cfg, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for c := 1; c <= checkpoints; c++ {
+		mark := totalSteps * c * c / (checkpoints * checkpoints)
+		fmt.Printf("%-10d", mark)
+		for _, tr := range trainers {
+			tr.RunSteps(mark - tr.StepsDone())
+			res := clapf.Evaluate(tr.Model(), train, test, clapf.EvalOptions{Ks: []int{5}, MaxUsers: 300})
+			fmt.Printf("%10.4f", res.MAP)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nDSS draws a weak observed item k and a hard unobserved item j from")
+	fmt.Println("rank-ordered lists, keeping the gradient scalar 1−σ(R) away from zero;")
+	fmt.Println("the single-sided ablations show each half's contribution.")
+}

@@ -1,0 +1,3 @@
+module clapf
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package baselines implements the non-neural comparison methods of §6.3:
+// PopRank, RandomWalk, WMF (Hu et al. 2008), BPR (Rendle et al. 2009), MPR
+// (Yu et al. 2018), and CLiMF (Shi et al. 2012). All matrix-factorization
+// methods share the mf substrate so that — as the paper requires for a fair
+// comparison — every model runs in the same code framework.
+package baselines
+
+import (
+	"clapf/internal/dataset"
+)
+
+// Recommender is what every baseline produces: a scorer with a display
+// name. The ScoreAll contract matches eval.Scorer.
+type Recommender interface {
+	ScoreAll(u int32, out []float64)
+	Name() string
+}
+
+// Fitter is a model that learns from a training split in one call.
+type Fitter interface {
+	Fit(train *dataset.Dataset) error
+}

@@ -1,0 +1,114 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// climfObjective evaluates CLiMF's lower-bound objective (Eq. 7) for one
+// user under the given model — the quantity Fit's per-user step ascends.
+func climfObjective(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	obs := d.Positives(u)
+	var sum float64
+	for _, i := range obs {
+		fi := m.Score(u, i)
+		sum += mathx.LogSigmoid(fi)
+		for _, k := range obs {
+			if k == i {
+				continue
+			}
+			sum += mathx.LogSigmoid(fi - m.Score(u, k))
+		}
+	}
+	return sum
+}
+
+// TestCLiMFGradientDirection verifies that one CLiMF epoch with a small
+// learning rate and zero regularization increases the per-user objective —
+// i.e. the hand-derived gradient really is an ascent direction for Eq. 7.
+func TestCLiMFGradientDirection(t *testing.T) {
+	d, err := dataset.FromInteractions("gc", 3, 12, []dataset.Interaction{
+		{User: 0, Item: 0}, {User: 0, Item: 4}, {User: 0, Item: 9},
+		{User: 1, Item: 2}, {User: 1, Item: 4},
+		{User: 2, Item: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CLiMFConfig{Dim: 5, LearnRate: 1e-3, Reg: 0, InitStd: 0.3, Epochs: 1, Seed: 5}
+	c, err := NewCLiMF(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First build the initial model by fitting zero epochs' worth — easier:
+	// fit once and compare against a re-initialized copy stepped manually.
+	// Instead: fit with 1 epoch and verify objective increased relative to
+	// the same initialization (recreate it deterministically).
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	after := 0.0
+	for u := int32(0); u < 3; u++ {
+		after += climfObjective(c.Model(), d, u)
+	}
+
+	// Rebuild the exact initial model: same RNG stream as Fit uses.
+	initModel := mf.MustNew(mf.Config{NumUsers: 3, NumItems: 12, Dim: 5})
+	initModel.InitGaussian(mathx.NewRNG(5).Split(), 0.3)
+	before := 0.0
+	for u := int32(0); u < 3; u++ {
+		before += climfObjective(initModel, d, u)
+	}
+	if after <= before {
+		t.Errorf("CLiMF epoch decreased its objective: %.6f -> %.6f", before, after)
+	}
+}
+
+// wmfObjective evaluates WMF's weighted regression loss over the full
+// matrix: Σ_ui c_ui (p_ui − u·v)² + λ(‖U‖² + ‖V‖²).
+func wmfObjective(m *mf.Model, d *dataset.Dataset, alpha, reg float64) float64 {
+	var loss float64
+	for u := int32(0); int(u) < d.NumUsers(); u++ {
+		uf := m.UserFactors(u)
+		for i := int32(0); int(i) < d.NumItems(); i++ {
+			pred := mathx.Dot(uf, m.ItemFactors(i))
+			if d.IsPositive(u, i) {
+				e := 1 - pred
+				loss += (1 + alpha) * e * e
+			} else {
+				loss += pred * pred
+			}
+		}
+	}
+	u2, v2, _ := m.L2Norms()
+	return loss + reg*(u2+v2)
+}
+
+// TestWMFObjectiveDecreasesPerSweep verifies ALS actually descends the
+// weighted least-squares objective sweep over sweep.
+func TestWMFObjectiveDecreasesPerSweep(t *testing.T) {
+	_, train, _ := splitOnly(t)
+	cfg := DefaultWMFConfig()
+	cfg.Dim = 8
+	prev := math.Inf(1)
+	for sweeps := 1; sweeps <= 4; sweeps++ {
+		c := cfg
+		c.Sweeps = sweeps
+		w, err := NewWMF(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		obj := wmfObjective(w.Model(), train, cfg.Alpha, cfg.Reg)
+		if obj > prev+1e-6 {
+			t.Errorf("sweep %d raised WMF objective: %.4f -> %.4f", sweeps, prev, obj)
+		}
+		prev = obj
+	}
+}

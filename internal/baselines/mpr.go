@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"fmt"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/sampling"
+)
+
+// MPR is Multiple Pairwise Ranking (Yu et al., CIKM 2018): it relaxes
+// BPR's single pairwise assumption into a chain of criteria over three item
+// classes. The original uses auxiliary view data to form the middle class
+// (viewed-but-not-purchased); on pure implicit feedback — the setting of
+// the CLAPF paper's experiments — the middle class is approximated by
+// *popular-but-unobserved* items, which a user has plausibly seen and
+// skipped. The objective joins the two pairs as
+//
+//	ln σ(ρ(f_ui − f_uv) + (1 − ρ)(f_uv − f_uj))
+//
+// with i observed, v popularity-sampled unobserved, j uniformly unobserved.
+type MPR struct {
+	cfg   MPRConfig
+	model *mf.Model
+}
+
+// MPRConfig tunes MPR.
+type MPRConfig struct {
+	Dim       int
+	LearnRate float64
+	Reg       float64
+	InitStd   float64
+	UseBias   bool
+	Steps     int
+	// Rho is MPR's trade-off between the (i ≻ v) and (v ≻ j) criteria
+	// (the original paper searches {0.0, 0.1, …, 1.0}).
+	Rho  float64
+	Seed uint64
+}
+
+// DefaultMPRConfig mirrors DefaultBPRConfig with the paper's mid trade-off.
+func DefaultMPRConfig(trainPairs int) MPRConfig {
+	return MPRConfig{
+		Dim:       20,
+		LearnRate: 0.05,
+		Reg:       0.01,
+		InitStd:   0.1,
+		UseBias:   true,
+		Steps:     30 * trainPairs,
+		Rho:       0.6,
+	}
+}
+
+// NewMPR validates the configuration.
+func NewMPR(cfg MPRConfig) (*MPR, error) {
+	switch {
+	case cfg.Dim <= 0:
+		return nil, fmt.Errorf("baselines: MPR Dim = %d, want > 0", cfg.Dim)
+	case cfg.LearnRate <= 0:
+		return nil, fmt.Errorf("baselines: MPR LearnRate = %v, want > 0", cfg.LearnRate)
+	case cfg.Reg < 0:
+		return nil, fmt.Errorf("baselines: MPR Reg = %v, want >= 0", cfg.Reg)
+	case cfg.Rho < 0 || cfg.Rho > 1:
+		return nil, fmt.Errorf("baselines: MPR Rho = %v, want [0,1]", cfg.Rho)
+	case cfg.Steps < 0:
+		return nil, fmt.Errorf("baselines: MPR Steps = %d, want >= 0", cfg.Steps)
+	}
+	return &MPR{cfg: cfg}, nil
+}
+
+// Name implements Recommender.
+func (m *MPR) Name() string { return "MPR" }
+
+// Model exposes the learned factors (nil before Fit).
+func (m *MPR) Model() *mf.Model { return m.model }
+
+// ScoreAll implements Recommender.
+func (m *MPR) ScoreAll(u int32, out []float64) { m.model.ScoreAll(u, out) }
+
+// Fit runs the SGD loop over (i, v, j) triples.
+func (m *MPR) Fit(train *dataset.Dataset) error {
+	rng := mathx.NewRNG(m.cfg.Seed)
+	var err error
+	m.model, err = mf.New(mf.Config{
+		NumUsers: train.NumUsers(),
+		NumItems: train.NumItems(),
+		Dim:      m.cfg.Dim,
+		UseBias:  m.cfg.UseBias,
+	})
+	if err != nil {
+		return err
+	}
+	m.model.InitGaussian(rng.Split(), m.cfg.InitStd)
+
+	// Pair-uniform SGD over observed records; users need two unobserved
+	// items so the middle item v and the negative j can differ.
+	var pairs []dataset.Interaction
+	train.ForEach(func(u, i int32) {
+		if train.NumPositives(u)+1 < train.NumItems() {
+			pairs = append(pairs, dataset.Interaction{User: u, Item: i})
+		}
+	})
+	if len(pairs) == 0 {
+		return fmt.Errorf("baselines: MPR has no trainable records")
+	}
+
+	uniform := sampling.NewUniformPair(train, rng.Split())
+	popNeg, err := sampling.NewPopNegative(train, rng.Split())
+	if err != nil {
+		return err
+	}
+
+	for step := 0; step < m.cfg.Steps; step++ {
+		rec := pairs[rng.Intn(len(pairs))]
+		j := uniform.SampleNegative(rec.User)
+		v := popNeg.Sample(rec.User)
+		for v == j { // the two negatives must differ
+			v = popNeg.Sample(rec.User)
+		}
+		m.update(rec.User, rec.Item, v, j)
+	}
+	return nil
+}
+
+// update applies one step on R = ρ(f_ui − f_uv) + (1−ρ)(f_uv − f_uj);
+// writing R = a·f_ui + b·f_uv + c·f_uj gives a = ρ, b = 1−2ρ, c = −(1−ρ).
+func (m *MPR) update(u, i, v, j int32) {
+	rho := m.cfg.Rho
+	a, b, c := rho, 1-2*rho, -(1 - rho)
+
+	uf := m.model.UserFactors(u)
+	vi := m.model.ItemFactors(i)
+	vv := m.model.ItemFactors(v)
+	vj := m.model.ItemFactors(j)
+
+	r := a*(mathx.Dot(uf, vi)+m.model.Bias(i)) +
+		b*(mathx.Dot(uf, vv)+m.model.Bias(v)) +
+		c*(mathx.Dot(uf, vj)+m.model.Bias(j))
+	g := 1 - mathx.Sigmoid(r)
+	gamma, reg := m.cfg.LearnRate, m.cfg.Reg
+	for q := range uf {
+		du := g*(a*vi[q]+b*vv[q]+c*vj[q]) - reg*uf[q]
+		di := g*a*uf[q] - reg*vi[q]
+		dv := g*b*uf[q] - reg*vv[q]
+		dj := g*c*uf[q] - reg*vj[q]
+		uf[q] += gamma * du
+		vi[q] += gamma * di
+		vv[q] += gamma * dv
+		vj[q] += gamma * dj
+	}
+	if m.model.HasBias() {
+		m.model.AddBias(i, gamma*(g*a-reg*m.model.Bias(i)))
+		m.model.AddBias(v, gamma*(g*b-reg*m.model.Bias(v)))
+		m.model.AddBias(j, gamma*(g*c-reg*m.model.Bias(j)))
+	}
+}

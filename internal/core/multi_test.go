@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+)
+
+func TestMultiConfigValidate(t *testing.T) {
+	base := DefaultMultiConfig(100)
+	cases := []struct {
+		name string
+		mut  func(*MultiConfig)
+	}{
+		{"negative lambda", func(c *MultiConfig) { c.Lambda1 = -0.1 }},
+		{"zero lambdas", func(c *MultiConfig) { c.Lambda1, c.Lambda2, c.Lambda3 = 0, 0, 0 }},
+		{"zero rate", func(c *MultiConfig) { c.LearnRate = 0 }},
+		{"neg reg", func(c *MultiConfig) { c.Reg = -1 }},
+		{"zero dim", func(c *MultiConfig) { c.Dim = 0 }},
+		{"neg steps", func(c *MultiConfig) { c.Steps = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base
+			c.mut(&cfg)
+			if cfg.Validate() == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+}
+
+func TestMultiLambdaNormalization(t *testing.T) {
+	d := smallData(t, 21)
+	cfg := DefaultMultiConfig(d.NumPairs())
+	cfg.Lambda1, cfg.Lambda2, cfg.Lambda3 = 2, 5, 3 // sums to 10
+	cfg.Steps = 100
+	tr, err := NewMultiTrainer(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(tr.cfg.Lambda1+tr.cfg.Lambda2+tr.cfg.Lambda3, 1, 1e-12) {
+		t.Errorf("lambdas not normalized: %v %v %v", tr.cfg.Lambda1, tr.cfg.Lambda2, tr.cfg.Lambda3)
+	}
+	if !mathx.AlmostEqual(tr.cfg.Lambda2, 0.5, 1e-12) {
+		t.Errorf("normalized λ₂ = %v, want 0.5", tr.cfg.Lambda2)
+	}
+}
+
+func TestMultiTrainerLearns(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "multi", Users: 80, Items: 150, Pairs: 3000,
+		ZipfExp: 0.6, Dim: 5, Affinity: 7,
+	}, mathx.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := dataset.Split(w.Data, mathx.NewRNG(23), 0.5)
+	cfg := DefaultMultiConfig(train.NumPairs())
+	cfg.Dim = 8
+	cfg.Steps = 120000
+	cfg.Seed = 24
+	tr, err := NewMultiTrainer(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run()
+	if tr.StepsDone() != 120000 {
+		t.Errorf("StepsDone = %d", tr.StepsDone())
+	}
+	res := eval.Evaluate(tr.Model(), train, test, eval.Options{Ks: []int{5}})
+	if res.AUC < 0.65 {
+		t.Errorf("CLAPF-Multi AUC = %.3f, want >= 0.65", res.AUC)
+	}
+	// Finite parameters.
+	u, v, b := tr.Model().RawParams()
+	for _, s := range [][]float64{u, v, b} {
+		for _, x := range s {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatal("non-finite parameter")
+			}
+		}
+	}
+}
+
+func TestMultiTrainerDeterministic(t *testing.T) {
+	d := smallData(t, 25)
+	run := func() float64 {
+		cfg := DefaultMultiConfig(d.NumPairs())
+		cfg.Dim = 6
+		cfg.Steps = 3000
+		cfg.Seed = 26
+		tr, err := NewMultiTrainer(cfg, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Run()
+		return tr.Model().Score(1, 2)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMultiTrainerErrors(t *testing.T) {
+	if _, err := NewMultiTrainer(DefaultMultiConfig(10), nil); err == nil {
+		t.Error("nil data accepted")
+	}
+	// A world with only one unobserved item per user cannot host distinct
+	// v and j.
+	full, err := dataset.FromInteractions("f", 1, 2, []dataset.Interaction{{User: 0, Item: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiTrainer(DefaultMultiConfig(1), full); err == nil {
+		t.Error("insufficient negatives accepted")
+	}
+}

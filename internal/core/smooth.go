@@ -1,0 +1,142 @@
+package core
+
+import (
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// This file implements the smoothed listwise quantities of §4.1 in their
+// direct (quadratic-cost) and lower-bound (linear-cost) forms. The trainer
+// never evaluates the direct forms — that is the whole point of the lower
+// bound — but they are needed to (a) property-test the Jensen chain of
+// Eq. 11 and (b) benchmark the cost gap the paper claims (the
+// BenchmarkAblationDirectAP ablation).
+
+// SmoothedAP computes Eq. 9: the smoothed approximation of user u's
+// Average Precision,
+//
+//	AP_u = (1/n_u⁺) Σ_{i∈I⁺} σ(f_ui) Σ_{k∈I⁺} σ(f_uk − f_ui),
+//
+// at O((n_u⁺)²) cost.
+func SmoothedAP(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	obs := d.Positives(u)
+	n := len(obs)
+	if n == 0 {
+		return 0
+	}
+	scores := make([]float64, n)
+	for idx, it := range obs {
+		scores[idx] = m.Score(u, it)
+	}
+	var sum float64
+	for a := 0; a < n; a++ {
+		var inner float64
+		for b := 0; b < n; b++ {
+			inner += mathx.Sigmoid(scores[b] - scores[a])
+		}
+		sum += mathx.Sigmoid(scores[a]) * inner
+	}
+	return sum / float64(n)
+}
+
+// SmoothedAPLowerBound computes the tightest valid line of Eq. 11's Jensen
+// chain — a true lower bound on ln(AP_u):
+//
+//	(1/n_u⁺) Σ_{i∈I⁺} ln σ(f_ui)
+//	  + (1/(n_u⁺)²) Σ_{i∈I⁺} Σ_{k∈I⁺} ln σ(f_uk − f_ui).
+//
+// Reproduction note (erratum): the paper's final Eq. 11 line rescales the
+// first term's weight from 1/n⁺ to 1/(n⁺)². Because that term is a sum of
+// non-positive logs, shrinking its weight *raises* the expression, so the
+// published final line is not a lower bound of the line above it for
+// n⁺ ≥ 2 (TestPaperEq11FinalLineNotABound exhibits violations). The
+// rescaling is harmless for the algorithm — after dropping constants it
+// just reweights the two terms of the L_MAP objective (Eq. 12), which the
+// paper treats as the definition of CLAPF-MAP — but it is an approximation,
+// not a bound. We keep Eq. 12 verbatim as the training objective (see LMAP)
+// and expose the valid bound here.
+func SmoothedAPLowerBound(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	obs := d.Positives(u)
+	n := len(obs)
+	if n == 0 {
+		return 0
+	}
+	scores := make([]float64, n)
+	for idx, it := range obs {
+		scores[idx] = m.Score(u, it)
+	}
+	var promote, order float64
+	for a := 0; a < n; a++ {
+		promote += mathx.LogSigmoid(scores[a])
+		for b := 0; b < n; b++ {
+			order += mathx.LogSigmoid(scores[b] - scores[a])
+		}
+	}
+	nf := float64(n)
+	return promote/nf + order/(nf*nf)
+}
+
+// PaperEq11FinalLine computes the paper's published final line of Eq. 11,
+//
+//	(1/(n_u⁺)²) Σ_{i∈I⁺} [ ln σ(f_ui) + Σ_{k∈I⁺} ln σ(f_uk − f_ui) ],
+//
+// kept for the erratum test and for cost benchmarking; see
+// SmoothedAPLowerBound for why this is not actually a bound.
+func PaperEq11FinalLine(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	obs := d.Positives(u)
+	n := len(obs)
+	if n == 0 {
+		return 0
+	}
+	scores := make([]float64, n)
+	for idx, it := range obs {
+		scores[idx] = m.Score(u, it)
+	}
+	var sum float64
+	for a := 0; a < n; a++ {
+		sum += mathx.LogSigmoid(scores[a])
+		for b := 0; b < n; b++ {
+			sum += mathx.LogSigmoid(scores[b] - scores[a])
+		}
+	}
+	return sum / float64(n*n)
+}
+
+// SmoothedRR computes Eq. 6: CLiMF's smoothed Reciprocal Rank,
+//
+//	RR_u = Σ_{i∈I⁺} σ(f_ui) Π_{k∈I⁺} (1 − σ(f_uk − f_ui)),
+//
+// also at quadratic cost.
+func SmoothedRR(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	obs := d.Positives(u)
+	n := len(obs)
+	if n == 0 {
+		return 0
+	}
+	scores := make([]float64, n)
+	for idx, it := range obs {
+		scores[idx] = m.Score(u, it)
+	}
+	var sum float64
+	for a := 0; a < n; a++ {
+		prod := mathx.Sigmoid(scores[a])
+		for b := 0; b < n; b++ {
+			if b == a {
+				continue // Y_uk 𝕀(R_uk < R_ui) vanishes at k = i
+			}
+			prod *= 1 - mathx.Sigmoid(scores[b]-scores[a])
+		}
+		sum += prod
+	}
+	return sum
+}
+
+// LMAP evaluates the L_MAP objective of Eq. 12 (constants dropped) for one
+// user: Σ ln σ(f_ui) + Σ_{i,k} ln σ(f_uk − f_ui) — equivalently
+// (n_u⁺)² · PaperEq11FinalLine. This is the quantity CLAPF-MAP's listwise
+// half maximizes.
+func LMAP(m *mf.Model, d *dataset.Dataset, u int32) float64 {
+	n := d.NumPositives(u)
+	return PaperEq11FinalLine(m, d, u) * float64(n*n)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// randomWorld builds a tiny dataset and model with pseudo-random scores
+// derived from a seed.
+func randomWorld(seed uint64, numPos int) (*mf.Model, *dataset.Dataset) {
+	rng := mathx.NewRNG(seed)
+	const ni = 30
+	b := dataset.NewBuilder("sm", 1, ni)
+	seen := map[int32]bool{}
+	for len(seen) < numPos {
+		it := int32(rng.Intn(ni))
+		if !seen[it] {
+			seen[it] = true
+			b.Add(0, it) //nolint:errcheck
+		}
+	}
+	d := b.Build()
+	m := mf.MustNew(mf.Config{NumUsers: 1, NumItems: ni, Dim: 4, UseBias: true})
+	m.InitGaussian(rng, 1.0)
+	return m, d
+}
+
+func TestJensenLowerBoundHolds(t *testing.T) {
+	// Property: ln(SmoothedAP) ≥ SmoothedAPLowerBound (Eq. 11's chain).
+	f := func(seed uint64, np uint8) bool {
+		numPos := int(np%10) + 1
+		m, d := randomWorld(seed, numPos)
+		ap := SmoothedAP(m, d, 0)
+		if ap <= 0 {
+			return false // smoothed AP is a sum of positive terms
+		}
+		return math.Log(ap) >= SmoothedAPLowerBound(m, d, 0)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothedAPInUnitInterval(t *testing.T) {
+	// Eq. 9 averages n⁺ terms each bounded by σ(f)·n⁺·1 … the normalized
+	// form divides by n⁺, so AP ∈ (0, n⁺]. Check positivity and finiteness.
+	f := func(seed uint64, np uint8) bool {
+		numPos := int(np%10) + 1
+		m, d := randomWorld(seed, numPos)
+		ap := SmoothedAP(m, d, 0)
+		return ap > 0 && !math.IsInf(ap, 0) && !math.IsNaN(ap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothedAPEmptyUser(t *testing.T) {
+	m := mf.MustNew(mf.Config{NumUsers: 1, NumItems: 5, Dim: 2})
+	d, err := dataset.FromInteractions("e", 1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SmoothedAP(m, d, 0) != 0 || SmoothedAPLowerBound(m, d, 0) != 0 || SmoothedRR(m, d, 0) != 0 {
+		t.Error("empty user should yield zero smoothed metrics")
+	}
+}
+
+func TestSmoothedRRSingleItem(t *testing.T) {
+	// With one observed item, RR_u = σ(f_ui) exactly.
+	m, _ := randomWorld(3, 1)
+	d, err := dataset.FromInteractions("one", 1, 30, []dataset.Interaction{{User: 0, Item: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mathx.Sigmoid(m.Score(0, 7))
+	if got := SmoothedRR(m, d, 0); !mathx.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("SmoothedRR = %v, want σ(f) = %v", got, want)
+	}
+}
+
+func TestSmoothedRRDominatedByTopItem(t *testing.T) {
+	// With two observed items far apart in score, RR ≈ σ(f_top).
+	m := mf.MustNew(mf.Config{NumUsers: 1, NumItems: 4, Dim: 1, UseBias: true})
+	m.UserFactors(0)[0] = 1
+	m.ItemFactors(0)[0] = 10  // f = 10
+	m.ItemFactors(1)[0] = -10 // f = -10
+	d, err := dataset.FromInteractions("two", 1, 4, []dataset.Interaction{{User: 0, Item: 0}, {User: 0, Item: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SmoothedRR(m, d, 0)
+	if !mathx.AlmostEqual(got, 1, 1e-4) {
+		t.Errorf("SmoothedRR = %v, want ≈ σ(10) ≈ 1", got)
+	}
+}
+
+// TestPaperEq11FinalLineNotABound documents the erratum in Eq. 11: the
+// published final line exceeds the valid Jensen bound (and can exceed
+// ln(AP_u) itself) for users with n⁺ ≥ 2, because rescaling the negative
+// promotion term from 1/n⁺ to 1/(n⁺)² raises it.
+func TestPaperEq11FinalLineNotABound(t *testing.T) {
+	violatesValidBound := false
+	violatesLnAP := false
+	for seed := uint64(0); seed < 200; seed++ {
+		m, d := randomWorld(seed, int(seed%8)+2)
+		published := PaperEq11FinalLine(m, d, 0)
+		if published > SmoothedAPLowerBound(m, d, 0)+1e-12 {
+			violatesValidBound = true
+		}
+		if published > math.Log(SmoothedAP(m, d, 0))+1e-12 {
+			violatesLnAP = true
+		}
+	}
+	if !violatesValidBound {
+		t.Error("expected the published line to exceed the valid bound somewhere")
+	}
+	if !violatesLnAP {
+		t.Error("expected the published line to exceed ln(AP_u) somewhere")
+	}
+}
+
+func TestLMAPScalesPublishedLine(t *testing.T) {
+	m, d := randomWorld(9, 6)
+	n := float64(d.NumPositives(0))
+	want := PaperEq11FinalLine(m, d, 0) * n * n
+	if got := LMAP(m, d, 0); !mathx.AlmostEqual(got, want, 1e-9) {
+		t.Errorf("LMAP = %v, want %v", got, want)
+	}
+}
+
+func TestLMAPIncreasesWithBetterRanking(t *testing.T) {
+	// Raising all observed scores raises L_MAP's promotion term.
+	m, d := randomWorld(11, 5)
+	before := LMAP(m, d, 0)
+	for _, it := range d.Positives(0) {
+		m.AddBias(it, 5)
+	}
+	after := LMAP(m, d, 0)
+	if after <= before {
+		t.Errorf("L_MAP did not increase: %v -> %v", before, after)
+	}
+}

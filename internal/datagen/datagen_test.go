@@ -1,0 +1,215 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+)
+
+func smallProfile() Profile {
+	return Profile{
+		Name: "small", Users: 100, Items: 200, Pairs: 2000,
+		ZipfExp: 1.0, Dim: 6, Affinity: 1.5,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	w, err := Generate(smallProfile(), mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Data
+	if d.NumUsers() != 100 || d.NumItems() != 200 {
+		t.Errorf("dims = (%d,%d)", d.NumUsers(), d.NumItems())
+	}
+	// Pair budget should be hit within rounding slack (every user rounds
+	// down but is floored at 2).
+	if d.NumPairs() < 1500 || d.NumPairs() > 2500 {
+		t.Errorf("pairs = %d, want ≈ 2000", d.NumPairs())
+	}
+	// Every user must have at least 2 positives for CLAPF's (i,k) pair.
+	for u := int32(0); u < 100; u++ {
+		if d.NumPositives(u) < 2 {
+			t.Fatalf("user %d has %d positives, want >= 2", u, d.NumPositives(u))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, err := Generate(smallProfile(), mathx.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(smallProfile(), mathx.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Data.NumPairs() != w2.Data.NumPairs() {
+		t.Fatal("same seed produced different pair counts")
+	}
+	w1.Data.ForEach(func(u, i int32) {
+		if !w2.Data.IsPositive(u, i) {
+			t.Fatalf("pair (%d,%d) differs between same-seed runs", u, i)
+		}
+	})
+}
+
+func TestGenerateLongTail(t *testing.T) {
+	w, err := Generate(smallProfile(), mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := w.Data.ItemPopularity()
+	sort.Sort(sort.Reverse(sort.IntSlice(pop)))
+	// Head-heavy: the top 10% of items should hold well over 10% of the
+	// interactions (Zipf with exp ≈ 1 concentrates roughly half the mass).
+	head, total := 0, 0
+	for i, c := range pop {
+		total += c
+		if i < len(pop)/10 {
+			head += c
+		}
+	}
+	if frac := float64(head) / float64(total); frac < 0.25 {
+		t.Errorf("top-10%% items hold %.2f of interactions, want long-tail (> 0.25)", frac)
+	}
+}
+
+func TestGenerateTasteSignal(t *testing.T) {
+	// Positive pairs must carry higher ground-truth affinity than random
+	// pairs, otherwise no learner could do better than popularity.
+	w, err := Generate(smallProfile(), mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg mathx.OnlineStats
+	rng := mathx.NewRNG(11)
+	w.Data.ForEach(func(u, i int32) { pos.Add(w.TrueScore(u, i)) })
+	for n := 0; n < 5000; n++ {
+		u := int32(rng.Intn(w.Data.NumUsers()))
+		i := int32(rng.Intn(w.Data.NumItems()))
+		if !w.Data.IsPositive(u, i) {
+			neg.Add(w.TrueScore(u, i))
+		}
+	}
+	if pos.Mean() <= neg.Mean() {
+		t.Errorf("positive affinity %.4f not above negative %.4f", pos.Mean(), neg.Mean())
+	}
+}
+
+func TestScaledPreservesDensity(t *testing.T) {
+	p, err := ProfileByName("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scaled(0.02)
+	if s.Users >= p.Users || s.Items >= p.Items {
+		t.Errorf("Scaled did not shrink: %+v", s)
+	}
+	origDensity := float64(p.Pairs) / float64(p.Users) / float64(p.Items)
+	newDensity := float64(s.Pairs) / float64(s.Users) / float64(s.Items)
+	// Density preserved within the 2-per-user floor's distortion.
+	if newDensity < origDensity*0.5 || newDensity > origDensity*20 {
+		t.Errorf("density %v -> %v, want same order", origDensity, newDensity)
+	}
+	// Scale >= 1 or <= 0 is identity.
+	if q := p.Scaled(1.0); q.Users != p.Users {
+		t.Error("Scaled(1.0) should be identity")
+	}
+	if q := p.Scaled(0); q.Users != p.Users {
+		t.Error("Scaled(0) should be identity")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, want := range []string{"ML100K", "ml1m", "usertag", "ML20M", "flixter", "NETFLIX"} {
+		if _, err := ProfileByName(want); err != nil {
+			t.Errorf("ProfileByName(%q): %v", want, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestTable1ProfilesMatchPaper(t *testing.T) {
+	// Spot-check the Table 1 numbers that define each corpus shape.
+	want := map[string][3]int{
+		"ML100K":  {943, 1682, 27688 + 27687},
+		"ML1M":    {6040, 3952, 287641 + 287640},
+		"UserTag": {3000, 3000, 123218 + 123218},
+		"ML20M":   {138493, 26744, 579741 + 580093},
+		"Flixter": {147612, 48794, 318353 + 318671},
+		"Netflix": {480189, 17770, 4556347 + 4558506},
+	}
+	for _, p := range Table1Profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.Users != w[0] || p.Items != w[1] || p.Pairs != w[2] {
+			t.Errorf("%s = (%d,%d,%d), want %v", p.Name, p.Users, p.Items, p.Pairs, w)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Profile{Name: "bad", Users: 0, Items: 5}, mathx.NewRNG(1)); err == nil {
+		t.Error("zero users accepted")
+	}
+	over := Profile{Name: "over", Users: 3, Items: 3, Pairs: 100, Dim: 2}
+	if _, err := Generate(over, mathx.NewRNG(1)); err == nil {
+		t.Error("pair budget exceeding matrix size accepted")
+	}
+}
+
+func TestGenerateRatingsRoundTrip(t *testing.T) {
+	w, err := Generate(smallProfile(), mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratings := GenerateRatings(w, 0.5, mathx.NewRNG(6))
+	d, err := dataset.FromRatings("rt", w.Data.NumUsers(), w.Data.NumItems(), ratings, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() != w.Data.NumPairs() {
+		t.Fatalf("threshold recovery: %d pairs, want %d", d.NumPairs(), w.Data.NumPairs())
+	}
+	w.Data.ForEach(func(u, i int32) {
+		if !d.IsPositive(u, i) {
+			t.Fatalf("positive (%d,%d) lost in ratings round trip", u, i)
+		}
+	})
+	// There must be some sub-threshold ratings.
+	if len(ratings) <= w.Data.NumPairs() {
+		t.Error("no sub-threshold ratings generated")
+	}
+	for _, r := range ratings {
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("rating %v out of 1..5", r.Score)
+		}
+	}
+}
+
+func TestActivityHeterogeneity(t *testing.T) {
+	// User activity must vary (log-normal), not be constant.
+	w, err := Generate(smallProfile(), mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, w.Data.NumUsers())
+	for u := range counts {
+		counts[u] = float64(w.Data.NumPositives(int32(u)))
+	}
+	if mathx.StdDev(counts) < 1 {
+		t.Errorf("user activity stddev = %v, want heterogeneous", mathx.StdDev(counts))
+	}
+	if math.IsNaN(mathx.Mean(counts)) {
+		t.Error("NaN activity")
+	}
+}

@@ -1,0 +1,262 @@
+// Package dataset defines the implicit-feedback data model used across the
+// repository: a sparse binary user-item matrix stored row-wise, plus the
+// preprocessing and splitting protocol from §6.1 of the CLAPF paper
+// (ratings > 3 become positive feedback; observed pairs are split 50/50
+// into train and test; one training pair per user is held out for
+// validation; the whole procedure is replicated five times).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"clapf/internal/mathx"
+)
+
+// Interaction is one observed positive user-item pair.
+type Interaction struct {
+	User int32
+	Item int32
+}
+
+// Rating is an explicit-feedback record, the raw form of the MovieLens-like
+// sources the paper preprocesses into implicit feedback.
+type Rating struct {
+	User  int32
+	Item  int32
+	Score float64
+}
+
+// Dataset is an immutable implicit-feedback dataset. Items observed by each
+// user are stored as a sorted slice, giving O(log n) membership tests and
+// cache-friendly iteration during training.
+type Dataset struct {
+	name     string
+	numUsers int
+	numItems int
+	numPairs int
+	rows     [][]int32 // rows[u] = sorted item ids with Y_ui = 1
+}
+
+// Builder accumulates interactions and produces a deduplicated Dataset.
+type Builder struct {
+	name     string
+	numUsers int
+	numItems int
+	rows     [][]int32
+}
+
+// NewBuilder returns a Builder for a dataset with the given dimensions.
+func NewBuilder(name string, numUsers, numItems int) *Builder {
+	return &Builder{
+		name:     name,
+		numUsers: numUsers,
+		numItems: numItems,
+		rows:     make([][]int32, numUsers),
+	}
+}
+
+// Add records a positive interaction. It returns an error if either index
+// is out of range; duplicates are tolerated and collapsed by Build.
+func (b *Builder) Add(user, item int32) error {
+	if user < 0 || int(user) >= b.numUsers {
+		return fmt.Errorf("dataset: user %d out of range [0,%d)", user, b.numUsers)
+	}
+	if item < 0 || int(item) >= b.numItems {
+		return fmt.Errorf("dataset: item %d out of range [0,%d)", item, b.numItems)
+	}
+	b.rows[user] = append(b.rows[user], item)
+	return nil
+}
+
+// Build finalizes the dataset: rows are sorted, duplicates removed.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{
+		name:     b.name,
+		numUsers: b.numUsers,
+		numItems: b.numItems,
+		rows:     make([][]int32, b.numUsers),
+	}
+	for u, row := range b.rows {
+		if len(row) == 0 {
+			continue
+		}
+		sorted := append([]int32(nil), row...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		dedup := sorted[:1]
+		for _, it := range sorted[1:] {
+			if it != dedup[len(dedup)-1] {
+				dedup = append(dedup, it)
+			}
+		}
+		d.rows[u] = dedup
+		d.numPairs += len(dedup)
+	}
+	return d
+}
+
+// FromInteractions builds a Dataset directly from a pair list.
+func FromInteractions(name string, numUsers, numItems int, pairs []Interaction) (*Dataset, error) {
+	b := NewBuilder(name, numUsers, numItems)
+	for _, p := range pairs {
+		if err := b.Add(p.User, p.Item); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// FromRatings applies the paper's preprocessing: every rating strictly
+// greater than threshold becomes a positive implicit interaction.
+func FromRatings(name string, numUsers, numItems int, ratings []Rating, threshold float64) (*Dataset, error) {
+	b := NewBuilder(name, numUsers, numItems)
+	for _, r := range ratings {
+		if r.Score > threshold {
+			if err := b.Add(r.User, r.Item); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Name returns the dataset's label (e.g. "ML100K").
+func (d *Dataset) Name() string { return d.name }
+
+// NumUsers returns n, the number of users.
+func (d *Dataset) NumUsers() int { return d.numUsers }
+
+// NumItems returns m, the number of items.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// NumPairs returns the number of observed positive pairs.
+func (d *Dataset) NumPairs() int { return d.numPairs }
+
+// Positives returns user u's observed items, sorted ascending. The returned
+// slice is shared; callers must not modify it.
+func (d *Dataset) Positives(u int32) []int32 { return d.rows[u] }
+
+// NumPositives returns n_u⁺ for user u.
+func (d *Dataset) NumPositives(u int32) int { return len(d.rows[u]) }
+
+// IsPositive reports whether Y_ui = 1.
+func (d *Dataset) IsPositive(u, i int32) bool {
+	row := d.rows[u]
+	lo := sort.Search(len(row), func(k int) bool { return row[k] >= i })
+	return lo < len(row) && row[lo] == i
+}
+
+// Density returns |P| / (n·m).
+func (d *Dataset) Density() float64 {
+	if d.numUsers == 0 || d.numItems == 0 {
+		return 0
+	}
+	return float64(d.numPairs) / float64(d.numUsers) / float64(d.numItems)
+}
+
+// UsersWithAtLeast returns all users having at least min observed items.
+// CLAPF needs users with ≥ 2 positives to form an (i, k) pair.
+func (d *Dataset) UsersWithAtLeast(min int) []int32 {
+	var us []int32
+	for u, row := range d.rows {
+		if len(row) >= min {
+			us = append(us, int32(u))
+		}
+	}
+	return us
+}
+
+// Interactions returns every observed pair in user-major order.
+func (d *Dataset) Interactions() []Interaction {
+	out := make([]Interaction, 0, d.numPairs)
+	for u, row := range d.rows {
+		for _, it := range row {
+			out = append(out, Interaction{User: int32(u), Item: it})
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every observed pair.
+func (d *Dataset) ForEach(fn func(u, i int32)) {
+	for u, row := range d.rows {
+		for _, it := range row {
+			fn(int32(u), it)
+		}
+	}
+}
+
+// ItemPopularity returns, for each item, the number of users who observed
+// it — the statistic PopRank ranks by and the generator's tail diagnostic.
+func (d *Dataset) ItemPopularity() []int {
+	pop := make([]int, d.numItems)
+	for _, row := range d.rows {
+		for _, it := range row {
+			pop[it]++
+		}
+	}
+	return pop
+}
+
+// Stats summarizes a train/test pair in the shape of the paper's Table 1.
+type Stats struct {
+	Name       string
+	Users      int
+	Items      int
+	TrainPairs int
+	TestPairs  int
+	Density    float64 // (P + Pte) / n / m
+}
+
+// TableStats computes Table 1's columns for a train/test split.
+func TableStats(train, test *Dataset) Stats {
+	total := train.NumPairs() + test.NumPairs()
+	return Stats{
+		Name:       train.Name(),
+		Users:      train.NumUsers(),
+		Items:      train.NumItems(),
+		TrainPairs: train.NumPairs(),
+		TestPairs:  test.NumPairs(),
+		Density:    float64(total) / float64(train.NumUsers()) / float64(train.NumItems()),
+	}
+}
+
+// Split divides the observed pairs uniformly at random: each pair lands in
+// the training set with probability trainFrac (the paper uses 0.5). Both
+// halves keep the full (n, m) dimensions so item ids remain comparable.
+func Split(d *Dataset, rng *mathx.RNG, trainFrac float64) (train, test *Dataset) {
+	tb := NewBuilder(d.name, d.numUsers, d.numItems)
+	eb := NewBuilder(d.name, d.numUsers, d.numItems)
+	d.ForEach(func(u, i int32) {
+		if rng.Float64() < trainFrac {
+			tb.Add(u, i) //nolint:errcheck // indices come from a valid dataset
+		} else {
+			eb.Add(u, i) //nolint:errcheck
+		}
+	})
+	return tb.Build(), eb.Build()
+}
+
+// HoldOutValidation removes one random training pair from every user who
+// has at least two, returning the reduced training set and the held-out
+// validation pairs — the paper's protocol for hyper-parameter selection.
+func HoldOutValidation(train *Dataset, rng *mathx.RNG) (reduced *Dataset, validation []Interaction) {
+	rb := NewBuilder(train.name, train.numUsers, train.numItems)
+	for u, row := range train.rows {
+		if len(row) < 2 {
+			for _, it := range row {
+				rb.Add(int32(u), it) //nolint:errcheck
+			}
+			continue
+		}
+		drop := rng.Intn(len(row))
+		for k, it := range row {
+			if k == drop {
+				validation = append(validation, Interaction{User: int32(u), Item: it})
+			} else {
+				rb.Add(int32(u), it) //nolint:errcheck
+			}
+		}
+	}
+	return rb.Build(), validation
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clapf/internal/mathx"
+)
+
+func mustBuild(t *testing.T, name string, nu, ni int, pairs []Interaction) *Dataset {
+	t.Helper()
+	d, err := FromInteractions(name, nu, ni, pairs)
+	if err != nil {
+		t.Fatalf("FromInteractions: %v", err)
+	}
+	return d
+}
+
+func TestBuildDedup(t *testing.T) {
+	d := mustBuild(t, "x", 2, 3, []Interaction{
+		{0, 2}, {0, 0}, {0, 2}, {1, 1},
+	})
+	if d.NumPairs() != 3 {
+		t.Errorf("NumPairs = %d, want 3 after dedup", d.NumPairs())
+	}
+	row := d.Positives(0)
+	if len(row) != 2 || row[0] != 0 || row[1] != 2 {
+		t.Errorf("Positives(0) = %v, want sorted [0 2]", row)
+	}
+}
+
+func TestAddOutOfRange(t *testing.T) {
+	b := NewBuilder("x", 2, 2)
+	if err := b.Add(2, 0); err == nil {
+		t.Error("user out of range not rejected")
+	}
+	if err := b.Add(0, -1); err == nil {
+		t.Error("negative item not rejected")
+	}
+	if err := b.Add(1, 1); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+}
+
+func TestIsPositive(t *testing.T) {
+	d := mustBuild(t, "x", 1, 10, []Interaction{{0, 3}, {0, 7}})
+	for i := int32(0); i < 10; i++ {
+		want := i == 3 || i == 7
+		if got := d.IsPositive(0, i); got != want {
+			t.Errorf("IsPositive(0,%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFromRatingsThreshold(t *testing.T) {
+	ratings := []Rating{
+		{0, 0, 5}, {0, 1, 3}, {0, 2, 3.5}, {1, 0, 1},
+	}
+	d, err := FromRatings("r", 2, 3, ratings, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only scores strictly greater than 3 survive: (0,0) and (0,2).
+	if d.NumPairs() != 2 {
+		t.Errorf("NumPairs = %d, want 2", d.NumPairs())
+	}
+	if !d.IsPositive(0, 0) || !d.IsPositive(0, 2) || d.IsPositive(0, 1) {
+		t.Error("threshold filtering incorrect")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	d := mustBuild(t, "x", 2, 5, []Interaction{{0, 0}, {1, 4}})
+	if got := d.Density(); !mathx.AlmostEqual(got, 0.2, 1e-12) {
+		t.Errorf("Density = %v, want 0.2", got)
+	}
+}
+
+func TestUsersWithAtLeast(t *testing.T) {
+	d := mustBuild(t, "x", 3, 5, []Interaction{
+		{0, 0}, {0, 1}, {1, 2},
+	})
+	us := d.UsersWithAtLeast(2)
+	if len(us) != 1 || us[0] != 0 {
+		t.Errorf("UsersWithAtLeast(2) = %v, want [0]", us)
+	}
+	if got := d.UsersWithAtLeast(1); len(got) != 2 {
+		t.Errorf("UsersWithAtLeast(1) = %v, want two users", got)
+	}
+}
+
+func TestItemPopularity(t *testing.T) {
+	d := mustBuild(t, "x", 3, 3, []Interaction{
+		{0, 0}, {1, 0}, {2, 0}, {0, 1},
+	})
+	pop := d.ItemPopularity()
+	want := []int{3, 1, 0}
+	for i, w := range want {
+		if pop[i] != w {
+			t.Errorf("pop[%d] = %d, want %d", i, pop[i], w)
+		}
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	var pairs []Interaction
+	for u := int32(0); u < 50; u++ {
+		for i := int32(0); i < 20; i++ {
+			pairs = append(pairs, Interaction{u, i})
+		}
+	}
+	d := mustBuild(t, "x", 50, 20, pairs)
+	rng := mathx.NewRNG(1)
+	train, test := Split(d, rng, 0.5)
+
+	if train.NumPairs()+test.NumPairs() != d.NumPairs() {
+		t.Fatalf("split lost pairs: %d + %d != %d",
+			train.NumPairs(), test.NumPairs(), d.NumPairs())
+	}
+	// No pair may appear in both halves.
+	test.ForEach(func(u, i int32) {
+		if train.IsPositive(u, i) {
+			t.Fatalf("pair (%d,%d) in both train and test", u, i)
+		}
+	})
+	// With 1000 pairs at 0.5, each half should be within a loose band.
+	if train.NumPairs() < 400 || train.NumPairs() > 600 {
+		t.Errorf("train half badly unbalanced: %d of 1000", train.NumPairs())
+	}
+	// Dimensions preserved.
+	if train.NumUsers() != 50 || test.NumItems() != 20 {
+		t.Error("split changed dataset dimensions")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := mustBuild(t, "x", 10, 10, []Interaction{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+	})
+	a1, b1 := Split(d, mathx.NewRNG(9), 0.5)
+	a2, b2 := Split(d, mathx.NewRNG(9), 0.5)
+	if a1.NumPairs() != a2.NumPairs() || b1.NumPairs() != b2.NumPairs() {
+		t.Error("same seed produced different splits")
+	}
+}
+
+func TestHoldOutValidation(t *testing.T) {
+	var pairs []Interaction
+	for u := int32(0); u < 10; u++ {
+		for i := int32(0); i < 5; i++ {
+			pairs = append(pairs, Interaction{u, i})
+		}
+	}
+	// User 10 has a single pair and must be left intact.
+	pairs = append(pairs, Interaction{10, 0})
+	d := mustBuild(t, "x", 11, 5, pairs)
+	reduced, val := HoldOutValidation(d, mathx.NewRNG(2))
+
+	if len(val) != 10 {
+		t.Fatalf("validation size = %d, want 10 (one per eligible user)", len(val))
+	}
+	if reduced.NumPairs() != d.NumPairs()-10 {
+		t.Errorf("reduced pairs = %d, want %d", reduced.NumPairs(), d.NumPairs()-10)
+	}
+	if reduced.NumPositives(10) != 1 {
+		t.Error("single-pair user was reduced")
+	}
+	for _, v := range val {
+		if reduced.IsPositive(v.User, v.Item) {
+			t.Errorf("held-out pair (%d,%d) still in training set", v.User, v.Item)
+		}
+		if !d.IsPositive(v.User, v.Item) {
+			t.Errorf("held-out pair (%d,%d) not from original data", v.User, v.Item)
+		}
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	train := mustBuild(t, "DS", 4, 5, []Interaction{{0, 0}, {1, 1}, {2, 2}})
+	test := mustBuild(t, "DS", 4, 5, []Interaction{{3, 3}})
+	s := TableStats(train, test)
+	if s.Name != "DS" || s.Users != 4 || s.Items != 5 || s.TrainPairs != 3 || s.TestPairs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !mathx.AlmostEqual(s.Density, 4.0/20.0, 1e-12) {
+		t.Errorf("density = %v, want 0.2", s.Density)
+	}
+}
+
+func TestInteractionsRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const nu, ni = 20, 30
+		pairs := make([]Interaction, 0, len(raw))
+		for _, v := range raw {
+			pairs = append(pairs, Interaction{
+				User: int32(v % nu),
+				Item: int32((v / nu) % ni),
+			})
+		}
+		d, err := FromInteractions("q", nu, ni, pairs)
+		if err != nil {
+			return false
+		}
+		// Rebuilding from Interactions() must reproduce the same dataset.
+		d2, err := FromInteractions("q", nu, ni, d.Interactions())
+		if err != nil || d2.NumPairs() != d.NumPairs() {
+			return false
+		}
+		ok := true
+		d.ForEach(func(u, i int32) {
+			if !d2.IsPositive(u, i) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

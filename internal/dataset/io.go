@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serializes a dataset as a small header followed by one
+// "user<TAB>item" line per observed pair. The format is line-oriented and
+// diff-friendly so generated datasets can live in version control.
+func WriteTSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#clapf\t%s\t%d\t%d\n", d.Name(), d.NumUsers(), d.NumItems()); err != nil {
+		return err
+	}
+	var werr error
+	d.ForEach(func(u, i int32) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d\t%d\n", u, i)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format written by WriteTSV.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) != 4 || header[0] != "#clapf" {
+		return nil, fmt.Errorf("dataset: malformed header %q", sc.Text())
+	}
+	numUsers, err := strconv.Atoi(header[2])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad user count: %w", err)
+	}
+	numItems, err := strconv.Atoi(header[3])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad item count: %w", err)
+	}
+	b := NewBuilder(header[1], numUsers, numItems)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		tab := strings.IndexByte(text, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("dataset: line %d: missing tab", line)
+		}
+		u, err := strconv.ParseInt(text[:tab], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		i, err := strconv.ParseInt(text[tab+1:], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if err := b.Add(int32(u), int32(i)); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := mustBuild(t, "Round", 5, 7, []Interaction{
+		{0, 1}, {0, 6}, {2, 3}, {4, 0},
+	})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, d); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if got.Name() != "Round" || got.NumUsers() != 5 || got.NumItems() != 7 {
+		t.Errorf("header mismatch: %q %d %d", got.Name(), got.NumUsers(), got.NumItems())
+	}
+	if got.NumPairs() != d.NumPairs() {
+		t.Fatalf("pairs = %d, want %d", got.NumPairs(), d.NumPairs())
+	}
+	d.ForEach(func(u, i int32) {
+		if !got.IsPositive(u, i) {
+			t.Errorf("pair (%d,%d) lost in round trip", u, i)
+		}
+	})
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "hello\n"},
+		{"bad counts", "#clapf\tx\tfoo\t3\n"},
+		{"missing tab", "#clapf\tx\t2\t2\n01\n"},
+		{"non-numeric", "#clapf\tx\t2\t2\na\tb\n"},
+		{"out of range", "#clapf\tx\t2\t2\n5\t0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadTSV(strings.NewReader(c.input)); err == nil {
+				t.Errorf("input %q accepted, want error", c.input)
+			}
+		})
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "#clapf\tx\t2\t2\n# comment\n\n0\t1\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() != 1 || !d.IsPositive(0, 1) {
+		t.Errorf("parsed dataset wrong: %d pairs", d.NumPairs())
+	}
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadRatingsML100K(t *testing.T) {
+	in := "196\t242\t3\t881250949\n" + // rating 3: not > 3, negative
+		"186\t302\t3\t891717742\n" +
+		"22\t377\t1\t878887116\n" +
+		"196\t51\t5\t881250949\n" + // positive
+		"186\t302\t4\t891717742\n" // positive (updates same pair's ids)
+	d, m, err := LoadRatings(strings.NewReader(in), FormatML100K, "ml", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 3 {
+		t.Errorf("users = %d, want 3", d.NumUsers())
+	}
+	if d.NumItems() != 4 {
+		t.Errorf("items = %d, want 4", d.NumItems())
+	}
+	if d.NumPairs() != 2 {
+		t.Errorf("pairs = %d, want 2", d.NumPairs())
+	}
+	// The id mapping must cover all source entities, including
+	// negative-only ones.
+	if len(m.Users) != 3 || len(m.Items) != 4 {
+		t.Errorf("mapping sizes = (%d,%d)", len(m.Users), len(m.Items))
+	}
+	// User "196" positive on item "51".
+	u196, it51 := int32(-1), int32(-1)
+	for i, s := range m.Users {
+		if s == "196" {
+			u196 = int32(i)
+		}
+	}
+	for i, s := range m.Items {
+		if s == "51" {
+			it51 = int32(i)
+		}
+	}
+	if u196 < 0 || it51 < 0 || !d.IsPositive(u196, it51) {
+		t.Error("positive pair (196, 51) lost")
+	}
+}
+
+func TestLoadRatingsML1M(t *testing.T) {
+	in := "1::1193::5::978300760\n1::661::3::978302109\n2::1193::4::978298413\n"
+	d, _, err := LoadRatings(strings.NewReader(in), FormatML1M, "ml1m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() != 2 || d.NumUsers() != 2 || d.NumItems() != 2 {
+		t.Errorf("parsed (%d users, %d items, %d pairs)", d.NumUsers(), d.NumItems(), d.NumPairs())
+	}
+}
+
+func TestLoadRatingsCSVWithHeader(t *testing.T) {
+	in := "userId,movieId,rating,timestamp\n1,31,2.5,1260759144\n1,1029,4.0,1260759179\n7,31,5,1260759182\n"
+	d, _, err := LoadRatings(strings.NewReader(in), FormatCSV, "csv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() != 2 {
+		t.Errorf("pairs = %d, want 2", d.NumPairs())
+	}
+}
+
+func TestLoadRatingsSkipsBlanksAndComments(t *testing.T) {
+	in := "# comment\n\n1,2,5\n"
+	d, _, err := LoadRatings(strings.NewReader(in), FormatCSV, "c", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPairs() != 1 {
+		t.Errorf("pairs = %d", d.NumPairs())
+	}
+}
+
+func TestLoadRatingsErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  string
+		format RatingFormat
+	}{
+		{"too few fields", "1\t2\n", FormatML100K},
+		{"bad rating mid-file", "1,2,5\n1,2,x\n", FormatCSV},
+		{"empty", "", FormatCSV},
+		{"bad format", "1,2,5\n", RatingFormat(99)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := LoadRatings(strings.NewReader(c.input), c.format, "x", 3); err == nil {
+				t.Errorf("input %q accepted", c.input)
+			}
+		})
+	}
+}
+
+func TestLoadRatingsDensifiesIDs(t *testing.T) {
+	// Sparse, large external ids must map to dense 0..n-1.
+	in := "99999,1000000,5\n5,1000000,4\n"
+	d, m, err := LoadRatings(strings.NewReader(in), FormatCSV, "d", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 2 || d.NumItems() != 1 {
+		t.Errorf("dims = (%d,%d), want dense (2,1)", d.NumUsers(), d.NumItems())
+	}
+	if m.Users[0] != "99999" || m.Items[0] != "1000000" {
+		t.Errorf("mapping order wrong: %v %v", m.Users, m.Items)
+	}
+}

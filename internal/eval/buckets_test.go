@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"testing"
+
+	"clapf/internal/dataset"
+)
+
+func TestItemBucketsByMass(t *testing.T) {
+	// Item 0 takes half the interactions, items 1-2 most of the rest,
+	// items 3+ the crumbs.
+	var pairs []dataset.Interaction
+	for u := int32(0); u < 10; u++ {
+		pairs = append(pairs, dataset.Interaction{User: u, Item: 0})
+	}
+	for u := int32(0); u < 4; u++ {
+		pairs = append(pairs, dataset.Interaction{User: u, Item: 1})
+		pairs = append(pairs, dataset.Interaction{User: u, Item: 2})
+	}
+	pairs = append(pairs, dataset.Interaction{User: 0, Item: 3}, dataset.Interaction{User: 1, Item: 4})
+	d, err := dataset.FromInteractions("b", 10, 6, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets, err := ItemBuckets(d, 0.4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buckets[0] != Head {
+		t.Errorf("most popular item in %v, want head", buckets[0])
+	}
+	if buckets[3] != Tail || buckets[4] != Tail || buckets[5] != Tail {
+		t.Errorf("crumb items not in tail: %v %v %v", buckets[3], buckets[4], buckets[5])
+	}
+	if Head.String() != "head" || Mid.String() != "mid" || Tail.String() != "tail" {
+		t.Error("bucket names wrong")
+	}
+}
+
+func TestItemBucketsValidation(t *testing.T) {
+	d, _ := dataset.FromInteractions("v", 1, 2, []dataset.Interaction{{User: 0, Item: 0}})
+	for _, fr := range [][2]float64{{0, 0.4}, {0.4, 0}, {0.6, 0.5}} {
+		if _, err := ItemBuckets(d, fr[0], fr[1]); err == nil {
+			t.Errorf("fractions %v accepted", fr)
+		}
+	}
+}
+
+func TestBucketEvaluateOracle(t *testing.T) {
+	train, test := buildSplit(t)
+	res, err := BucketEvaluate(oracleScorer{test}, train, test, 1000, 0.3, 0.4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k covering the whole catalog, the oracle recovers everything in
+	// every band.
+	totalPos := 0
+	for b := Head; b <= Tail; b++ {
+		totalPos += res.Positives[b]
+		if res.Positives[b] > 0 && res.Recall(b) < 0.999 {
+			t.Errorf("oracle recall in %v = %.3f, want 1", b, res.Recall(b))
+		}
+	}
+	if totalPos != test.NumPairs() {
+		t.Errorf("attributed %d positives, test has %d", totalPos, test.NumPairs())
+	}
+}
+
+func TestBucketEvaluatePopularityBias(t *testing.T) {
+	// A popularity scorer should recover head positives far better than
+	// tail positives at small k — the diagnostic this exists for.
+	train, test := buildSplit(t)
+	pop := train.ItemPopularity()
+	s := scorerFunc(func(u int32, out []float64) {
+		for i := range out {
+			out[i] = float64(pop[i])
+		}
+	})
+	res, err := BucketEvaluate(s, train, test, 5, 0.3, 0.4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Positives[Head] == 0 || res.Positives[Tail] == 0 {
+		t.Skip("degenerate split for bucketing")
+	}
+	if res.Recall(Head) <= res.Recall(Tail) {
+		t.Errorf("popularity scorer: head recall %.3f <= tail %.3f", res.Recall(Head), res.Recall(Tail))
+	}
+}
+
+func TestBucketEvaluateErrors(t *testing.T) {
+	train, test := buildSplit(t)
+	if _, err := BucketEvaluate(oracleScorer{test}, train, test, 0, 0.3, 0.4, Options{}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := BucketEvaluate(oracleScorer{test}, train, test, 5, 0, 0.4, Options{}); err == nil {
+		t.Error("bad fractions accepted")
+	}
+}

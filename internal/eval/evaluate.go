@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+)
+
+// Scorer is the interface every recommender in the repository satisfies:
+// fill out[i] with the predicted relevance of item i for user u. len(out)
+// equals the item count.
+type Scorer interface {
+	ScoreAll(u int32, out []float64)
+}
+
+// Options tunes the evaluation run.
+type Options struct {
+	// Ks are the cutoffs to report. Defaults to {3, 5, 10, 15, 20}, the
+	// paper's Figure 2 sweep.
+	Ks []int
+	// MaxUsers, when positive, evaluates a uniform sample of at most this
+	// many test users — the convergence traces of Figure 4 re-evaluate
+	// every epoch and would otherwise dominate training time.
+	MaxUsers int
+	// RNG drives the user sampling; required when MaxUsers > 0.
+	RNG *mathx.RNG
+}
+
+// DefaultKs is the paper's top-k sweep.
+var DefaultKs = []int{3, 5, 10, 15, 20}
+
+// Result aggregates metrics over all evaluated users.
+type Result struct {
+	AtK   []KMetrics // one per requested cutoff, in Ks order
+	MAP   float64
+	MRR   float64
+	AUC   float64
+	Users int // users with at least one test positive that were evaluated
+}
+
+// At returns the KMetrics for cutoff k, or an error if k was not requested.
+func (r Result) At(k int) (KMetrics, error) {
+	for _, m := range r.AtK {
+		if m.K == k {
+			return m, nil
+		}
+	}
+	return KMetrics{}, fmt.Errorf("eval: cutoff %d not in result", k)
+}
+
+// MustAt is At for cutoffs known to be present.
+func (r Result) MustAt(k int) KMetrics {
+	m, err := r.At(k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Evaluate runs the full-ranking protocol: each user with test positives
+// has every training-unobserved item ranked by s, and per-user metrics are
+// averaged. Training positives are excluded from the candidate set (they
+// are not recommendable); test positives are the relevance labels.
+func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
+	ks := opts.Ks
+	if len(ks) == 0 {
+		ks = DefaultKs
+	}
+	numItems := train.NumItems()
+	users := testUsers(test, opts)
+
+	scores := make([]float64, numItems)
+	cands := make([]int32, 0, numItems)
+
+	sums := make([]KMetrics, len(ks))
+	for i, k := range ks {
+		sums[i].K = k
+	}
+	var mapSum, mrrSum, aucSum float64
+	evaluated := 0
+
+	for _, u := range users {
+		rel := test.Positives(u)
+		if len(rel) == 0 {
+			continue
+		}
+		s.ScoreAll(u, scores)
+
+		// Candidate set: all items unobserved in training.
+		cands = cands[:0]
+		trainPos := train.Positives(u)
+		tp := 0
+		for i := int32(0); i < int32(numItems); i++ {
+			for tp < len(trainPos) && trainPos[tp] < i {
+				tp++
+			}
+			if tp < len(trainPos) && trainPos[tp] == i {
+				continue
+			}
+			cands = append(cands, i)
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			ia, ib := cands[a], cands[b]
+			if scores[ia] != scores[ib] {
+				return scores[ia] > scores[ib]
+			}
+			return ia < ib
+		})
+
+		le := NewListEval(cands, func(i int32) bool { return test.IsPositive(u, i) }, len(rel))
+		for i, k := range ks {
+			m := le.AtK(k)
+			sums[i].Prec += m.Prec
+			sums[i].Recall += m.Recall
+			sums[i].F1 += m.F1
+			sums[i].OneCall += m.OneCall
+			sums[i].NDCG += m.NDCG
+		}
+		mapSum += le.AP()
+		mrrSum += le.RR()
+		aucSum += le.AUC()
+		evaluated++
+	}
+
+	res := Result{AtK: sums, Users: evaluated}
+	if evaluated == 0 {
+		return res
+	}
+	n := float64(evaluated)
+	for i := range res.AtK {
+		res.AtK[i].Prec /= n
+		res.AtK[i].Recall /= n
+		res.AtK[i].F1 /= n
+		res.AtK[i].OneCall /= n
+		res.AtK[i].NDCG /= n
+	}
+	res.MAP = mapSum / n
+	res.MRR = mrrSum / n
+	res.AUC = aucSum / n
+	return res
+}
+
+// testUsers returns the users to evaluate, applying the optional sampling
+// cap deterministically.
+func testUsers(test *dataset.Dataset, opts Options) []int32 {
+	all := test.UsersWithAtLeast(1)
+	if opts.MaxUsers <= 0 || len(all) <= opts.MaxUsers {
+		return all
+	}
+	rng := opts.RNG
+	if rng == nil {
+		rng = mathx.NewRNG(0)
+	}
+	perm := rng.Perm(len(all))
+	out := make([]int32, opts.MaxUsers)
+	for i := range out {
+		out[i] = all[perm[i]]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+)
+
+// oracleScorer scores exactly the test positives highest.
+type oracleScorer struct{ test *dataset.Dataset }
+
+func (o oracleScorer) ScoreAll(u int32, out []float64) {
+	for i := range out {
+		if o.test.IsPositive(u, int32(i)) {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// randomScorer returns seeded pseudo-random scores, fresh per call.
+type randomScorer struct{ seed uint64 }
+
+func (r randomScorer) ScoreAll(u int32, out []float64) {
+	rng := mathx.NewRNG(r.seed + uint64(u))
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+}
+
+func buildSplit(t *testing.T) (train, test *dataset.Dataset) {
+	t.Helper()
+	var pairs []dataset.Interaction
+	rng := mathx.NewRNG(77)
+	const nu, ni = 40, 60
+	for u := int32(0); u < nu; u++ {
+		for c := 0; c < 12; c++ {
+			pairs = append(pairs, dataset.Interaction{User: u, Item: int32(rng.Intn(ni))})
+		}
+	}
+	d, err := dataset.FromInteractions("ev", nu, ni, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test = dataset.Split(d, mathx.NewRNG(5), 0.5)
+	return
+}
+
+func TestEvaluateOraclePerfect(t *testing.T) {
+	train, test := buildSplit(t)
+	res := Evaluate(oracleScorer{test}, train, test, Options{Ks: []int{5}})
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if !mathx.AlmostEqual(res.MAP, 1, 1e-9) {
+		t.Errorf("oracle MAP = %v, want 1", res.MAP)
+	}
+	if !mathx.AlmostEqual(res.MRR, 1, 1e-9) {
+		t.Errorf("oracle MRR = %v, want 1", res.MRR)
+	}
+	if !mathx.AlmostEqual(res.AUC, 1, 1e-9) {
+		t.Errorf("oracle AUC = %v, want 1", res.AUC)
+	}
+	m := res.MustAt(5)
+	if m.NDCG < 0.999 {
+		t.Errorf("oracle NDCG@5 = %v, want 1", m.NDCG)
+	}
+	if m.OneCall < 0.999 {
+		t.Errorf("oracle 1-call@5 = %v, want 1", m.OneCall)
+	}
+}
+
+func TestEvaluateRandomNearHalfAUC(t *testing.T) {
+	train, test := buildSplit(t)
+	res := Evaluate(randomScorer{seed: 3}, train, test, Options{Ks: []int{5}})
+	if res.AUC < 0.4 || res.AUC > 0.6 {
+		t.Errorf("random AUC = %v, want ≈ 0.5", res.AUC)
+	}
+	if res.MAP >= 0.5 {
+		t.Errorf("random MAP = %v, suspiciously high", res.MAP)
+	}
+}
+
+func TestEvaluateOracleBeatsRandom(t *testing.T) {
+	train, test := buildSplit(t)
+	oracle := Evaluate(oracleScorer{test}, train, test, Options{Ks: []int{5}})
+	random := Evaluate(randomScorer{seed: 9}, train, test, Options{Ks: []int{5}})
+	if oracle.MustAt(5).Recall <= random.MustAt(5).Recall {
+		t.Error("oracle should beat random on Recall@5")
+	}
+	if oracle.MAP <= random.MAP {
+		t.Error("oracle should beat random on MAP")
+	}
+}
+
+func TestEvaluateExcludesTrainingPositives(t *testing.T) {
+	// A scorer that puts training positives on top would score zero if they
+	// were not excluded; with exclusion the test positives surface.
+	train, err := dataset.FromInteractions("t", 1, 6, []dataset.Interaction{{User: 0, Item: 0}, {User: 0, Item: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.FromInteractions("t", 1, 6, []dataset.Interaction{{User: 0, Item: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores: train positives highest, then the test positive.
+	s := scorerFunc(func(u int32, out []float64) {
+		copy(out, []float64{10, 9, 8, 1, 1, 1})
+	})
+	res := Evaluate(s, train, test, Options{Ks: []int{1}})
+	if got := res.MustAt(1).Prec; !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("Prec@1 = %v, want 1 — training items must not occupy slots", got)
+	}
+	if !mathx.AlmostEqual(res.MRR, 1, 1e-12) {
+		t.Errorf("MRR = %v, want 1", res.MRR)
+	}
+}
+
+type scorerFunc func(u int32, out []float64)
+
+func (f scorerFunc) ScoreAll(u int32, out []float64) { f(u, out) }
+
+func TestEvaluateDefaultKs(t *testing.T) {
+	train, test := buildSplit(t)
+	res := Evaluate(oracleScorer{test}, train, test, Options{})
+	if len(res.AtK) != len(DefaultKs) {
+		t.Fatalf("got %d cutoffs, want %d", len(res.AtK), len(DefaultKs))
+	}
+	for i, k := range DefaultKs {
+		if res.AtK[i].K != k {
+			t.Errorf("cutoff[%d] = %d, want %d", i, res.AtK[i].K, k)
+		}
+	}
+	if _, err := res.At(999); err == nil {
+		t.Error("At(999) should error")
+	}
+}
+
+func TestEvaluateMaxUsersSampling(t *testing.T) {
+	train, test := buildSplit(t)
+	opts := Options{Ks: []int{5}, MaxUsers: 10, RNG: mathx.NewRNG(4)}
+	res := Evaluate(oracleScorer{test}, train, test, opts)
+	if res.Users > 10 {
+		t.Errorf("evaluated %d users, cap was 10", res.Users)
+	}
+	// Deterministic under the same seed.
+	res2 := Evaluate(oracleScorer{test}, train, test, Options{Ks: []int{5}, MaxUsers: 10, RNG: mathx.NewRNG(4)})
+	if res.MustAt(5).Recall != res2.MustAt(5).Recall {
+		t.Error("sampled evaluation not deterministic under same seed")
+	}
+}
+
+func TestEvaluateEmptyTest(t *testing.T) {
+	train, _ := buildSplit(t)
+	empty, err := dataset.FromInteractions("e", train.NumUsers(), train.NumItems(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(oracleScorer{empty}, train, empty, Options{Ks: []int{5}})
+	if res.Users != 0 || res.MAP != 0 {
+		t.Errorf("empty test set: %+v", res)
+	}
+}
+
+func TestEvaluateRecallMonotoneInK(t *testing.T) {
+	train, test := buildSplit(t)
+	res := Evaluate(randomScorer{seed: 1}, train, test, Options{})
+	for i := 1; i < len(res.AtK); i++ {
+		if res.AtK[i].Recall+1e-12 < res.AtK[i-1].Recall {
+			t.Errorf("Recall not monotone in k: %v", res.AtK)
+		}
+		if res.AtK[i].OneCall+1e-12 < res.AtK[i-1].OneCall {
+			t.Errorf("1-call not monotone in k: %v", res.AtK)
+		}
+	}
+}

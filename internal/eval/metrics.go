@@ -1,0 +1,143 @@
+// Package eval implements the paper's evaluation protocol (§6.2–6.3): for
+// every test user, rank *all* items unobserved in training by predicted
+// score, then measure Precision@k, Recall@k, F1@k, 1-call@k, NDCG@k, AP
+// (averaged to MAP), RR (averaged to MRR), and AUC against the held-out
+// test positives. Unlike the sampled protocol of some neural-CF papers, no
+// candidate subsampling is done — §6.3 is explicit about ranking the full
+// unobserved set.
+package eval
+
+import "math"
+
+// KMetrics bundles the top-k measures at a single cutoff.
+type KMetrics struct {
+	K       int
+	Prec    float64
+	Recall  float64
+	F1      float64
+	OneCall float64
+	NDCG    float64
+}
+
+// ListEval measures one user's ranked recommendation list against the
+// relevance oracle. ranked must be in descending predicted-score order and
+// must already exclude training positives; isRel marks test positives;
+// numRel is the total number of test positives for the user (which may
+// exceed the number present in ranked when the list is truncated — pass the
+// full list for exact MAP/AUC).
+type ListEval struct {
+	ranked  []bool // relevance flag per position
+	numRel  int
+	numCand int
+}
+
+// NewListEval precomputes per-position relevance for the ranked candidate
+// list.
+func NewListEval(ranked []int32, isRel func(int32) bool, numRel int) *ListEval {
+	flags := make([]bool, len(ranked))
+	for p, it := range ranked {
+		flags[p] = isRel(it)
+	}
+	return &ListEval{ranked: flags, numRel: numRel, numCand: len(ranked)}
+}
+
+// AtK returns the cutoff measures at k.
+func (l *ListEval) AtK(k int) KMetrics {
+	if k <= 0 {
+		return KMetrics{K: k}
+	}
+	lim := k
+	if lim > len(l.ranked) {
+		lim = len(l.ranked)
+	}
+	hits := 0
+	dcg := 0.0
+	for p := 0; p < lim; p++ {
+		if l.ranked[p] {
+			hits++
+			dcg += 1 / math.Log2(float64(p)+2)
+		}
+	}
+	m := KMetrics{K: k}
+	m.Prec = float64(hits) / float64(k)
+	if l.numRel > 0 {
+		m.Recall = float64(hits) / float64(l.numRel)
+	}
+	if m.Prec+m.Recall > 0 {
+		m.F1 = 2 * m.Prec * m.Recall / (m.Prec + m.Recall)
+	}
+	if hits > 0 {
+		m.OneCall = 1
+	}
+	// Ideal DCG places min(numRel, k) relevant items at the top.
+	ideal := l.numRel
+	if ideal > k {
+		ideal = k
+	}
+	var idcg float64
+	for p := 0; p < ideal; p++ {
+		idcg += 1 / math.Log2(float64(p)+2)
+	}
+	if idcg > 0 {
+		m.NDCG = dcg / idcg
+	}
+	return m
+}
+
+// AP returns average precision over the full candidate list: the mean, over
+// relevant items, of precision at each relevant item's position (Eq. 8's
+// exact, unsmoothed form). Relevant items missing from the candidate list
+// contribute zero.
+func (l *ListEval) AP() float64 {
+	if l.numRel == 0 {
+		return 0
+	}
+	hits := 0
+	var sum float64
+	for p, rel := range l.ranked {
+		if rel {
+			hits++
+			sum += float64(hits) / float64(p+1)
+		}
+	}
+	return sum / float64(l.numRel)
+}
+
+// RR returns the reciprocal rank of the first relevant item (Eq. 5's exact
+// form), or 0 when none is present.
+func (l *ListEval) RR() float64 {
+	for p, rel := range l.ranked {
+		if rel {
+			return 1 / float64(p+1)
+		}
+	}
+	return 0
+}
+
+// AUC returns the exact pairwise AUC of Eq. 1: the fraction of
+// (relevant, irrelevant) candidate pairs the ranking orders correctly.
+// Users with no relevant or no irrelevant candidates yield 0.
+func (l *ListEval) AUC() float64 {
+	numPos := 0
+	for _, rel := range l.ranked {
+		if rel {
+			numPos++
+		}
+	}
+	numNeg := l.numCand - numPos
+	if numPos == 0 || numNeg == 0 {
+		return 0
+	}
+	// Walking in rank order: a relevant item at position p with r relevant
+	// items above it has (p − r) irrelevant items above it, i.e. it beats
+	// numNeg − (p − r) of the irrelevant items.
+	var correct float64
+	seen := 0
+	for p, rel := range l.ranked {
+		if rel {
+			correct += float64(numNeg - (p - seen))
+			seen++
+		}
+	}
+	return correct / (float64(numPos) * float64(numNeg))
+}

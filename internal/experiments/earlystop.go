@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clapf/internal/core"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// EarlyStopConfig tunes TrainWithEarlyStopping. The paper selects its
+// iteration count T from a grid by validation NDCG@5 (§6.3); early
+// stopping is the streaming version of the same protocol — train in
+// chunks, watch the validation metric, keep the best snapshot, and stop
+// once it has not improved for Patience consecutive checks.
+type EarlyStopConfig struct {
+	// CheckEvery is the number of SGD steps between validation checks.
+	CheckEvery int
+	// Patience is the number of consecutive non-improving checks tolerated
+	// before stopping.
+	Patience int
+	// MaxSteps bounds total training regardless of the metric.
+	MaxSteps int
+	// EvalMaxUsers caps the users scored per check (0 = all).
+	EvalMaxUsers int
+	Seed         uint64
+}
+
+// Validate reports the first problem with the configuration.
+func (c EarlyStopConfig) Validate() error {
+	switch {
+	case c.CheckEvery <= 0:
+		return fmt.Errorf("experiments: CheckEvery = %d, want > 0", c.CheckEvery)
+	case c.Patience < 1:
+		return fmt.Errorf("experiments: Patience = %d, want >= 1", c.Patience)
+	case c.MaxSteps <= 0:
+		return fmt.Errorf("experiments: MaxSteps = %d, want > 0", c.MaxSteps)
+	}
+	return nil
+}
+
+// EarlyStopResult reports what TrainWithEarlyStopping did.
+type EarlyStopResult struct {
+	// Best is the snapshot with the highest validation NDCG@5.
+	Best *mf.Model
+	// BestScore is that snapshot's validation NDCG@5.
+	BestScore float64
+	// BestStep is the step count at which Best was taken.
+	BestStep int
+	// StepsRun is the total steps actually trained.
+	StepsRun int
+	// Stopped reports whether patience ran out (false = hit MaxSteps).
+	Stopped bool
+}
+
+// TrainWithEarlyStopping trains a CLAPF model in chunks, checkpointing on
+// validation NDCG@5. The trainer's own Steps field is ignored; esCfg
+// governs the budget.
+func TrainWithEarlyStopping(trainerCfg core.Config, train *dataset.Dataset,
+	validation []dataset.Interaction, esCfg EarlyStopConfig) (EarlyStopResult, error) {
+
+	if err := esCfg.Validate(); err != nil {
+		return EarlyStopResult{}, err
+	}
+	if len(validation) == 0 {
+		return EarlyStopResult{}, fmt.Errorf("experiments: empty validation set")
+	}
+	vb := dataset.NewBuilder(train.Name(), train.NumUsers(), train.NumItems())
+	for _, v := range validation {
+		if err := vb.Add(v.User, v.Item); err != nil {
+			return EarlyStopResult{}, err
+		}
+	}
+	valSet := vb.Build()
+
+	trainerCfg.Steps = esCfg.MaxSteps
+	tr, err := core.NewTrainer(trainerCfg, train)
+	if err != nil {
+		return EarlyStopResult{}, err
+	}
+
+	res := EarlyStopResult{BestScore: -1}
+	badChecks := 0
+	for tr.StepsDone() < esCfg.MaxSteps {
+		chunk := esCfg.CheckEvery
+		if rem := esCfg.MaxSteps - tr.StepsDone(); chunk > rem {
+			chunk = rem
+		}
+		tr.RunSteps(chunk)
+		score := eval.Evaluate(tr.Model(), train, valSet, eval.Options{
+			Ks:       []int{5},
+			MaxUsers: esCfg.EvalMaxUsers,
+			RNG:      mathx.NewRNG(esCfg.Seed),
+		}).MustAt(5).NDCG
+		if score > res.BestScore {
+			res.Best = tr.Model().Clone()
+			res.BestScore = score
+			res.BestStep = tr.StepsDone()
+			badChecks = 0
+		} else {
+			badChecks++
+			if badChecks >= esCfg.Patience {
+				res.Stopped = true
+				break
+			}
+		}
+	}
+	res.StepsRun = tr.StepsDone()
+	if res.Best == nil {
+		// Every check scored zero (e.g. degenerate validation) — return
+		// the final model rather than nothing.
+		res.Best = tr.Model().Clone()
+		res.BestStep = tr.StepsDone()
+	}
+	return res, nil
+}

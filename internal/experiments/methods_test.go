@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"testing"
+
+	"clapf/internal/core"
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/sampling"
+)
+
+// TestAllThirteenMethodsBuild fits every Table 2 method on a tiny world —
+// the integration smoke test that the whole model zoo trains and scores
+// through one interface.
+func TestAllThirteenMethodsBuild(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "all", Users: 40, Items: 60, Pairs: 800,
+		ZipfExp: 0.7, Dim: 4, Affinity: 5,
+	}, mathx.NewRNG(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := dataset.Split(w.Data, mathx.NewRNG(52), 0.5)
+
+	budget := BudgetConfig{
+		EpochEquivalents: 2,
+		CLiMFEpochs:      1,
+		NeuralEpochs:     1,
+		WMFSweeps:        1,
+		RandomWalkWalks:  5,
+	}
+	out := make([]float64, train.NumItems())
+	for _, m := range Table2Methods("ML100K", budget) {
+		scorer, err := m.Build(train, 1)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", m.Name, err)
+		}
+		scorer.ScoreAll(0, out)
+		for i, v := range out {
+			if v != v { // NaN check
+				t.Fatalf("%s: NaN score at item %d", m.Name, i)
+			}
+		}
+	}
+}
+
+// TestBudgetAffectsSteps verifies EpochEquivalents actually scales work:
+// a bigger budget must change the resulting model.
+func TestBudgetAffectsSteps(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "bud", Users: 30, Items: 50, Pairs: 500,
+		ZipfExp: 0.7, Dim: 4, Affinity: 5,
+	}, mathx.NewRNG(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := w.Data
+
+	buildBPR := func(epochs int) float64 {
+		budget := DefaultBudget()
+		budget.EpochEquivalents = epochs
+		methods := Table2Methods("ML100K", budget)
+		var bpr Method
+		for _, m := range methods {
+			if m.Name == "BPR" {
+				bpr = m
+			}
+		}
+		scorer, err := bpr.Build(train, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, train.NumItems())
+		scorer.ScoreAll(0, out)
+		return mathx.Sum(out)
+	}
+	if buildBPR(1) == buildBPR(20) {
+		t.Error("budget had no effect on BPR training")
+	}
+}
+
+// TestTuneLambda runs the validation-based model selection on a tiny world
+// and checks it returns a grid value with a sane score.
+func TestTuneLambda(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "tune", Users: 60, Items: 100, Pairs: 1800,
+		ZipfExp: 0.6, Dim: 4, Affinity: 6,
+	}, mathx.NewRNG(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := dataset.Split(w.Data, mathx.NewRNG(56), 0.5)
+	train, validation := dataset.HoldOutValidation(train, mathx.NewRNG(57))
+
+	budget := DefaultBudget()
+	budget.EpochEquivalents = 20
+	lambda, score, err := TuneLambda(train, validation, sampling.MAP, budget, 58, []float64{0, 0.3, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda != 0 && lambda != 0.3 && lambda != 0.9 {
+		t.Errorf("returned λ = %v not in candidate grid", lambda)
+	}
+	if score < 0 || score > 1 {
+		t.Errorf("validation score %v out of range", score)
+	}
+	if _, _, err := TuneLambda(train, nil, sampling.MAP, budget, 1, nil); err == nil {
+		t.Error("empty validation accepted")
+	}
+}
+
+func TestSignificanceVsBaseline(t *testing.T) {
+	rows := []Table2Row{
+		{Method: "BPR", SamplesNDCG5: []float64{0.20, 0.21, 0.19}},
+		{Method: "CLAPF", SamplesNDCG5: []float64{0.25, 0.26, 0.24}},
+		{Method: "Rand", SamplesNDCG5: []float64{0.21, 0.19, 0.21}},
+	}
+	sig, err := SignificanceVsBaseline(rows, "BPR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 2 {
+		t.Fatalf("got %d results", len(sig))
+	}
+	if sig["CLAPF"].P > 0.05 {
+		t.Errorf("consistent +0.05 gap not significant: p = %v", sig["CLAPF"].P)
+	}
+	if sig["Rand"].P < 0.05 {
+		t.Errorf("noise flagged significant: p = %v", sig["Rand"].P)
+	}
+	if _, err := SignificanceVsBaseline(rows, "nope"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+	one := []Table2Row{
+		{Method: "BPR", SamplesNDCG5: []float64{0.2}},
+		{Method: "X", SamplesNDCG5: []float64{0.3}},
+	}
+	if _, err := SignificanceVsBaseline(one, "BPR"); err == nil {
+		t.Error("single replicate accepted")
+	}
+}
+
+func TestTrainWithEarlyStopping(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "es", Users: 80, Items: 140, Pairs: 2500,
+		ZipfExp: 0.6, Dim: 4, Affinity: 6,
+	}, mathx.NewRNG(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := dataset.Split(w.Data, mathx.NewRNG(72), 0.5)
+	train, validation := dataset.HoldOutValidation(train, mathx.NewRNG(73))
+
+	cfg := core.DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Dim = 6
+	cfg.Seed = 74
+	es := EarlyStopConfig{
+		CheckEvery:   5 * train.NumPairs(),
+		Patience:     3,
+		MaxSteps:     200 * train.NumPairs(),
+		EvalMaxUsers: 60,
+		Seed:         75,
+	}
+	res, err := TrainWithEarlyStopping(cfg, train, validation, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best model returned")
+	}
+	if res.BestScore < 0 {
+		t.Errorf("best score = %v", res.BestScore)
+	}
+	if res.BestStep > res.StepsRun {
+		t.Errorf("BestStep %d beyond StepsRun %d", res.BestStep, res.StepsRun)
+	}
+	if res.StepsRun > es.MaxSteps {
+		t.Errorf("ran %d steps, budget %d", res.StepsRun, es.MaxSteps)
+	}
+	// With generous budget and small patience, training normally halts
+	// before exhausting the budget.
+	if !res.Stopped && res.StepsRun == es.MaxSteps {
+		t.Log("note: ran to MaxSteps without patience stop (acceptable but unusual)")
+	}
+}
+
+func TestTrainWithEarlyStoppingValidation(t *testing.T) {
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "esv", Users: 20, Items: 40, Pairs: 300, Dim: 3, ZipfExp: 0.7, Affinity: 5,
+	}, mathx.NewRNG(76))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := w.Data
+	cfg := core.DefaultConfig(sampling.MAP, train.NumPairs())
+	good := EarlyStopConfig{CheckEvery: 100, Patience: 1, MaxSteps: 500}
+	if _, err := TrainWithEarlyStopping(cfg, train, nil, good); err == nil {
+		t.Error("empty validation accepted")
+	}
+	val := []dataset.Interaction{{User: 0, Item: 1}}
+	bad := []EarlyStopConfig{
+		{CheckEvery: 0, Patience: 1, MaxSteps: 10},
+		{CheckEvery: 10, Patience: 0, MaxSteps: 10},
+		{CheckEvery: 10, Patience: 1, MaxSteps: 0},
+	}
+	for i, es := range bad {
+		if _, err := TrainWithEarlyStopping(cfg, train, val, es); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"clapf/internal/dataset"
+)
+
+// RenderTable1 prints dataset statistics in the layout of the paper's
+// Table 1.
+func RenderTable1(w io.Writer, stats []dataset.Stats) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tn\tm\tP\tPte\tdensity")
+	for _, s := range stats {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.2f%%\n",
+			s.Name, s.Users, s.Items, s.TrainPairs, s.TestPairs, 100*s.Density)
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 prints the method-comparison table in the layout of the
+// paper's Table 2, marking the best value per column with a trailing '*'.
+func RenderTable2(w io.Writer, datasetName string, rows []Table2Row) error {
+	best := bestPerColumn(rows)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "[%s]\n", datasetName)
+	fmt.Fprintln(tw, "Method\tPrec@5\tRecall@5\tF1@5\t1-call@5\tNDCG@5\tMAP\tMRR\tAUC\ttime")
+	for i, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Method,
+			mark(r.Prec5, best[0] == i),
+			mark(r.Recall5, best[1] == i),
+			mark(r.F15, best[2] == i),
+			mark(r.OneCall, best[3] == i),
+			mark(r.NDCG5, best[4] == i),
+			mark(r.MAP, best[5] == i),
+			mark(r.MRR, best[6] == i),
+			mark(r.AUC, best[7] == i),
+			r.Train.Round(1e6).String(),
+		)
+	}
+	return tw.Flush()
+}
+
+func mark(m MeanStd, isBest bool) string {
+	s := m.String()
+	if isBest {
+		return s + "*"
+	}
+	return s
+}
+
+// bestPerColumn returns, for each metric column, the row index holding the
+// maximal mean.
+func bestPerColumn(rows []Table2Row) [8]int {
+	var best [8]int
+	get := func(r Table2Row) [8]float64 {
+		return [8]float64{
+			r.Prec5.Mean, r.Recall5.Mean, r.F15.Mean, r.OneCall.Mean,
+			r.NDCG5.Mean, r.MAP.Mean, r.MRR.Mean, r.AUC.Mean,
+		}
+	}
+	for i, r := range rows {
+		vals := get(r)
+		for c := range best {
+			if vals[c] > get(rows[best[c]])[c] {
+				best[c] = i
+			}
+		}
+	}
+	return best
+}
+
+// RenderTopKCurves prints the Figure 2 series: one block per metric with a
+// row per method and a column per k.
+func RenderTopKCurves(w io.Writer, datasetName string, curves []TopKCurve) error {
+	if len(curves) == 0 {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "[%s] Recall@k\n", datasetName)
+	header := "Method"
+	for _, k := range curves[0].Ks {
+		header += fmt.Sprintf("\tk=%d", k)
+	}
+	fmt.Fprintln(tw, header)
+	for _, c := range curves {
+		fmt.Fprint(tw, c.Method)
+		for _, v := range c.Recall {
+			fmt.Fprintf(tw, "\t%.4f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "[%s] NDCG@k\n", datasetName)
+	fmt.Fprintln(tw, header)
+	for _, c := range curves {
+		fmt.Fprint(tw, c.Method)
+		for _, v := range c.NDCG {
+			fmt.Fprintf(tw, "\t%.4f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderLambdaSweep prints the Figure 3 sweep for one variant.
+func RenderLambdaSweep(w io.Writer, datasetName, variant string, points []LambdaPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "[%s] CLAPF-%s λ sweep (λ=0 is BPR)\n", datasetName, variant)
+	fmt.Fprintln(tw, "λ\tPrec@5\tRecall@5\tF1@5\tNDCG@5\tMAP\tMRR")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.1f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			p.Lambda, p.Prec5, p.Recall5, p.F15, p.NDCG5, p.MAP, p.MRR)
+	}
+	return tw.Flush()
+}
+
+// RenderConvergence prints the Figure 4 traces: one row per checkpoint,
+// one column per sampler.
+func RenderConvergence(w io.Writer, datasetName string, traces []ConvergenceTrace) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "[%s] test MAP vs training step\n", datasetName)
+	header := "step"
+	for _, tr := range traces {
+		header += "\t" + tr.Sampler.String()
+	}
+	fmt.Fprintln(tw, header)
+	for c := range traces[0].Steps {
+		fmt.Fprintf(tw, "%d", traces[0].Steps[c])
+		for _, tr := range traces {
+			fmt.Fprintf(tw, "\t%.4f", tr.MAP[c])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// CSVLambdaSweep renders Figure 3 data as CSV for external plotting.
+func CSVLambdaSweep(points []LambdaPoint) string {
+	var b strings.Builder
+	b.WriteString("lambda,prec5,recall5,f15,ndcg5,map,mrr\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.1f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			p.Lambda, p.Prec5, p.Recall5, p.F15, p.NDCG5, p.MAP, p.MRR)
+	}
+	return b.String()
+}
+
+// CSVConvergence renders Figure 4 data as CSV for external plotting.
+func CSVConvergence(traces []ConvergenceTrace) string {
+	var b strings.Builder
+	b.WriteString("step")
+	for _, tr := range traces {
+		fmt.Fprintf(&b, ",%s", tr.Sampler)
+	}
+	b.WriteString("\n")
+	if len(traces) == 0 {
+		return b.String()
+	}
+	for c := range traces[0].Steps {
+		fmt.Fprintf(&b, "%d", traces[0].Steps[c])
+		for _, tr := range traces {
+			fmt.Fprintf(&b, ",%.6f", tr.MAP[c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSVTable2 renders Table 2 rows as CSV (means only; std in ±-form is for
+// the text renderer).
+func CSVTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("method,prec5,recall5,f15,onecall5,ndcg5,map,mrr,auc,train_ms\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d\n",
+			r.Method, r.Prec5.Mean, r.Recall5.Mean, r.F15.Mean, r.OneCall.Mean,
+			r.NDCG5.Mean, r.MAP.Mean, r.MRR.Mean, r.AUC.Mean, r.Train.Milliseconds())
+	}
+	return b.String()
+}
+
+// CSVTopKCurves renders Figure 2 data as CSV: one row per (method, k).
+func CSVTopKCurves(curves []TopKCurve) string {
+	var b strings.Builder
+	b.WriteString("method,k,recall,ndcg\n")
+	for _, c := range curves {
+		for i, k := range c.Ks {
+			fmt.Fprintf(&b, "%s,%d,%.6f,%.6f\n", c.Method, k, c.Recall[i], c.NDCG[i])
+		}
+	}
+	return b.String()
+}

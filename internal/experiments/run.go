@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"clapf/internal/core"
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+	"clapf/internal/sampling"
+)
+
+// Setup fixes the data side of an experiment: which corpus profile, how far
+// it is scaled down, how many replicate splits, and the evaluation cutoffs.
+type Setup struct {
+	Profile    datagen.Profile
+	Scale      float64 // 0 or 1 = full size
+	Replicates int     // the paper averages five train/test copies
+	Seed       uint64
+	Ks         []int
+	// EvalMaxUsers caps evaluated users per replicate (0 = all); large
+	// profiles need it to keep wall-clock sane on one core.
+	EvalMaxUsers int
+	Budget       BudgetConfig
+}
+
+// DefaultSetup returns the benchmark setup for a named Table 1 profile at
+// the given scale.
+func DefaultSetup(profileName string, scale float64) (Setup, error) {
+	p, err := datagen.ProfileByName(profileName)
+	if err != nil {
+		return Setup{}, err
+	}
+	return Setup{
+		Profile:      p,
+		Scale:        scale,
+		Replicates:   3,
+		Seed:         1,
+		Ks:           eval.DefaultKs,
+		EvalMaxUsers: 500,
+		Budget:       DefaultBudget(),
+	}, nil
+}
+
+// Replicate is one generated world with its train/validation/test split.
+type Replicate struct {
+	World      *datagen.World
+	Train      *dataset.Dataset
+	Test       *dataset.Dataset
+	Validation []dataset.Interaction
+}
+
+// MakeReplicates generates the data once and splits it Replicates times
+// with different split seeds — the paper's five-copy protocol.
+func MakeReplicates(s Setup) ([]Replicate, error) {
+	if s.Replicates < 1 {
+		return nil, fmt.Errorf("experiments: Replicates = %d, want >= 1", s.Replicates)
+	}
+	profile := s.Profile.Scaled(s.Scale)
+	world, err := datagen.Generate(profile, mathx.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]Replicate, s.Replicates)
+	for r := range reps {
+		splitRNG := mathx.NewRNG(s.Seed + 1000*uint64(r+1))
+		train, test := dataset.Split(world.Data, splitRNG, 0.5)
+		train, validation := dataset.HoldOutValidation(train, splitRNG)
+		reps[r] = Replicate{World: world, Train: train, Test: test, Validation: validation}
+	}
+	return reps, nil
+}
+
+// MeanStd aggregates a metric over replicates.
+type MeanStd struct {
+	Mean float64
+	Std  float64
+}
+
+func (m MeanStd) String() string { return fmt.Sprintf("%.3f±%.3f", m.Mean, m.Std) }
+
+// Table2Row is one method's aggregated Table 2 line: Prec@5, Recall@5,
+// F1@5, 1-call@5, NDCG@5, MAP, MRR, and mean train time.
+type Table2Row struct {
+	Method  string
+	Prec5   MeanStd
+	Recall5 MeanStd
+	F15     MeanStd
+	OneCall MeanStd
+	NDCG5   MeanStd
+	MAP     MeanStd
+	MRR     MeanStd
+	AUC     MeanStd
+	Train   time.Duration
+	// SamplesNDCG5 holds the per-replicate NDCG@5 values (replicate order),
+	// the paired observations significance tests run on.
+	SamplesNDCG5 []float64
+}
+
+// TopKCurve is one method's Figure 2 series: Recall@k and NDCG@k over the
+// k sweep.
+type TopKCurve struct {
+	Method string
+	Ks     []int
+	Recall []float64
+	NDCG   []float64
+}
+
+// RunComparison trains every method on every replicate and aggregates —
+// the single pass that yields both Table 2 (the @5 row + MAP/MRR + time)
+// and Figure 2 (the full k sweep).
+func RunComparison(s Setup, methods []Method) ([]Table2Row, []TopKCurve, error) {
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	ks := s.Ks
+	if len(ks) == 0 {
+		ks = eval.DefaultKs
+	}
+
+	rows := make([]Table2Row, 0, len(methods))
+	curves := make([]TopKCurve, 0, len(methods))
+	for _, method := range methods {
+		agg := newAggregator(ks)
+		var trainTime time.Duration
+		for r, rep := range reps {
+			start := time.Now()
+			scorer, err := method.Build(rep.Train, s.Seed+uint64(100*r)+7)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s replicate %d: %w", method.Name, r, err)
+			}
+			trainTime += time.Since(start)
+			res := eval.Evaluate(scorer, rep.Train, rep.Test, eval.Options{
+				Ks:       ks,
+				MaxUsers: s.EvalMaxUsers,
+				RNG:      mathx.NewRNG(s.Seed + uint64(r)),
+			})
+			agg.add(res)
+		}
+		row, curve := agg.finish(method.Name, ks)
+		row.Train = trainTime / time.Duration(len(reps))
+		rows = append(rows, row)
+		curves = append(curves, curve)
+	}
+	return rows, curves, nil
+}
+
+// aggregator accumulates per-replicate results.
+type aggregator struct {
+	prec5, recall5, f15, onecall5, ndcg5 mathx.OnlineStats
+	mapS, mrrS, aucS                     mathx.OnlineStats
+	recallK, ndcgK                       []mathx.OnlineStats
+	ndcg5Samples                         []float64
+}
+
+func newAggregator(ks []int) *aggregator {
+	return &aggregator{
+		recallK: make([]mathx.OnlineStats, len(ks)),
+		ndcgK:   make([]mathx.OnlineStats, len(ks)),
+	}
+}
+
+func (a *aggregator) add(res eval.Result) {
+	m5, err := res.At(5)
+	if err == nil {
+		a.prec5.Add(m5.Prec)
+		a.recall5.Add(m5.Recall)
+		a.f15.Add(m5.F1)
+		a.onecall5.Add(m5.OneCall)
+		a.ndcg5.Add(m5.NDCG)
+		a.ndcg5Samples = append(a.ndcg5Samples, m5.NDCG)
+	}
+	a.mapS.Add(res.MAP)
+	a.mrrS.Add(res.MRR)
+	a.aucS.Add(res.AUC)
+	for i, m := range res.AtK {
+		a.recallK[i].Add(m.Recall)
+		a.ndcgK[i].Add(m.NDCG)
+	}
+}
+
+func ms(o mathx.OnlineStats) MeanStd { return MeanStd{Mean: o.Mean(), Std: o.StdDev()} }
+
+func (a *aggregator) finish(name string, ks []int) (Table2Row, TopKCurve) {
+	row := Table2Row{
+		Method:       name,
+		Prec5:        ms(a.prec5),
+		Recall5:      ms(a.recall5),
+		F15:          ms(a.f15),
+		OneCall:      ms(a.onecall5),
+		NDCG5:        ms(a.ndcg5),
+		MAP:          ms(a.mapS),
+		MRR:          ms(a.mrrS),
+		AUC:          ms(a.aucS),
+		SamplesNDCG5: a.ndcg5Samples,
+	}
+	curve := TopKCurve{Method: name, Ks: ks}
+	for i := range ks {
+		curve.Recall = append(curve.Recall, a.recallK[i].Mean())
+		curve.NDCG = append(curve.NDCG, a.ndcgK[i].Mean())
+	}
+	return row, curve
+}
+
+// LambdaPoint is one Figure 3 measurement.
+type LambdaPoint struct {
+	Lambda  float64
+	Prec5   float64
+	Recall5 float64
+	F15     float64
+	NDCG5   float64
+	MAP     float64
+	MRR     float64
+}
+
+// RunLambdaSweep reproduces Figure 3 for one CLAPF variant: λ from 0 to 1
+// in steps of 0.1 (λ = 0 is exactly BPR; λ = 1 drops the pairwise term).
+func RunLambdaSweep(s Setup, variant sampling.Objective) ([]LambdaPoint, error) {
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		return nil, err
+	}
+	var points []LambdaPoint
+	for tick := 0; tick <= 10; tick++ {
+		lambda := float64(tick) / 10
+		var p5, r5, f5, n5, mp, mr mathx.OnlineStats
+		for r, rep := range reps {
+			cfg := core.DefaultConfig(variant, rep.Train.NumPairs())
+			cfg.Lambda = lambda
+			cfg.Steps = s.Budget.EpochEquivalents * rep.Train.NumPairs()
+			cfg.Seed = s.Seed + uint64(100*r) + 13
+			tr, err := core.NewTrainer(cfg, rep.Train)
+			if err != nil {
+				return nil, err
+			}
+			tr.Run()
+			res := eval.Evaluate(tr.Model(), rep.Train, rep.Test, eval.Options{
+				Ks:       []int{5},
+				MaxUsers: s.EvalMaxUsers,
+				RNG:      mathx.NewRNG(s.Seed + uint64(r)),
+			})
+			m5 := res.MustAt(5)
+			p5.Add(m5.Prec)
+			r5.Add(m5.Recall)
+			f5.Add(m5.F1)
+			n5.Add(m5.NDCG)
+			mp.Add(res.MAP)
+			mr.Add(res.MRR)
+		}
+		points = append(points, LambdaPoint{
+			Lambda: lambda,
+			Prec5:  p5.Mean(), Recall5: r5.Mean(), F15: f5.Mean(),
+			NDCG5: n5.Mean(), MAP: mp.Mean(), MRR: mr.Mean(),
+		})
+	}
+	return points, nil
+}
+
+// ConvergenceTrace is one Figure 4 series: test MAP sampled along training
+// for one sampler.
+type ConvergenceTrace struct {
+	Sampler sampling.Strategy
+	Steps   []int
+	MAP     []float64
+}
+
+// RunConvergence reproduces Figure 4: CLAPF trained under each sampling
+// strategy, with test MAP recorded every checkpoint.
+func RunConvergence(s Setup, variant sampling.Objective, checkpoints int) ([]ConvergenceTrace, error) {
+	if checkpoints < 2 {
+		return nil, fmt.Errorf("experiments: checkpoints = %d, want >= 2", checkpoints)
+	}
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		return nil, err
+	}
+	rep := reps[0] // convergence curves use a single split, as in the paper
+	totalSteps := s.Budget.EpochEquivalents * rep.Train.NumPairs()
+	// Quadratic checkpoint spacing: sampler differences matter most early
+	// in training (Fig. 4's observation), so spend resolution there.
+	marks := make([]int, checkpoints)
+	for c := 1; c <= checkpoints; c++ {
+		frac := float64(c) / float64(checkpoints)
+		marks[c-1] = int(frac * frac * float64(totalSteps))
+	}
+
+	strategies := []sampling.Strategy{
+		sampling.Uniform, sampling.PositiveOnly, sampling.NegativeOnly, sampling.DSS,
+	}
+	var traces []ConvergenceTrace
+	for _, strat := range strategies {
+		cfg := core.DefaultConfig(variant, rep.Train.NumPairs())
+		cfg.Lambda = LambdaFor(s.Profile.Name, variant)
+		cfg.Steps = totalSteps
+		cfg.Sampler.Strategy = strat
+		cfg.Seed = s.Seed + 31
+		tr, err := core.NewTrainer(cfg, rep.Train)
+		if err != nil {
+			return nil, err
+		}
+		trace := ConvergenceTrace{Sampler: strat}
+		for _, mark := range marks {
+			tr.RunSteps(mark - tr.StepsDone())
+			res := eval.Evaluate(tr.Model(), rep.Train, rep.Test, eval.Options{
+				Ks:       []int{5},
+				MaxUsers: s.EvalMaxUsers,
+				RNG:      mathx.NewRNG(s.Seed),
+			})
+			trace.Steps = append(trace.Steps, mark)
+			trace.MAP = append(trace.MAP, res.MAP)
+		}
+		traces = append(traces, trace)
+	}
+	return traces, nil
+}
+
+// Table1Stats reproduces Table 1 for the given profiles at a scale.
+func Table1Stats(profiles []datagen.Profile, scale float64, seed uint64) ([]dataset.Stats, error) {
+	var stats []dataset.Stats
+	for _, p := range profiles {
+		world, err := datagen.Generate(p.Scaled(scale), mathx.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		train, test := dataset.Split(world.Data, mathx.NewRNG(seed+1), 0.5)
+		stats = append(stats, dataset.TableStats(train, test))
+	}
+	return stats, nil
+}

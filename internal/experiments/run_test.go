@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/sampling"
+)
+
+// tinySetup is small enough for unit tests yet learnable.
+func tinySetup() Setup {
+	return Setup{
+		Profile: datagen.Profile{
+			Name: "ML100K", Users: 100, Items: 180, Pairs: 4000,
+			ZipfExp: 0.6, Dim: 5, Affinity: 6,
+		},
+		Scale:        1,
+		Replicates:   2,
+		Seed:         9,
+		Ks:           []int{3, 5},
+		EvalMaxUsers: 60,
+		Budget: BudgetConfig{
+			EpochEquivalents: 40,
+			CLiMFEpochs:      5,
+			NeuralEpochs:     2,
+			WMFSweeps:        4,
+			RandomWalkWalks:  50,
+		},
+	}
+}
+
+func TestMakeReplicates(t *testing.T) {
+	s := tinySetup()
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d replicates", len(reps))
+	}
+	// Replicates share the world but differ in the split.
+	if reps[0].World != reps[1].World {
+		t.Error("replicates regenerated the world")
+	}
+	if reps[0].Train.NumPairs() == 0 || reps[0].Test.NumPairs() == 0 {
+		t.Error("empty split")
+	}
+	if len(reps[0].Validation) == 0 {
+		t.Error("no validation pairs held out")
+	}
+	if reps[0].Train.NumPairs() == reps[1].Train.NumPairs() {
+		// Different split seeds almost surely differ in size.
+		t.Log("warning: replicate splits identical in size (possible but unlikely)")
+	}
+	// Validation pairs must not be in the reduced training set.
+	for _, v := range reps[0].Validation[:10] {
+		if reps[0].Train.IsPositive(v.User, v.Item) {
+			t.Fatal("validation pair leaked into training")
+		}
+	}
+	if _, err := MakeReplicates(Setup{Profile: s.Profile, Replicates: 0}); err == nil {
+		t.Error("zero replicates accepted")
+	}
+}
+
+func TestLambdaFor(t *testing.T) {
+	if LambdaFor("ML100K", sampling.MAP) != 0.4 {
+		t.Error("ML100K MAP λ wrong")
+	}
+	if LambdaFor("ML1M", sampling.MRR) != 0.8 {
+		t.Error("ML1M MRR λ wrong")
+	}
+	if LambdaFor("unknown", sampling.MAP) != 0.3 {
+		t.Error("fallback λ wrong")
+	}
+}
+
+func TestRunComparisonSubset(t *testing.T) {
+	s := tinySetup()
+	// A subset keeps the unit test fast; the full 13-method run is
+	// exercised by the bench harness.
+	methods := Table2Methods(s.Profile.Name, s.Budget)
+	var subset []Method
+	for _, m := range methods {
+		switch {
+		case m.Name == "PopRank" || m.Name == "BPR" ||
+			strings.HasPrefix(m.Name, "CLAPF(") && strings.HasSuffix(m.Name, "-MAP"):
+			subset = append(subset, m)
+		}
+	}
+	if len(subset) != 3 {
+		t.Fatalf("subset has %d methods, want 3", len(subset))
+	}
+	rows, curves, err := RunComparison(s, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(curves) != 3 {
+		t.Fatalf("got %d rows, %d curves", len(rows), len(curves))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	pop := byName["PopRank"]
+	var clapf Table2Row
+	for n, r := range byName {
+		if strings.HasPrefix(n, "CLAPF(") {
+			clapf = r
+		}
+	}
+	// The paper's headline: CLAPF beats the non-personalized floor by a
+	// wide margin on ranking metrics.
+	if clapf.MAP.Mean <= pop.MAP.Mean {
+		t.Errorf("CLAPF MAP %.4f not above PopRank %.4f", clapf.MAP.Mean, pop.MAP.Mean)
+	}
+	if clapf.NDCG5.Mean <= pop.NDCG5.Mean {
+		t.Errorf("CLAPF NDCG@5 %.4f not above PopRank %.4f", clapf.NDCG5.Mean, pop.NDCG5.Mean)
+	}
+	// Curves carry both requested ks.
+	for _, c := range curves {
+		if len(c.Ks) != 2 || len(c.Recall) != 2 || len(c.NDCG) != 2 {
+			t.Fatalf("curve %s malformed: %+v", c.Method, c)
+		}
+		// Recall@5 >= Recall@3.
+		if c.Recall[1]+1e-9 < c.Recall[0] {
+			t.Errorf("%s recall not monotone in k", c.Method)
+		}
+	}
+}
+
+func TestRunLambdaSweepShape(t *testing.T) {
+	s := tinySetup()
+	s.Replicates = 1
+	s.Budget.EpochEquivalents = 8
+	points, err := RunLambdaSweep(s, sampling.MAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 11 {
+		t.Fatalf("got %d λ points, want 11", len(points))
+	}
+	if points[0].Lambda != 0 || points[10].Lambda != 1 {
+		t.Errorf("λ endpoints wrong: %v, %v", points[0].Lambda, points[10].Lambda)
+	}
+	// Every metric must be a sane probability-like value.
+	for _, p := range points {
+		for _, v := range []float64{p.Prec5, p.Recall5, p.F15, p.NDCG5, p.MAP, p.MRR} {
+			if v < 0 || v > 1 {
+				t.Fatalf("metric out of range at λ=%.1f: %+v", p.Lambda, p)
+			}
+		}
+	}
+}
+
+func TestRunConvergenceShape(t *testing.T) {
+	s := tinySetup()
+	s.Budget.EpochEquivalents = 6
+	traces, err := RunConvergence(s, sampling.MAP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want 4 samplers", len(traces))
+	}
+	names := map[sampling.Strategy]bool{}
+	for _, tr := range traces {
+		names[tr.Sampler] = true
+		if len(tr.Steps) != 4 || len(tr.MAP) != 4 {
+			t.Fatalf("trace %v has %d checkpoints", tr.Sampler, len(tr.Steps))
+		}
+		// MAP at the end should beat the first checkpoint for a learnable
+		// dataset... at minimum it must be finite and in range.
+		for _, v := range tr.MAP {
+			if v < 0 || v > 1 {
+				t.Fatalf("MAP out of range: %v", v)
+			}
+		}
+	}
+	for _, want := range []sampling.Strategy{sampling.Uniform, sampling.DSS, sampling.PositiveOnly, sampling.NegativeOnly} {
+		if !names[want] {
+			t.Errorf("missing trace for %v", want)
+		}
+	}
+	if _, err := RunConvergence(s, sampling.MAP, 1); err == nil {
+		t.Error("single checkpoint accepted")
+	}
+}
+
+func TestTable1StatsAndRender(t *testing.T) {
+	profiles := []datagen.Profile{tinySetup().Profile}
+	stats, err := Table1Stats(profiles, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Users != 100 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ML100K") || !strings.Contains(out, "density") {
+		t.Errorf("Table 1 render missing fields:\n%s", out)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []Table2Row{
+		{Method: "A", MAP: MeanStd{Mean: 0.5, Std: 0.01}, MRR: MeanStd{Mean: 0.3}},
+		{Method: "B", MAP: MeanStd{Mean: 0.7, Std: 0.02}, MRR: MeanStd{Mean: 0.2}},
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, "X", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.700±0.020*") {
+		t.Errorf("best MAP not starred:\n%s", out)
+	}
+	if !strings.Contains(out, "0.300±0.000*") {
+		t.Errorf("best MRR not starred:\n%s", out)
+	}
+
+	curves := []TopKCurve{{Method: "A", Ks: []int{3, 5}, Recall: []float64{0.1, 0.2}, NDCG: []float64{0.3, 0.4}}}
+	buf.Reset()
+	if err := RenderTopKCurves(&buf, "X", curves); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k=5") {
+		t.Error("top-k render missing header")
+	}
+
+	points := []LambdaPoint{{Lambda: 0, MAP: 0.1}, {Lambda: 0.5, MAP: 0.2}}
+	buf.Reset()
+	if err := RenderLambdaSweep(&buf, "X", "MAP", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "λ sweep") {
+		t.Error("λ sweep render missing header")
+	}
+	csv := CSVLambdaSweep(points)
+	if !strings.HasPrefix(csv, "lambda,") || !strings.Contains(csv, "0.5,") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+
+	traces := []ConvergenceTrace{
+		{Sampler: sampling.Uniform, Steps: []int{10, 20}, MAP: []float64{0.1, 0.2}},
+		{Sampler: sampling.DSS, Steps: []int{10, 20}, MAP: []float64{0.15, 0.25}},
+	}
+	buf.Reset()
+	if err := RenderConvergence(&buf, "X", traces); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DSS") {
+		t.Error("convergence render missing sampler")
+	}
+	ccsv := CSVConvergence(traces)
+	if !strings.Contains(ccsv, "step,Uniform,DSS") {
+		t.Errorf("convergence CSV malformed:\n%s", ccsv)
+	}
+}
+
+func TestTable2MethodsComplete(t *testing.T) {
+	methods := Table2Methods("ML100K", DefaultBudget())
+	if len(methods) != 13 {
+		t.Fatalf("got %d methods, want 13 (9 baselines + 4 CLAPF rows)", len(methods))
+	}
+	want := []string{"PopRank", "RandomWalk", "WMF", "BPR", "MPR", "CLiMF", "NeuMF", "NeuPR", "DeepICF"}
+	for i, name := range want {
+		if methods[i].Name != name {
+			t.Errorf("method[%d] = %q, want %q", i, methods[i].Name, name)
+		}
+	}
+	for _, suffix := range []string{"CLAPF(λ=0.4)-MAP", "CLAPF(λ=0.2)-MRR", "CLAPF+(λ=0.4)-MAP", "CLAPF+(λ=0.2)-MRR"} {
+		found := false
+		for _, m := range methods {
+			if m.Name == suffix {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing method %q", suffix)
+		}
+	}
+}
+
+func TestDefaultSetup(t *testing.T) {
+	s, err := DefaultSetup("ml100k", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Profile.Name != "ML100K" || s.Replicates < 1 {
+		t.Errorf("setup = %+v", s)
+	}
+	if _, err := DefaultSetup("nope", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestCSVTable2AndTopK(t *testing.T) {
+	rows := []Table2Row{{Method: "A", MAP: MeanStd{Mean: 0.5}}}
+	csv := CSVTable2(rows)
+	if !strings.Contains(csv, "method,prec5") || !strings.Contains(csv, "A,") {
+		t.Errorf("CSVTable2 malformed:\n%s", csv)
+	}
+	curves := []TopKCurve{{Method: "A", Ks: []int{3, 5}, Recall: []float64{0.1, 0.2}, NDCG: []float64{0.3, 0.4}}}
+	ccsv := CSVTopKCurves(curves)
+	if !strings.Contains(ccsv, "A,5,0.200000,0.400000") {
+		t.Errorf("CSVTopKCurves malformed:\n%s", ccsv)
+	}
+}

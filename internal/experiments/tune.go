@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clapf/internal/core"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+	"clapf/internal/sampling"
+)
+
+// TuneLambda implements the paper's model-selection protocol (§6.3): train
+// CLAPF at each candidate λ on the reduced training split and pick the
+// value maximizing NDCG@5 on the held-out validation pairs. It returns the
+// winning λ and its validation score.
+//
+// candidates may be nil, defaulting to the paper's grid {0.0, 0.1, …, 1.0}.
+func TuneLambda(train *dataset.Dataset, validation []dataset.Interaction,
+	variant sampling.Objective, budget BudgetConfig, seed uint64,
+	candidates []float64) (float64, float64, error) {
+
+	if len(validation) == 0 {
+		return 0, 0, fmt.Errorf("experiments: empty validation set")
+	}
+	if candidates == nil {
+		for tick := 0; tick <= 10; tick++ {
+			candidates = append(candidates, float64(tick)/10)
+		}
+	}
+	// The validation pairs become a one-pair-per-user "test" dataset.
+	vb := dataset.NewBuilder(train.Name(), train.NumUsers(), train.NumItems())
+	for _, v := range validation {
+		if err := vb.Add(v.User, v.Item); err != nil {
+			return 0, 0, err
+		}
+	}
+	valSet := vb.Build()
+
+	bestLambda, bestScore := candidates[0], -1.0
+	for _, lambda := range candidates {
+		cfg := core.DefaultConfig(variant, train.NumPairs())
+		cfg.Lambda = lambda
+		cfg.Steps = budget.EpochEquivalents * train.NumPairs()
+		cfg.Seed = seed
+		tr, err := core.NewTrainer(cfg, train)
+		if err != nil {
+			return 0, 0, err
+		}
+		tr.Run()
+		res := eval.Evaluate(tr.Model(), train, valSet, eval.Options{
+			Ks:       []int{5},
+			MaxUsers: 300,
+			RNG:      mathx.NewRNG(seed),
+		})
+		if score := res.MustAt(5).NDCG; score > bestScore {
+			bestLambda, bestScore = lambda, score
+		}
+	}
+	return bestLambda, bestScore, nil
+}
+
+// SignificanceVsBaseline runs a paired t-test of every method's
+// per-replicate NDCG@5 against the named baseline's (same splits, so the
+// observations pair naturally — the paper's five-copy protocol is exactly
+// this design). It returns one result per non-baseline method and requires
+// at least two replicates.
+func SignificanceVsBaseline(rows []Table2Row, baseline string) (map[string]mathx.TTestResult, error) {
+	var ref []float64
+	for _, r := range rows {
+		if r.Method == baseline {
+			ref = r.SamplesNDCG5
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("experiments: baseline %q not among rows", baseline)
+	}
+	if len(ref) < 2 {
+		return nil, fmt.Errorf("experiments: significance needs >= 2 replicates, got %d", len(ref))
+	}
+	out := make(map[string]mathx.TTestResult, len(rows)-1)
+	for _, r := range rows {
+		if r.Method == baseline {
+			continue
+		}
+		res, err := mathx.PairedTTest(r.SamplesNDCG5, ref)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s vs %s: %w", r.Method, baseline, err)
+		}
+		out[r.Method] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// repository needs — chiefly Cholesky factorization for the d×d normal
+// equations solved inside WMF's alternating least squares (d ≈ 20, so
+// simple dense routines beat anything clever).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // N×N, row-major
+}
+
+// NewMatrix allocates an N×N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Copy returns a deep copy.
+func (m *Matrix) Copy() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// AddDiagonal adds v to every diagonal element (ridge term).
+func (m *Matrix) AddDiagonal(v float64) {
+	for i := 0; i < m.N; i++ {
+		m.Data[i*m.N+i] += v
+	}
+}
+
+// SymRankOne accumulates alpha·x·xᵀ into m (x must have length N). Only
+// usable on symmetric accumulations, which is all WMF needs.
+func (m *Matrix) SymRankOne(alpha float64, x []float64) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		xi := alpha * x[i]
+		row := m.Data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			row[j] += xi * x[j]
+		}
+	}
+}
+
+// Cholesky factors a symmetric positive-definite matrix as L·Lᵀ in place
+// (lower triangle holds L; the upper triangle is left untouched). It
+// returns an error if the matrix is not positive definite within roundoff.
+func Cholesky(a *Matrix) error {
+	n := a.N
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			l := a.At(j, k)
+			d -= l * l
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("linalg: matrix not positive definite at pivot %d (d = %v)", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	return nil
+}
+
+// CholeskySolve solves L·Lᵀ·x = b given the factor produced by Cholesky,
+// writing the solution into x (which may alias b).
+func CholeskySolve(l *Matrix, b, x []float64) {
+	n := l.N
+	if x != nil && &x[0] != &b[0] {
+		copy(x, b)
+	} else {
+		x = b
+	}
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A, leaving A
+// unmodified. It is the one-call entry point WMF uses per user/item.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.N {
+		return nil, fmt.Errorf("linalg: b has length %d, want %d", len(b), a.N)
+	}
+	f := a.Copy()
+	if err := Cholesky(f); err != nil {
+		return nil, err
+	}
+	x := make([]float64, a.N)
+	CholeskySolve(f, b, x)
+	return x, nil
+}
+
+// MatVec computes y = A·x for a square matrix.
+func MatVec(a *Matrix, x []float64) []float64 {
+	n := a.N
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.Data[i*n : i*n+n]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

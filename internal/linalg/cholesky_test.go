@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clapf/internal/mathx"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4, 2], [2, 3]] = L·Lᵀ with L = [[2, 0], [1, √2]].
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(a.At(0, 0), 2, 1e-12) ||
+		!mathx.AlmostEqual(a.At(1, 0), 1, 1e-12) ||
+		!mathx.AlmostEqual(a.At(1, 1), 1.4142135623730951, 1e-12) {
+		t.Errorf("factor = [[%v, ·], [%v, %v]]", a.At(0, 0), a.At(1, 0), a.At(1, 1))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3 and −1
+	if err := Cholesky(a); err == nil {
+		t.Error("indefinite matrix factored without error")
+	}
+}
+
+func TestSolveSPDRoundTrip(t *testing.T) {
+	// Random SPD systems: build A = Mᵀ·M + εI, check A·x ≈ b.
+	rng := mathx.NewRNG(1)
+	f := func(n8 uint8) bool {
+		n := int(n8%10) + 1
+		a := NewMatrix(n)
+		// SymRankOne accumulation of random vectors yields SPD + ridge.
+		for r := 0; r < n+2; r++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			a.SymRankOne(1, x)
+		}
+		a.AddDiagonal(0.5)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a, x)
+		for i := range b {
+			if !mathx.AlmostEqual(ax[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSPDLeavesInputIntact(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	before := append([]float64(nil), a.Data...)
+	if _, err := SolveSPD(a, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if a.Data[i] != before[i] {
+			t.Fatal("SolveSPD mutated its input matrix")
+		}
+	}
+}
+
+func TestSolveSPDBadLength(t *testing.T) {
+	a := NewMatrix(3)
+	a.AddDiagonal(1)
+	if _, err := SolveSPD(a, []float64{1}); err == nil {
+		t.Error("wrong-length b accepted")
+	}
+}
+
+func TestSymRankOne(t *testing.T) {
+	a := NewMatrix(2)
+	a.SymRankOne(2, []float64{1, 3})
+	want := [][]float64{{2, 6}, {6, 18}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if a.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, a.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskySolveIdentity(t *testing.T) {
+	n := 4
+	a := NewMatrix(n)
+	a.AddDiagonal(1)
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4}
+	x := make([]float64, n)
+	CholeskySolve(a, b, x)
+	for i := range b {
+		if !mathx.AlmostEqual(x[i], b[i], 1e-12) {
+			t.Errorf("identity solve x[%d] = %v", i, x[i])
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package mathx provides the numeric substrate shared by every model in
+// this repository: numerically stable logistic functions, a fast
+// deterministic random number generator, vector kernels, and summary
+// statistics.
+//
+// All training code draws randomness exclusively from mathx.RNG so that a
+// single seed reproduces an entire experiment bit-for-bit, and all loss
+// computations go through LogSigmoid, which is stable for arguments of
+// either sign (a naive log(1/(1+exp(-x))) overflows for large |x| and
+// poisons SGD with NaNs).
+package mathx

@@ -1,0 +1,223 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestRNGZeroSeedValid(t *testing.T) {
+	r := NewRNG(0)
+	var allZero = true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var o OnlineStats
+	for i := 0; i < 100000; i++ {
+		o.Add(r.Float64())
+	}
+	if math.Abs(o.Mean()-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ≈ 0.5", o.Mean())
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ≈ %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	var o OnlineStats
+	for i := 0; i < 200000; i++ {
+		o.Add(r.NormFloat64())
+	}
+	if math.Abs(o.Mean()) > 0.01 {
+		t.Errorf("normal mean = %v, want ≈ 0", o.Mean())
+	}
+	if math.Abs(o.StdDev()-1) > 0.01 {
+		t.Errorf("normal stddev = %v, want ≈ 1", o.StdDev())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(19)
+	p := 0.3
+	var o OnlineStats
+	for i := 0; i < 100000; i++ {
+		o.Add(float64(r.Geometric(p)))
+	}
+	want := (1 - p) / p
+	if math.Abs(o.Mean()-want) > 0.05 {
+		t.Errorf("geometric(%v) mean = %v, want ≈ %v", p, o.Mean(), want)
+	}
+}
+
+func TestGeometricCappedInRange(t *testing.T) {
+	r := NewRNG(23)
+	f := func(seed uint8) bool {
+		n := int(seed%50) + 1
+		v := r.GeometricCapped(0.1, n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricCappedHeadHeavy(t *testing.T) {
+	// The truncated geometric must still put more mass on small ranks.
+	r := NewRNG(29)
+	const n = 100
+	counts := make([]int, n)
+	for i := 0; i < 50000; i++ {
+		counts[r.GeometricCapped(0.05, n)]++
+	}
+	if counts[0] <= counts[n/2] {
+		t.Errorf("rank 0 count %d not above rank %d count %d", counts[0], n/2, counts[n/2])
+	}
+}
+
+func TestGeometricCappedTinyP(t *testing.T) {
+	// p so small that nearly every draw exceeds the cap: must still return
+	// a valid rank (uniform fallback) rather than spin.
+	r := NewRNG(31)
+	for i := 0; i < 1000; i++ {
+		v := r.GeometricCapped(1e-12, 10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(37)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent and child streams collided %d/100 times", same)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(41)
+	var o OnlineStats
+	for i := 0; i < 100000; i++ {
+		o.Add(r.ExpFloat64())
+	}
+	if math.Abs(o.Mean()-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ≈ 1", o.Mean())
+	}
+}

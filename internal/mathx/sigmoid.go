@@ -1,0 +1,51 @@
+package mathx
+
+import "math"
+
+// Sigmoid returns the logistic function 1/(1+exp(-x)).
+//
+// The two-branch form never evaluates exp of a large positive argument, so
+// it cannot overflow; for |x| beyond ~36 it saturates smoothly to 0 or 1 in
+// float64.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogSigmoid returns ln(σ(x)) computed without intermediate overflow or
+// catastrophic cancellation.
+//
+// For x ≥ 0: ln σ(x) = -ln(1+exp(-x)); for x < 0: ln σ(x) = x - ln(1+exp(x)).
+// Both branches keep the exp argument non-positive.
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// SigmoidGrad returns dσ/dx evaluated at x, i.e. σ(x)(1-σ(x)).
+func SigmoidGrad(x float64) float64 {
+	s := Sigmoid(x)
+	return s * (1 - s)
+}
+
+// Logit is the inverse of Sigmoid: ln(p/(1-p)). It returns ±Inf at the
+// endpoints p=0 and p=1.
+func Logit(p float64) float64 {
+	return math.Log(p / (1 - p))
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,138 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmoidKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{math.Log(3), 0.75},
+		{-math.Log(3), 0.25},
+		{1, 1 / (1 + math.Exp(-1))},
+	}
+	for _, c := range cases {
+		if got := Sigmoid(c.x); !AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("Sigmoid(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSigmoidSaturation(t *testing.T) {
+	if got := Sigmoid(1000); got != 1 {
+		t.Errorf("Sigmoid(1000) = %v, want 1", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Errorf("Sigmoid(-1000) = %v, want 0", got)
+	}
+	if math.IsNaN(Sigmoid(math.Inf(1))) || math.IsNaN(Sigmoid(math.Inf(-1))) {
+		t.Error("Sigmoid produced NaN at infinities")
+	}
+}
+
+func TestSigmoidSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return AlmostEqual(Sigmoid(x)+Sigmoid(-x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Sigmoid(a) <= Sigmoid(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSigmoidMatchesNaive(t *testing.T) {
+	// In the moderate range where the naive formula is accurate the stable
+	// version must agree with it.
+	for x := -20.0; x <= 20; x += 0.37 {
+		naive := math.Log(1 / (1 + math.Exp(-x)))
+		if got := LogSigmoid(x); !AlmostEqual(got, naive, 1e-9) {
+			t.Fatalf("LogSigmoid(%v) = %v, naive %v", x, got, naive)
+		}
+	}
+}
+
+func TestLogSigmoidExtremes(t *testing.T) {
+	if got := LogSigmoid(800); got != 0 {
+		// σ(800) is exactly 1 in float64, so ln σ must be exactly 0.
+		t.Errorf("LogSigmoid(800) = %v, want 0", got)
+	}
+	got := LogSigmoid(-800)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("LogSigmoid(-800) = %v, want finite", got)
+	}
+	// For very negative x, ln σ(x) ≈ x.
+	if !AlmostEqual(got, -800, 1e-6) {
+		t.Errorf("LogSigmoid(-800) = %v, want ≈ -800", got)
+	}
+}
+
+func TestLogSigmoidAlwaysNonPositive(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		return LogSigmoid(x) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidGrad(t *testing.T) {
+	// Compare against a central finite difference.
+	for x := -5.0; x <= 5; x += 0.5 {
+		h := 1e-6
+		fd := (Sigmoid(x+h) - Sigmoid(x-h)) / (2 * h)
+		if got := SigmoidGrad(x); !AlmostEqual(got, fd, 1e-6) {
+			t.Errorf("SigmoidGrad(%v) = %v, finite diff %v", x, got, fd)
+		}
+	}
+	if got := SigmoidGrad(0); !AlmostEqual(got, 0.25, 1e-12) {
+		t.Errorf("SigmoidGrad(0) = %v, want 0.25", got)
+	}
+}
+
+func TestLogitInvertsSigmoid(t *testing.T) {
+	// Beyond |x| ≈ 25, σ(x) is within one ulp of 0 or 1 and the inverse
+	// necessarily loses precision, so test only the representable range.
+	for x := -25.0; x <= 25; x += 1.3 {
+		if got := Logit(Sigmoid(x)); !AlmostEqual(got, x, 1e-5) {
+			t.Errorf("Logit(Sigmoid(%v)) = %v", x, got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

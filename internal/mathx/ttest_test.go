@@ -1,0 +1,162 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.75, 0.75},
+		// I_x(2,2) = x²(3−2x).
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 0.25 * 0.25 * (3 - 0.5)},
+		// I_x(1,2) = 1−(1−x)² = 2x − x².
+		{1, 2, 0.4, 2*0.4 - 0.16},
+		// Endpoints.
+		{3, 4, 0, 0},
+		{3, 4, 1, 1},
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); !AlmostEqual(got, c.want, 1e-10) {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 − I_{1−x}(b,a).
+	rng := NewRNG(1)
+	f := func(seed uint8) bool {
+		a := 0.5 + 5*rng.Float64()
+		b := 0.5 + 5*rng.Float64()
+		x := rng.Float64()
+		return AlmostEqual(RegIncBeta(a, b, x), 1-RegIncBeta(b, a, 1-x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	prev := 0.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(2.5, 3.5, x)
+		if v+1e-12 < prev {
+			t.Fatalf("not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct{ t, df, want, tol float64 }{
+		{0, 5, 0.5, 1e-12},
+		// t distribution with df=1 is Cauchy: CDF(1) = 3/4.
+		{1, 1, 0.75, 1e-9},
+		{-1, 1, 0.25, 1e-9},
+		// Standard table: P(T ≤ 2.776) ≈ 0.975 at df=4.
+		{2.776, 4, 0.975, 1e-3},
+		// Large df approaches the normal: P(T ≤ 1.96) ≈ 0.975.
+		{1.96, 10000, 0.975, 1e-3},
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.t, c.df); !AlmostEqual(got, c.want, c.tol) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Error("df = 0 should give NaN")
+	}
+}
+
+func TestPairedTTestSignificantDifference(t *testing.T) {
+	// b is consistently 0.1 above a with tiny noise: p must be small.
+	a := []float64{0.50, 0.52, 0.48, 0.51, 0.49}
+	b := []float64{0.60, 0.63, 0.58, 0.60, 0.59}
+	res, err := PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T <= 0 {
+		t.Errorf("t = %v, want positive for b > a", res.T)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v, want < 0.01 for a consistent gap", res.P)
+	}
+	if res.DF != 4 {
+		t.Errorf("df = %v, want 4", res.DF)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	rng := NewRNG(3)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + 0.01*rng.NormFloat64()
+		b[i] = base + 0.01*rng.NormFloat64()
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("p = %v for same-distribution pairs, want large", res.P)
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	// Identical vectors: p = 1.
+	a := []float64{1, 2, 3}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("identical vectors: %+v", res)
+	}
+	// Constant nonzero difference: p = 0.
+	b := []float64{2, 3, 4}
+	res, err = PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, 1) {
+		t.Errorf("constant positive difference: %+v", res)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+}
+
+func TestPValueInRange(t *testing.T) {
+	rng := NewRNG(5)
+	f := func(seed uint8) bool {
+		n := int(seed%8) + 2
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := PairedTTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package mathx
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; this is the hot kernel of every matrix-factorization score in the
+// repository, so it asserts nothing and lets the runtime bounds-check.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// AXPY computes dst[i] += alpha*x[i] in place.
+func AXPY(alpha float64, x, dst []float64) {
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of xs by alpha in place.
+func Scale(alpha float64, xs []float64) {
+	for i := range xs {
+		xs[i] *= alpha
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm of xs.
+func Norm2Sq(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}
+
+// Fill sets every element of xs to v.
+func Fill(xs []float64, v float64) {
+	for i := range xs {
+		xs[i] = v
+	}
+}
+
+// CopyVec returns a fresh copy of xs.
+func CopyVec(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}

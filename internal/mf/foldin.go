@@ -1,0 +1,83 @@
+package mf
+
+import (
+	"fmt"
+	"math"
+
+	"clapf/internal/linalg"
+	"clapf/internal/mathx"
+	"clapf/internal/rank"
+)
+
+// FoldInUser computes factors for a user not present at training time — the
+// cold-start serving path. Given the items the new user has interacted
+// with, it solves the ridge least-squares problem
+//
+//	min_u  Σ_{i∈items} (1 − b_i − u·V_i)² + reg·‖u‖²
+//
+// over the *frozen* item factors, which is exactly one user half-step of
+// WMF's alternating least squares. The returned vector can be scored
+// against the model with ScoreFoldIn.
+func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("mf: fold-in needs at least one interaction")
+	}
+	if reg <= 0 {
+		return nil, fmt.Errorf("mf: fold-in reg = %v, want > 0", reg)
+	}
+	d := m.Dim()
+	a := linalg.NewMatrix(d)
+	b := make([]float64, d)
+	for _, it := range items {
+		if it < 0 || int(it) >= m.NumItems() {
+			return nil, fmt.Errorf("mf: fold-in item %d out of range [0,%d)", it, m.NumItems())
+		}
+		vf := m.ItemFactors(it)
+		a.SymRankOne(1, vf)
+		mathx.AXPY(1-m.Bias(it), vf, b)
+	}
+	a.AddDiagonal(reg)
+	return linalg.SolveSPD(a, b)
+}
+
+// ScoreFoldIn returns the predicted relevance of item i for a folded-in
+// user factor vector.
+func (m *Model) ScoreFoldIn(userFactors []float64, i int32) float64 {
+	return mathx.Dot(userFactors, m.ItemFactors(i)) + m.Bias(i)
+}
+
+// ScoreAllFoldIn fills out with scores for every item under a folded-in
+// user vector; out must have length NumItems.
+func (m *Model) ScoreAllFoldIn(userFactors []float64, out []float64) {
+	if len(out) != m.NumItems() {
+		panic(fmt.Sprintf("mf: ScoreAllFoldIn buffer has length %d, want %d", len(out), m.NumItems()))
+	}
+	for i := int32(0); int(i) < m.NumItems(); i++ {
+		out[i] = m.ScoreFoldIn(userFactors, i)
+	}
+}
+
+// SimilarItems returns the k items most similar to item i by cosine over
+// the learned factors, best first, excluding i itself. Zero-norm items
+// (never trained) score −1 and sink to the bottom.
+func SimilarItems(m *Model, i int32, k int) ([]rank.Entry, error) {
+	if i < 0 || int(i) >= m.NumItems() {
+		return nil, fmt.Errorf("mf: item %d out of range [0,%d)", i, m.NumItems())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("mf: k = %d, want > 0", k)
+	}
+	anchor := m.ItemFactors(i)
+	anchorNorm := math.Sqrt(mathx.Norm2Sq(anchor))
+	scores := make([]float64, m.NumItems())
+	for j := int32(0); int(j) < m.NumItems(); j++ {
+		vf := m.ItemFactors(j)
+		norm := math.Sqrt(mathx.Norm2Sq(vf))
+		if anchorNorm == 0 || norm == 0 {
+			scores[j] = -1
+			continue
+		}
+		scores[j] = mathx.Dot(anchor, vf) / (anchorNorm * norm)
+	}
+	return rank.TopK(scores, k, func(j int32) bool { return j == i }), nil
+}

@@ -1,0 +1,185 @@
+package mf
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/mathx"
+)
+
+func testConfig() Config {
+	return Config{NumUsers: 4, NumItems: 6, Dim: 3, UseBias: true, InitStd: 0.1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero users", func(c *Config) { c.NumUsers = 0 }},
+		{"negative items", func(c *Config) { c.NumItems = -1 }},
+		{"zero dim", func(c *Config) { c.Dim = 0 }},
+		{"negative std", func(c *Config) { c.InitStd = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := testConfig()
+			c.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := New(testConfig()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestScoreDefinition(t *testing.T) {
+	m := MustNew(testConfig())
+	copy(m.UserFactors(1), []float64{1, 2, 3})
+	copy(m.ItemFactors(2), []float64{4, 5, 6})
+	m.AddBias(2, 0.5)
+	want := 1.0*4 + 2*5 + 3*6 + 0.5
+	if got := m.Score(1, 2); got != want {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreNoBias(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseBias = false
+	m := MustNew(cfg)
+	copy(m.UserFactors(0), []float64{1, 1, 1})
+	copy(m.ItemFactors(0), []float64{2, 2, 2})
+	m.AddBias(0, 99) // must be a no-op
+	if got := m.Score(0, 0); got != 6 {
+		t.Errorf("Score = %v, want 6", got)
+	}
+	if m.Bias(0) != 0 {
+		t.Error("bias-free model reports nonzero bias")
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	m := MustNew(testConfig())
+	m.InitGaussian(mathx.NewRNG(1), 0.5)
+	out := make([]float64, m.NumItems())
+	for u := int32(0); u < int32(m.NumUsers()); u++ {
+		m.ScoreAll(u, out)
+		for i := int32(0); i < int32(m.NumItems()); i++ {
+			if got, want := out[i], m.Score(u, i); got != want {
+				t.Fatalf("ScoreAll[%d][%d] = %v, Score = %v", u, i, got, want)
+			}
+		}
+	}
+}
+
+func TestScoreAllBufferSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer did not panic")
+		}
+	}()
+	m := MustNew(testConfig())
+	m.ScoreAll(0, make([]float64, 2))
+}
+
+func TestInitGaussianStats(t *testing.T) {
+	cfg := Config{NumUsers: 100, NumItems: 100, Dim: 50, UseBias: true}
+	m := MustNew(cfg)
+	m.InitGaussian(mathx.NewRNG(7), 0.1)
+	u, v, b := m.RawParams()
+	var o mathx.OnlineStats
+	for _, x := range u {
+		o.Add(x)
+	}
+	for _, x := range v {
+		o.Add(x)
+	}
+	if math.Abs(o.Mean()) > 0.005 {
+		t.Errorf("init mean = %v, want ≈ 0", o.Mean())
+	}
+	if math.Abs(o.StdDev()-0.1) > 0.005 {
+		t.Errorf("init stddev = %v, want ≈ 0.1", o.StdDev())
+	}
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("bias not initialized to zero")
+		}
+	}
+}
+
+func TestFactorColumnAndUserFactor(t *testing.T) {
+	m := MustNew(testConfig())
+	m.InitGaussian(mathx.NewRNG(3), 1)
+	col := make([]float64, m.NumItems())
+	for q := 0; q < m.Dim(); q++ {
+		m.FactorColumn(q, col)
+		for i := int32(0); i < int32(m.NumItems()); i++ {
+			if col[i] != m.ItemFactors(i)[q] {
+				t.Fatalf("FactorColumn(%d)[%d] mismatch", q, i)
+			}
+		}
+	}
+	if m.UserFactor(2, 1) != m.UserFactors(2)[1] {
+		t.Error("UserFactor accessor mismatch")
+	}
+}
+
+func TestCloneDetached(t *testing.T) {
+	m := MustNew(testConfig())
+	m.InitGaussian(mathx.NewRNG(5), 0.2)
+	c := m.Clone()
+	before := c.Score(0, 0)
+	m.UserFactors(0)[0] += 100
+	m.AddBias(0, 100)
+	if got := c.Score(0, 0); got != before {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestFromRawRoundTrip(t *testing.T) {
+	m := MustNew(testConfig())
+	m.InitGaussian(mathx.NewRNG(9), 0.3)
+	u, v, b := m.RawParams()
+	m2, err := FromRaw(m.Config(), mathx.CopyVec(u), mathx.CopyVec(v), mathx.CopyVec(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ui := int32(0); ui < int32(m.NumUsers()); ui++ {
+		for it := int32(0); it < int32(m.NumItems()); it++ {
+			if m.Score(ui, it) != m2.Score(ui, it) {
+				t.Fatalf("score mismatch after FromRaw at (%d,%d)", ui, it)
+			}
+		}
+	}
+}
+
+func TestFromRawValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := FromRaw(cfg, make([]float64, 1), make([]float64, cfg.NumItems*cfg.Dim), make([]float64, cfg.NumItems)); err == nil {
+		t.Error("short user params accepted")
+	}
+	if _, err := FromRaw(cfg, make([]float64, cfg.NumUsers*cfg.Dim), make([]float64, 1), make([]float64, cfg.NumItems)); err == nil {
+		t.Error("short item params accepted")
+	}
+	if _, err := FromRaw(cfg, make([]float64, cfg.NumUsers*cfg.Dim), make([]float64, cfg.NumItems*cfg.Dim), nil); err == nil {
+		t.Error("missing bias accepted for bias model")
+	}
+	cfg.UseBias = false
+	if _, err := FromRaw(cfg, make([]float64, cfg.NumUsers*cfg.Dim), make([]float64, cfg.NumItems*cfg.Dim), make([]float64, cfg.NumItems)); err == nil {
+		t.Error("unexpected bias accepted for bias-free model")
+	}
+}
+
+func TestL2Norms(t *testing.T) {
+	m := MustNew(Config{NumUsers: 1, NumItems: 1, Dim: 2, UseBias: true})
+	copy(m.UserFactors(0), []float64{3, 4})
+	copy(m.ItemFactors(0), []float64{1, 2})
+	m.AddBias(0, 2)
+	u2, v2, b2 := m.L2Norms()
+	if u2 != 25 || v2 != 5 || b2 != 4 {
+		t.Errorf("L2Norms = (%v,%v,%v), want (25,5,4)", u2, v2, b2)
+	}
+}

@@ -1,0 +1,176 @@
+package neural
+
+import (
+	"fmt"
+
+	"clapf/internal/mathx"
+)
+
+// Dense is a fully connected layer y = W·x + b with W stored row-major
+// (Out×In). Forward caches the input so Backward can form the weight
+// gradient; the layer therefore supports one in-flight example at a time,
+// which matches the SGD training of all three neural baselines.
+type Dense struct {
+	In, Out int
+	W       *Param // Out×In
+	B       *Param // Out
+
+	x  []float64 // cached input
+	y  []float64 // cached output buffer
+	dx []float64
+}
+
+// NewDense allocates a layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *mathx.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(in * out),
+		B:   NewParam(out),
+		x:   make([]float64, in),
+		y:   make([]float64, out),
+		dx:  make([]float64, in),
+	}
+	d.W.InitXavier(rng, in, out)
+	return d
+}
+
+// Forward computes the layer output. The returned slice is reused across
+// calls; copy it if it must survive the next Forward.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("neural: Dense input %d, want %d", len(x), d.In))
+	}
+	copy(d.x, x)
+	for o := 0; o < d.Out; o++ {
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		d.y[o] = mathx.Dot(row, x) + d.B.W[o]
+	}
+	return d.y
+}
+
+// Backward accumulates parameter gradients from dy = ∂L/∂y and returns
+// ∂L/∂x. The returned slice is reused across calls.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic(fmt.Sprintf("neural: Dense grad %d, want %d", len(dy), d.Out))
+	}
+	mathx.Fill(d.dx, 0)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		d.B.Grad[o] += g
+		wRow := d.W.W[o*d.In : (o+1)*d.In]
+		gRow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			gRow[i] += g * d.x[i]
+			d.dx[i] += g * wRow[i]
+		}
+	}
+	return d.dx
+}
+
+// Params returns the layer's trainable tensors.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectifier activation with cached mask.
+type ReLU struct {
+	mask []bool
+	y    []float64
+	dx   []float64
+}
+
+// NewReLU allocates an activation for vectors of the given width.
+func NewReLU(width int) *ReLU {
+	return &ReLU{mask: make([]bool, width), y: make([]float64, width), dx: make([]float64, width)}
+}
+
+// Forward applies max(0, x) elementwise.
+func (r *ReLU) Forward(x []float64) []float64 {
+	for i, v := range x {
+		if v > 0 {
+			r.y[i] = v
+			r.mask[i] = true
+		} else {
+			r.y[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.y
+}
+
+// Backward gates the upstream gradient by the activation mask.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	for i, g := range dy {
+		if r.mask[i] {
+			r.dx[i] = g
+		} else {
+			r.dx[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// MLP is a tower of Dense+ReLU blocks with a linear final layer — the
+// architecture NCF-style models use (each hidden layer halves or keeps the
+// width per the configured sizes).
+type MLP struct {
+	layers []*Dense
+	acts   []*ReLU
+}
+
+// NewMLP builds a tower with the given layer widths, e.g. sizes
+// {32, 16, 8} builds 32→16→8 with ReLU after every layer except the last.
+func NewMLP(sizes []int, rng *mathx.RNG) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("neural: MLP needs at least input and output widths, got %v", sizes)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("neural: MLP width %d, want > 0", s)
+		}
+	}
+	m := &MLP{}
+	for l := 0; l+1 < len(sizes); l++ {
+		m.layers = append(m.layers, NewDense(sizes[l], sizes[l+1], rng))
+		if l+2 < len(sizes) {
+			m.acts = append(m.acts, NewReLU(sizes[l+1]))
+		}
+	}
+	return m, nil
+}
+
+// Forward runs the tower.
+func (m *MLP) Forward(x []float64) []float64 {
+	h := x
+	for l, layer := range m.layers {
+		h = layer.Forward(h)
+		if l < len(m.acts) {
+			h = m.acts[l].Forward(h)
+		}
+	}
+	return h
+}
+
+// Backward accumulates gradients and returns ∂L/∂input.
+func (m *MLP) Backward(dy []float64) []float64 {
+	g := dy
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		if l < len(m.acts) {
+			g = m.acts[l].Backward(g)
+		}
+		g = m.layers[l].Backward(g)
+	}
+	return g
+}
+
+// Params returns all trainable tensors in the tower.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutDim returns the width of the tower's final layer.
+func (m *MLP) OutDim() int { return m.layers[len(m.layers)-1].Out }

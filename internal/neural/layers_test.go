@@ -1,0 +1,262 @@
+package neural
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/mathx"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	d := NewDense(2, 2, rng)
+	copy(d.W.W, []float64{1, 2, 3, 4}) // rows: [1 2], [3 4]
+	copy(d.B.W, []float64{0.5, -0.5})
+	y := d.Forward([]float64{1, 1})
+	if !mathx.AlmostEqual(y[0], 3.5, 1e-12) || !mathx.AlmostEqual(y[1], 6.5, 1e-12) {
+		t.Errorf("Forward = %v, want [3.5 6.5]", y)
+	}
+}
+
+func TestDenseInputSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input size did not panic")
+		}
+	}()
+	NewDense(3, 2, mathx.NewRNG(1)).Forward([]float64{1})
+}
+
+// lossOf runs a scalar loss L = Σ w_o · y_o over the layer output so
+// gradient checking has a fixed upstream gradient.
+func denseLoss(d *Dense, x, w []float64) float64 {
+	y := d.Forward(x)
+	return mathx.Dot(w, y)
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	d := NewDense(4, 3, rng)
+	x := []float64{0.3, -0.7, 1.2, 0.1}
+	up := []float64{1, -2, 0.5} // upstream dL/dy
+
+	d.Forward(x)
+	d.W.ZeroGrad()
+	d.B.ZeroGrad()
+	dx := d.Backward(up)
+	dxCopy := mathx.CopyVec(dx)
+
+	const h = 1e-6
+	// Weight gradients.
+	for idx := 0; idx < len(d.W.W); idx += 3 {
+		orig := d.W.W[idx]
+		d.W.W[idx] = orig + h
+		plus := denseLoss(d, x, up)
+		d.W.W[idx] = orig - h
+		minus := denseLoss(d, x, up)
+		d.W.W[idx] = orig
+		fd := (plus - minus) / (2 * h)
+		if !mathx.AlmostEqual(d.W.Grad[idx], fd, 1e-5*(1+math.Abs(fd))) {
+			t.Errorf("W grad[%d] = %v, finite diff %v", idx, d.W.Grad[idx], fd)
+		}
+	}
+	// Bias gradients.
+	for idx := range d.B.W {
+		orig := d.B.W[idx]
+		d.B.W[idx] = orig + h
+		plus := denseLoss(d, x, up)
+		d.B.W[idx] = orig - h
+		minus := denseLoss(d, x, up)
+		d.B.W[idx] = orig
+		fd := (plus - minus) / (2 * h)
+		if !mathx.AlmostEqual(d.B.Grad[idx], fd, 1e-5*(1+math.Abs(fd))) {
+			t.Errorf("B grad[%d] = %v, finite diff %v", idx, d.B.Grad[idx], fd)
+		}
+	}
+	// Input gradients.
+	for idx := range x {
+		orig := x[idx]
+		x[idx] = orig + h
+		plus := denseLoss(d, x, up)
+		x[idx] = orig - h
+		minus := denseLoss(d, x, up)
+		x[idx] = orig
+		fd := (plus - minus) / (2 * h)
+		if !mathx.AlmostEqual(dxCopy[idx], fd, 1e-5*(1+math.Abs(fd))) {
+			t.Errorf("dx[%d] = %v, finite diff %v", idx, dxCopy[idx], fd)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU(4)
+	y := r.Forward([]float64{-1, 0, 2, -0.5})
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("ReLU forward = %v", y)
+			break
+		}
+	}
+	dx := r.Backward([]float64{1, 1, 1, 1})
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if dx[i] != wantG[i] {
+			t.Errorf("ReLU backward = %v", dx)
+			break
+		}
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	if _, err := NewMLP([]int{4}, rng); err == nil {
+		t.Error("single-width MLP accepted")
+	}
+	if _, err := NewMLP([]int{4, 0, 1}, rng); err == nil {
+		t.Error("zero width accepted")
+	}
+	m, err := NewMLP([]int{4, 3, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OutDim() != 1 {
+		t.Errorf("OutDim = %d", m.OutDim())
+	}
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	m, err := NewMLP([]int{3, 5, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -0.3, 0.8}
+	up := []float64{1, -1}
+	loss := func() float64 { return mathx.Dot(up, m.Forward(x)) }
+
+	m.Forward(x)
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	dx := mathx.CopyVec(m.Backward(up))
+
+	const h = 1e-6
+	for pi, p := range m.Params() {
+		for idx := range p.W {
+			orig := p.W[idx]
+			p.W[idx] = orig + h
+			plus := loss()
+			p.W[idx] = orig - h
+			minus := loss()
+			p.W[idx] = orig
+			fd := (plus - minus) / (2 * h)
+			if !mathx.AlmostEqual(p.Grad[idx], fd, 1e-5*(1+math.Abs(fd))) {
+				t.Fatalf("param %d grad[%d] = %v, finite diff %v", pi, idx, p.Grad[idx], fd)
+			}
+		}
+	}
+	for idx := range x {
+		orig := x[idx]
+		x[idx] = orig + h
+		plus := loss()
+		x[idx] = orig - h
+		minus := loss()
+		x[idx] = orig
+		fd := (plus - minus) / (2 * h)
+		if !mathx.AlmostEqual(dx[idx], fd, 1e-5*(1+math.Abs(fd))) {
+			t.Errorf("input grad[%d] = %v, finite diff %v", idx, dx[idx], fd)
+		}
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	// Minimize (w − 3)² with Adam; must reach the optimum.
+	p := NewParam(1)
+	p.W[0] = -5
+	cfg := DefaultAdam(0.1)
+	for step := 0; step < 2000; step++ {
+		p.Grad[0] = 2 * (p.W[0] - 3)
+		p.Step(cfg)
+	}
+	if math.Abs(p.W[0]-3) > 0.01 {
+		t.Errorf("Adam ended at %v, want 3", p.W[0])
+	}
+}
+
+func TestAdamConfigValidate(t *testing.T) {
+	bad := []AdamConfig{
+		{LearnRate: 0, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8},
+		{LearnRate: 0.1, Beta1: 1, Beta2: 0.999, Eps: 1e-8},
+		{LearnRate: 0.1, Beta1: 0.9, Beta2: -0.1, Eps: 1e-8},
+		{LearnRate: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 0},
+		{LearnRate: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad Adam config %d accepted", i)
+		}
+	}
+	if DefaultAdam(0.01).Validate() != nil {
+		t.Error("default Adam config rejected")
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// The classic nonlinear sanity check: a linear model cannot fit XOR.
+	rng := mathx.NewRNG(7)
+	m, err := NewMLP([]int{2, 8, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := []float64{0, 1, 1, 0}
+	opt := DefaultAdam(0.01)
+	for epoch := 0; epoch < 4000; epoch++ {
+		for c := range inputs {
+			z := m.Forward(inputs[c])[0]
+			dz := mathx.Sigmoid(z) - targets[c]
+			m.Backward([]float64{dz})
+			for _, p := range m.Params() {
+				p.Step(opt)
+			}
+		}
+	}
+	for c := range inputs {
+		prob := mathx.Sigmoid(m.Forward(inputs[c])[0])
+		if math.Abs(prob-targets[c]) > 0.2 {
+			t.Errorf("XOR(%v) = %.3f, want %v", inputs[c], prob, targets[c])
+		}
+	}
+}
+
+func TestEmbeddingSparseStep(t *testing.T) {
+	e := NewEmbedding(10, 4)
+	e.InitGaussian(mathx.NewRNG(8), 0.1)
+	before := mathx.CopyVec(e.W)
+	cfg := DefaultAdam(0.01)
+	e.AccumGrad(3, []float64{1, 1, 1, 1})
+	e.Step(cfg)
+	for r := 0; r < 10; r++ {
+		changed := false
+		for k := 0; k < 4; k++ {
+			if e.W[r*4+k] != before[r*4+k] {
+				changed = true
+			}
+		}
+		if r == 3 && !changed {
+			t.Error("touched row not updated")
+		}
+		if r != 3 && changed {
+			t.Errorf("untouched row %d updated", r)
+		}
+	}
+	// Second step with no gradient must be a no-op.
+	snapshot := mathx.CopyVec(e.W)
+	e.Step(cfg)
+	for i := range snapshot {
+		if e.W[i] != snapshot[i] {
+			t.Fatal("Step without gradients changed weights")
+		}
+	}
+}

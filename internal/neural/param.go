@@ -1,0 +1,177 @@
+// Package neural is a minimal feed-forward neural-network substrate built
+// for the paper's three deep baselines (NeuMF, NeuPR, DeepICF): dense
+// layers, embedding tables with sparse updates, ReLU, Adam, and the
+// pointwise/pairwise losses those models train with. It is deliberately not
+// a general autograd — each model wires its own forward/backward pass,
+// which keeps the code auditable and the allocation profile flat.
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"clapf/internal/mathx"
+)
+
+// Param is a dense trainable tensor with its gradient accumulator and Adam
+// moment estimates.
+type Param struct {
+	W    []float64
+	Grad []float64
+	m, v []float64
+	t    int
+}
+
+// NewParam allocates a parameter of the given size.
+func NewParam(size int) *Param {
+	return &Param{
+		W:    make([]float64, size),
+		Grad: make([]float64, size),
+		m:    make([]float64, size),
+		v:    make([]float64, size),
+	}
+}
+
+// InitXavier fills the parameter with Glorot-uniform values for a layer
+// with the given fan-in and fan-out.
+func (p *Param) InitXavier(rng *mathx.RNG, fanIn, fanOut int) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range p.W {
+		p.W[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// InitGaussian fills the parameter with N(0, std²) values.
+func (p *Param) InitGaussian(rng *mathx.RNG, std float64) {
+	for i := range p.W {
+		p.W[i] = rng.NormFloat64() * std
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { mathx.Fill(p.Grad, 0) }
+
+// AdamConfig holds the optimizer hyper-parameters.
+type AdamConfig struct {
+	LearnRate float64
+	Beta1     float64
+	Beta2     float64
+	Eps       float64
+	// WeightDecay is decoupled L2 applied at step time.
+	WeightDecay float64
+}
+
+// DefaultAdam returns the standard Adam settings at the given rate.
+func DefaultAdam(lr float64) AdamConfig {
+	return AdamConfig{LearnRate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Validate reports the first problem with the configuration.
+func (c AdamConfig) Validate() error {
+	switch {
+	case c.LearnRate <= 0:
+		return fmt.Errorf("neural: Adam LearnRate = %v, want > 0", c.LearnRate)
+	case c.Beta1 < 0 || c.Beta1 >= 1:
+		return fmt.Errorf("neural: Adam Beta1 = %v, want [0,1)", c.Beta1)
+	case c.Beta2 < 0 || c.Beta2 >= 1:
+		return fmt.Errorf("neural: Adam Beta2 = %v, want [0,1)", c.Beta2)
+	case c.Eps <= 0:
+		return fmt.Errorf("neural: Adam Eps = %v, want > 0", c.Eps)
+	case c.WeightDecay < 0:
+		return fmt.Errorf("neural: Adam WeightDecay = %v, want >= 0", c.WeightDecay)
+	}
+	return nil
+}
+
+// Step applies one Adam update from the accumulated gradient, then clears
+// it. Gradients here follow the *minimization* convention.
+func (p *Param) Step(c AdamConfig) {
+	p.t++
+	bc1 := 1 - math.Pow(c.Beta1, float64(p.t))
+	bc2 := 1 - math.Pow(c.Beta2, float64(p.t))
+	for i, g := range p.Grad {
+		if c.WeightDecay > 0 {
+			g += c.WeightDecay * p.W[i]
+		}
+		p.m[i] = c.Beta1*p.m[i] + (1-c.Beta1)*g
+		p.v[i] = c.Beta2*p.v[i] + (1-c.Beta2)*g*g
+		mHat := p.m[i] / bc1
+		vHat := p.v[i] / bc2
+		p.W[i] -= c.LearnRate * mHat / (math.Sqrt(vHat) + c.Eps)
+	}
+	p.ZeroGrad()
+}
+
+// Embedding is a table of row vectors with *sparse* lazy-Adam updates: only
+// rows touched since the last step pay optimizer cost, with per-row
+// timesteps for bias correction. Without this, every SGD step would touch
+// the full table and training would be O(n·d) per example.
+type Embedding struct {
+	Rows int
+	Dim  int
+	W    []float64
+
+	grad    []float64 // same shape as W; only touched rows are meaningful
+	m, v    []float64
+	rowT    []int
+	touched map[int32]struct{}
+}
+
+// NewEmbedding allocates a rows×dim table.
+func NewEmbedding(rows, dim int) *Embedding {
+	return &Embedding{
+		Rows:    rows,
+		Dim:     dim,
+		W:       make([]float64, rows*dim),
+		grad:    make([]float64, rows*dim),
+		m:       make([]float64, rows*dim),
+		v:       make([]float64, rows*dim),
+		rowT:    make([]int, rows),
+		touched: make(map[int32]struct{}),
+	}
+}
+
+// InitGaussian fills the table with N(0, std²) values.
+func (e *Embedding) InitGaussian(rng *mathx.RNG, std float64) {
+	for i := range e.W {
+		e.W[i] = rng.NormFloat64() * std
+	}
+}
+
+// Row returns the live vector for the given row.
+func (e *Embedding) Row(r int32) []float64 {
+	off := int(r) * e.Dim
+	return e.W[off : off+e.Dim : off+e.Dim]
+}
+
+// AccumGrad adds g to the row's gradient and marks the row dirty.
+func (e *Embedding) AccumGrad(r int32, g []float64) {
+	off := int(r) * e.Dim
+	dst := e.grad[off : off+e.Dim]
+	for i, v := range g {
+		dst[i] += v
+	}
+	e.touched[r] = struct{}{}
+}
+
+// Step applies lazy Adam to every touched row and clears the dirty set.
+func (e *Embedding) Step(c AdamConfig) {
+	for r := range e.touched {
+		e.rowT[r]++
+		t := e.rowT[r]
+		bc1 := 1 - math.Pow(c.Beta1, float64(t))
+		bc2 := 1 - math.Pow(c.Beta2, float64(t))
+		off := int(r) * e.Dim
+		for i := off; i < off+e.Dim; i++ {
+			g := e.grad[i]
+			if c.WeightDecay > 0 {
+				g += c.WeightDecay * e.W[i]
+			}
+			e.m[i] = c.Beta1*e.m[i] + (1-c.Beta1)*g
+			e.v[i] = c.Beta2*e.v[i] + (1-c.Beta2)*g*g
+			e.W[i] -= c.LearnRate * (e.m[i] / bc1) / (math.Sqrt(e.v[i]/bc2) + c.Eps)
+			e.grad[i] = 0
+		}
+	}
+	clear(e.touched)
+}

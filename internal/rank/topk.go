@@ -1,0 +1,129 @@
+// Package rank provides ranked-list utilities: bounded top-k selection over
+// score vectors and rank lookups, the building blocks of both the
+// evaluation protocol (rank all unobserved items) and the rank-aware
+// samplers.
+package rank
+
+import "sort"
+
+// Entry pairs an item index with its score.
+type Entry struct {
+	Item  int32
+	Score float64
+}
+
+// TopK returns the k highest-scoring item indices, best first, skipping
+// items for which exclude returns true. Ties break toward the smaller item
+// id so results are deterministic. exclude may be nil.
+//
+// It maintains a size-k min-heap over the scores, costing O(m log k) — the
+// difference between feasible and infeasible when the protocol ranks every
+// unobserved item for every test user.
+func TopK(scores []float64, k int, exclude func(item int32) bool) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	h := make([]Entry, 0, k)
+	less := func(a, b Entry) bool {
+		// Min-heap by score; for equal scores the *larger* item id is
+		// "smaller" so it gets evicted first, keeping small ids.
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Item > b.Item
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(h) && less(h[l], h[s]) {
+				s = l
+			}
+			if r < len(h) && less(h[r], h[s]) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+	}
+	for i, sc := range scores {
+		it := int32(i)
+		if exclude != nil && exclude(it) {
+			continue
+		}
+		e := Entry{Item: it, Score: sc}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(len(h) - 1)
+			continue
+		}
+		if less(h[0], e) {
+			h[0] = e
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Score != h[j].Score {
+			return h[i].Score > h[j].Score
+		}
+		return h[i].Item < h[j].Item
+	})
+	return h
+}
+
+// Ranks returns, for each requested item, its 1-based rank within the score
+// vector under descending-score order (rank 1 = highest score). Only the
+// requested items' ranks are computed, in O(m · |items|) worst case but
+// O(m) for the common single-item call.
+func Ranks(scores []float64, items []int32) []int {
+	out := make([]int, len(items))
+	for idx, it := range items {
+		s := scores[it]
+		r := 1
+		for j, sc := range scores {
+			if sc > s || (sc == s && int32(j) < it) {
+				r++
+			}
+		}
+		out[idx] = r
+	}
+	return out
+}
+
+// Argsort returns item indices ordered by descending score, ties broken by
+// ascending item id. It is the full-sort used by the samplers' rank-list
+// refresh.
+func Argsort(scores []float64) []int32 {
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	return idx
+}
+
+// Reverse reverses xs in place.
+func Reverse(xs []int32) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,174 @@
+package rank
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"clapf/internal/mathx"
+)
+
+func TestTopKBasic(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	got := TopK(scores, 3, nil)
+	want := []int32{1, 3, 2}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Item != want[i] {
+			t.Errorf("TopK[%d] = %d, want %d", i, e.Item, want[i])
+		}
+		if e.Score != scores[e.Item] {
+			t.Errorf("TopK[%d] score = %v", i, e.Score)
+		}
+	}
+}
+
+func TestTopKExclude(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7}
+	got := TopK(scores, 2, func(i int32) bool { return i == 0 })
+	if len(got) != 2 || got[0].Item != 1 || got[1].Item != 2 {
+		t.Errorf("TopK with exclusion = %v", got)
+	}
+}
+
+func TestTopKSmallerThanK(t *testing.T) {
+	got := TopK([]float64{0.5, 0.2}, 10, nil)
+	if len(got) != 2 {
+		t.Errorf("len = %d, want all 2 items", len(got))
+	}
+	if TopK(nil, 3, nil) != nil && len(TopK(nil, 3, nil)) != 0 {
+		t.Error("empty scores should give empty result")
+	}
+	if got := TopK([]float64{1}, 0, nil); len(got) != 0 {
+		t.Error("k=0 should give empty result")
+	}
+}
+
+func TestTopKTiesDeterministic(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	got := TopK(scores, 2, nil)
+	if got[0].Item != 0 || got[1].Item != 1 {
+		t.Errorf("ties should prefer small ids, got %v", got)
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	f := func(n uint8, k uint8) bool {
+		m := int(n%200) + 1
+		kk := int(k%20) + 1
+		scores := make([]float64, m)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		got := TopK(scores, kk, nil)
+		ref := Argsort(scores)
+		if kk > m {
+			kk = m
+		}
+		if len(got) != kk {
+			return false
+		}
+		for i := 0; i < kk; i++ {
+			if got[i].Item != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgsortOrdering(t *testing.T) {
+	scores := []float64{0.2, 0.8, 0.8, 0.1}
+	got := Argsort(scores)
+	want := []int32{1, 2, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Argsort = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestArgsortIsPermutation(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	idx := Argsort(scores)
+	seen := make([]bool, len(scores))
+	for _, v := range idx {
+		if seen[v] {
+			t.Fatal("Argsort repeated an index")
+		}
+		seen[v] = true
+	}
+	if !sort.SliceIsSorted(idx, func(a, b int) bool {
+		return scores[idx[a]] > scores[idx[b]]
+	}) {
+		t.Error("Argsort not descending")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5}
+	got := Ranks(scores, []int32{0, 1, 2})
+	want := []int{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestRanksTieBreaking(t *testing.T) {
+	// Equal scores: the smaller id ranks first, consistent with TopK.
+	scores := []float64{0.5, 0.5}
+	got := Ranks(scores, []int32{0, 1})
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("tie ranks = %v, want [1 2]", got)
+	}
+}
+
+func TestRanksConsistentWithArgsort(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	scores := make([]float64, 50)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	order := Argsort(scores)
+	items := make([]int32, len(scores))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	ranks := Ranks(scores, items)
+	for pos, it := range order {
+		if ranks[it] != pos+1 {
+			t.Fatalf("item %d: rank %d, Argsort position %d", it, ranks[it], pos+1)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	xs := []int32{1, 2, 3, 4}
+	Reverse(xs)
+	want := []int32{4, 3, 2, 1}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("Reverse = %v", xs)
+			break
+		}
+	}
+	single := []int32{7}
+	Reverse(single)
+	if single[0] != 7 {
+		t.Error("Reverse broke singleton")
+	}
+}

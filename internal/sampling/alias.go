@@ -1,0 +1,90 @@
+// Package sampling implements the samplers of §5: the uniform baseline, the
+// paper's Double Sampling Strategy (DSS) with its MAP and MRR variants, the
+// Positive-only and Negative-only ablations of Figure 4, dynamic negative
+// sampling (DNS) for the baselines, and a Walker alias table for
+// popularity-weighted draws.
+package sampling
+
+import (
+	"fmt"
+
+	"clapf/internal/mathx"
+)
+
+// Alias is a Walker alias table: O(n) construction, O(1) weighted sampling.
+// Popularity-weighted negative draws (MPR's "uncertain" item class) hit it
+// once per SGD step, so constant-time sampling matters.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds a table for the given non-negative weights. At least one
+// weight must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty weight vector")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampling: negative weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("sampling: all weights zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1 // numerical leftovers
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Sample draws an index with probability proportional to its weight.
+func (a *Alias) Sample(rng *mathx.RNG) int32 {
+	i := int32(rng.Intn(len(a.prob)))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }

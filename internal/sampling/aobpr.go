@@ -1,0 +1,48 @@
+package sampling
+
+import (
+	"fmt"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// AoBPRPair implements Adaptive Oversampling for BPR (Rendle &
+// Freudenthaler, WSDM 2014) — the sampler DSS generalizes. Negatives are
+// drawn context-dependently: pick a random factor q, apply the sign test
+// on U_{u,q}, and geometric-sample the top of the factor-q item ranking —
+// exactly DSS's negative half, without the positive half.
+type AoBPRPair struct {
+	inner *TripleSampler
+}
+
+// NewAoBPRPair builds the sampler over the training data and live model.
+// geomP = 0 picks the same default as DSS.
+func NewAoBPRPair(data *dataset.Dataset, model *mf.Model, rng *mathx.RNG, geomP float64) (*AoBPRPair, error) {
+	if model == nil {
+		return nil, fmt.Errorf("sampling: AoBPR needs a model")
+	}
+	inner, err := NewTripleSampler(TripleConfig{
+		Strategy: NegativeOnly,
+		GeomP:    geomP,
+	}, data, model, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &AoBPRPair{inner: inner}, nil
+}
+
+// SamplePair draws a uniform positive and an adaptively oversampled
+// negative.
+func (s *AoBPRPair) SamplePair(u int32) Pair {
+	t := s.inner.Sample(u)
+	return Pair{I: t.I, J: t.J}
+}
+
+// SampleNegative draws only the adaptive negative, for pair-uniform SGD.
+func (s *AoBPRPair) SampleNegative(u int32) int32 {
+	obs := s.inner.data.Positives(u)
+	t := s.inner.SampleWithI(u, obs[0])
+	return t.J
+}

@@ -1,0 +1,151 @@
+package sampling
+
+import (
+	"fmt"
+	"sort"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// sortSliceInt32 sorts xs by the provided less function.
+func sortSliceInt32(xs []int32, less func(a, b int32) bool) {
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}
+
+// Pair is one (observed, unobserved) BPR training case.
+type Pair struct {
+	I int32 // observed item
+	J int32 // unobserved item
+}
+
+// PairSampler draws BPR-style pairs.
+type PairSampler interface {
+	SamplePair(u int32) Pair
+}
+
+// UniformPair is the classic BPR sampler: i uniform over observed, j
+// uniform over unobserved.
+type UniformPair struct {
+	data *dataset.Dataset
+	rng  *mathx.RNG
+}
+
+// NewUniformPair returns a uniform pair sampler.
+func NewUniformPair(data *dataset.Dataset, rng *mathx.RNG) *UniformPair {
+	return &UniformPair{data: data, rng: rng}
+}
+
+// SamplePair draws a uniform (i, j) pair for user u.
+func (s *UniformPair) SamplePair(u int32) Pair {
+	obs := s.data.Positives(u)
+	i := obs[s.rng.Intn(len(obs))]
+	return Pair{I: i, J: s.SampleNegative(u)}
+}
+
+// SampleNegative draws only the unobserved side, for pair-uniform SGD
+// loops that already hold the positive record.
+func (s *UniformPair) SampleNegative(u int32) int32 {
+	return rejectUnobserved(s.data, u, s.rng)
+}
+
+// rejectUnobserved draws a training-unobserved item for u by rejection with
+// a linear-scan fallback for pathological users.
+func rejectUnobserved(data *dataset.Dataset, u int32, rng *mathx.RNG) int32 {
+	m := data.NumItems()
+	for tries := 0; tries < 64; tries++ {
+		j := int32(rng.Intn(m))
+		if !data.IsPositive(u, j) {
+			return j
+		}
+	}
+	start := rng.Intn(m)
+	for off := 0; off < m; off++ {
+		j := int32((start + off) % m)
+		if !data.IsPositive(u, j) {
+			return j
+		}
+	}
+	panic("sampling: user has observed every item")
+}
+
+// DNSPair implements Dynamic Negative Sampling (Zhang et al., SIGIR 2013):
+// draw Candidates unobserved items uniformly and keep the one the current
+// model scores highest — the hardest negative of the candidate set.
+type DNSPair struct {
+	data       *dataset.Dataset
+	model      *mf.Model
+	rng        *mathx.RNG
+	candidates int
+}
+
+// NewDNSPair builds a DNS sampler; candidates must be at least 1 (the
+// original paper uses small values like 5–10).
+func NewDNSPair(data *dataset.Dataset, model *mf.Model, rng *mathx.RNG, candidates int) (*DNSPair, error) {
+	if model == nil {
+		return nil, fmt.Errorf("sampling: DNS needs a model")
+	}
+	if candidates < 1 {
+		return nil, fmt.Errorf("sampling: DNS candidates = %d, want >= 1", candidates)
+	}
+	return &DNSPair{data: data, model: model, rng: rng, candidates: candidates}, nil
+}
+
+// SamplePair draws a uniform positive and the highest-scored of several
+// uniform negatives.
+func (s *DNSPair) SamplePair(u int32) Pair {
+	obs := s.data.Positives(u)
+	i := obs[s.rng.Intn(len(obs))]
+	return Pair{I: i, J: s.SampleNegative(u)}
+}
+
+// SampleNegative draws the highest-scored of several uniform negatives —
+// DNS's hard-negative rule — for pair-uniform SGD loops.
+func (s *DNSPair) SampleNegative(u int32) int32 {
+	best := rejectUnobserved(s.data, u, s.rng)
+	bestScore := s.model.Score(u, best)
+	for c := 1; c < s.candidates; c++ {
+		j := rejectUnobserved(s.data, u, s.rng)
+		if sc := s.model.Score(u, j); sc > bestScore {
+			best, bestScore = j, sc
+		}
+	}
+	return best
+}
+
+// PopNegative draws unobserved items with probability proportional to
+// global item popularity. MPR uses it to build its intermediate item class:
+// a popular-but-unobserved item is plausibly seen-and-skipped, so it should
+// rank between the observed items and the uniformly unobserved ones.
+type PopNegative struct {
+	data  *dataset.Dataset
+	rng   *mathx.RNG
+	alias *Alias
+}
+
+// NewPopNegative builds the popularity-weighted negative sampler with
+// add-one smoothing so zero-popularity items stay reachable.
+func NewPopNegative(data *dataset.Dataset, rng *mathx.RNG) (*PopNegative, error) {
+	pop := data.ItemPopularity()
+	weights := make([]float64, len(pop))
+	for i, c := range pop {
+		weights[i] = float64(c) + 1
+	}
+	alias, err := NewAlias(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &PopNegative{data: data, rng: rng, alias: alias}, nil
+}
+
+// Sample draws a popularity-weighted item unobserved by u.
+func (s *PopNegative) Sample(u int32) int32 {
+	for tries := 0; tries < 64; tries++ {
+		j := s.alias.Sample(s.rng)
+		if !s.data.IsPositive(u, j) {
+			return j
+		}
+	}
+	return rejectUnobserved(s.data, u, s.rng)
+}

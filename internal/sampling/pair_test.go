@@ -1,0 +1,180 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(1)
+	const draws = 200000
+	counts := make([]float64, len(weights))
+	for n := 0; n < draws; n++ {
+		counts[a.Sample(rng)]++
+	}
+	total := mathx.Sum(weights)
+	for i, w := range weights {
+		want := w / total
+		got := counts[i] / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(2)
+	for n := 0; n < 100; n++ {
+		if a.Sample(rng) != 0 {
+			t.Fatal("single category sampler returned nonzero")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(3)
+	for n := 0; n < 10000; n++ {
+		v := a.Sample(rng)
+		if v == 0 || v == 2 {
+			t.Fatalf("zero-weight category %d drawn", v)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestUniformPairInvariants(t *testing.T) {
+	d, _ := fixture(t)
+	s := NewUniformPair(d, mathx.NewRNG(5))
+	users := d.UsersWithAtLeast(1)
+	for n := 0; n < 2000; n++ {
+		u := users[n%len(users)]
+		p := s.SamplePair(u)
+		if !d.IsPositive(u, p.I) {
+			t.Fatalf("i = %d not observed", p.I)
+		}
+		if d.IsPositive(u, p.J) {
+			t.Fatalf("j = %d observed", p.J)
+		}
+	}
+}
+
+func TestDNSPairPicksHarderNegatives(t *testing.T) {
+	d, m := fixture(t) // item score = item id
+	dns, err := NewDNSPair(d, m, mathx.NewRNG(7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := NewUniformPair(d, mathx.NewRNG(7))
+	users := d.UsersWithAtLeast(1)
+	var dnsJ, uniJ mathx.OnlineStats
+	for n := 0; n < 3000; n++ {
+		u := users[n%len(users)]
+		dnsJ.Add(m.Score(u, dns.SamplePair(u).J))
+		uniJ.Add(m.Score(u, uni.SamplePair(u).J))
+	}
+	if dnsJ.Mean() <= uniJ.Mean() {
+		t.Errorf("DNS negative score %.2f not above uniform %.2f", dnsJ.Mean(), uniJ.Mean())
+	}
+}
+
+func TestDNSValidation(t *testing.T) {
+	d, m := fixture(t)
+	if _, err := NewDNSPair(d, nil, mathx.NewRNG(1), 5); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewDNSPair(d, m, mathx.NewRNG(1), 0); err == nil {
+		t.Error("zero candidates accepted")
+	}
+}
+
+func TestPopNegativeWeighting(t *testing.T) {
+	// Build a dataset where item 0 is wildly popular; the popularity
+	// sampler must draw it far more often than a tail item for users who
+	// have not observed it.
+	var pairs []dataset.Interaction
+	for u := int32(1); u < 50; u++ {
+		pairs = append(pairs, dataset.Interaction{User: u, Item: 0})
+	}
+	pairs = append(pairs, dataset.Interaction{User: 0, Item: 5})
+	d, err := dataset.FromInteractions("pop", 50, 20, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPopNegative(d, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 20)
+	for n := 0; n < 10000; n++ {
+		j := s.Sample(0) // user 0 has not observed item 0
+		if d.IsPositive(0, j) {
+			t.Fatal("popularity sampler returned observed item")
+		}
+		counts[j]++
+	}
+	if counts[0] < 10*counts[10] {
+		t.Errorf("popular item drawn %d times vs tail %d — want heavy weighting", counts[0], counts[10])
+	}
+}
+
+func TestABSPairPrefersMisrankedPairs(t *testing.T) {
+	d, m := fixture(t) // item score = item id
+	abs, err := NewABSPair(d, m, mathx.NewRNG(11), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := NewUniformPair(d, mathx.NewRNG(11))
+	users := d.UsersWithAtLeast(1)
+	var absMargin, uniMargin mathx.OnlineStats
+	for n := 0; n < 3000; n++ {
+		u := users[n%len(users)]
+		p := abs.SamplePair(u)
+		if !d.IsPositive(u, p.I) || d.IsPositive(u, p.J) {
+			t.Fatal("ABS pair violates positivity invariants")
+		}
+		absMargin.Add(m.Score(u, p.I) - m.Score(u, p.J))
+		q := uni.SamplePair(u)
+		uniMargin.Add(m.Score(u, q.I) - m.Score(u, q.J))
+	}
+	if absMargin.Mean() >= uniMargin.Mean() {
+		t.Errorf("ABS margin %.2f not below uniform %.2f — should mine hard pairs",
+			absMargin.Mean(), uniMargin.Mean())
+	}
+}
+
+func TestABSValidation(t *testing.T) {
+	d, m := fixture(t)
+	if _, err := NewABSPair(d, nil, mathx.NewRNG(1), 4, 0); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewABSPair(d, m, mathx.NewRNG(1), 0, 0); err == nil {
+		t.Error("zero candidates accepted")
+	}
+}

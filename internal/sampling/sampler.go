@@ -1,0 +1,381 @@
+package sampling
+
+import (
+	"fmt"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// Strategy selects how the (k, j) pair of a CLAPF triple is drawn.
+type Strategy int
+
+const (
+	// Uniform draws k and j with equal probabilities — the paper's
+	// baseline sampler.
+	Uniform Strategy = iota
+	// DSS is the paper's Double Sampling Strategy: rank-aware geometric
+	// draws for both k (from the observed items) and j (from the
+	// unobserved items).
+	DSS
+	// PositiveOnly is the Figure 4 ablation: k as in DSS, j uniform.
+	PositiveOnly
+	// NegativeOnly is the Figure 4 ablation: j as in DSS, k uniform.
+	NegativeOnly
+)
+
+// String returns the sampler's display name as used in Figure 4.
+func (s Strategy) String() string {
+	switch s {
+	case Uniform:
+		return "Uniform"
+	case DSS:
+		return "DSS"
+	case PositiveOnly:
+		return "Positive"
+	case NegativeOnly:
+		return "Negative"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Objective distinguishes CLAPF-MAP from CLAPF-MRR; DSS draws the observed
+// item k from opposite ends of the ranking list in the two cases (§5.2,
+// Step 4): for MAP a *low*-scored observed k makes the pair (k ≻ i)
+// informative, for MRR a *high*-scored one does.
+type Objective int
+
+const (
+	// MAP targets the smoothed Mean Average Precision objective.
+	MAP Objective = iota
+	// MRR targets the smoothed Mean Reciprocal Rank objective.
+	MRR
+)
+
+// String returns "MAP" or "MRR".
+func (o Objective) String() string {
+	if o == MRR {
+		return "MRR"
+	}
+	return "MAP"
+}
+
+// Triple is one sampled training case S = {i, k, j}.
+type Triple struct {
+	I int32 // observed item (uniform)
+	K int32 // second observed item
+	J int32 // unobserved item
+}
+
+// TripleConfig parameterizes a TripleSampler.
+type TripleConfig struct {
+	Strategy  Strategy
+	Objective Objective
+	// GeomP is the success probability of the geometric rank distribution;
+	// 0 picks 5/m (mean rank ≈ m/5), concentrating draws in roughly the
+	// top fifth of the list — aggressive enough to find hard samples,
+	// mild enough not to fixate on the extreme head (which suppresses
+	// popular items and costs accuracy).
+	GeomP float64
+	// RefreshEvery is the number of Sample calls between ranking-list
+	// rebuilds; 0 picks m·⌈log₂ m⌉ steps, the paper's "every log(m)
+	// iterations" with an iteration read as one pass over the items.
+	RefreshEvery int
+}
+
+// TripleSampler draws CLAPF training triples for users. Rank-aware
+// strategies keep per-factor item rankings that must be refreshed from the
+// live model as it trains; the sampler does so transparently on its own
+// schedule.
+type TripleSampler struct {
+	cfg   TripleConfig
+	data  *dataset.Dataset
+	model *mf.Model
+	rng   *mathx.RNG
+
+	steps  int
+	geomP  float64
+	orders [][]int32 // per-factor item ids, descending factor value
+	pos    [][]int32 // per-factor position of each item in orders
+
+	// sortedObs[q] holds every user's observed items ordered by their
+	// factor-q ranking position, laid out CSR-style with obsOff giving
+	// each user's slice. Precomputing this at Refresh makes rankedK a
+	// constant-time lookup instead of a per-sample sort.
+	sortedObs [][]int32
+	obsOff    []int32
+
+	// itemUsers is the item→observing-users CSR adjacency used to rebuild
+	// sortedObs by a single ordered scatter pass per factor.
+	itemUsers [][]int32
+	fill      []int32 // per-user write cursor, reset per factor
+}
+
+// NewTripleSampler builds a sampler over the training data. model may be
+// nil only for the Uniform strategy; rank-aware strategies score items with
+// it.
+func NewTripleSampler(cfg TripleConfig, data *dataset.Dataset, model *mf.Model, rng *mathx.RNG) (*TripleSampler, error) {
+	if data == nil {
+		return nil, fmt.Errorf("sampling: nil dataset")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sampling: nil rng")
+	}
+	needModel := cfg.Strategy != Uniform
+	if needModel && model == nil {
+		return nil, fmt.Errorf("sampling: strategy %v needs a model", cfg.Strategy)
+	}
+	m := data.NumItems()
+	s := &TripleSampler{cfg: cfg, data: data, model: model, rng: rng}
+	s.geomP = cfg.GeomP
+	if s.geomP <= 0 {
+		s.geomP = mathx.Clamp(5/float64(m), 1e-4, 1)
+	} else if s.geomP > 1 {
+		return nil, fmt.Errorf("sampling: GeomP = %v > 1", s.geomP)
+	}
+	if cfg.RefreshEvery == 0 {
+		lg := 1
+		for v := m; v > 1; v >>= 1 {
+			lg++
+		}
+		s.cfg.RefreshEvery = m * lg
+	} else if cfg.RefreshEvery < 0 {
+		return nil, fmt.Errorf("sampling: RefreshEvery = %d < 0", cfg.RefreshEvery)
+	}
+	if needModel {
+		s.Refresh()
+	}
+	return s, nil
+}
+
+// Refresh rebuilds the per-factor ranking lists from the current model
+// (§5.2, Step 2). Cost: d · m log m.
+func (s *TripleSampler) Refresh() {
+	if s.model == nil {
+		return
+	}
+	d := s.model.Dim()
+	m := s.model.NumItems()
+	if s.orders == nil {
+		s.orders = make([][]int32, d)
+		s.pos = make([][]int32, d)
+		for q := 0; q < d; q++ {
+			s.pos[q] = make([]int32, m)
+		}
+	}
+	if s.obsOff == nil {
+		nu := s.data.NumUsers()
+		s.obsOff = make([]int32, nu+1)
+		for u := 0; u < nu; u++ {
+			s.obsOff[u+1] = s.obsOff[u] + int32(s.data.NumPositives(int32(u)))
+		}
+		s.sortedObs = make([][]int32, d)
+		total := int(s.obsOff[nu])
+		for q := 0; q < d; q++ {
+			s.sortedObs[q] = make([]int32, total)
+		}
+		s.itemUsers = make([][]int32, m)
+		s.data.ForEach(func(u, i int32) {
+			s.itemUsers[i] = append(s.itemUsers[i], u)
+		})
+		s.fill = make([]int32, nu)
+	}
+	col := make([]float64, m)
+	for q := 0; q < d; q++ {
+		s.model.FactorColumn(q, col)
+		s.orders[q] = argsortDesc(col)
+		for p, it := range s.orders[q] {
+			s.pos[q][it] = int32(p)
+		}
+		// Rebuild every user's rank-ordered observed list by scattering
+		// the global order: walking items best-first and appending each
+		// to its observers' segments yields all per-user lists already
+		// sorted, in O(m + Σ n_u) with no comparison sort at all.
+		copy(s.fill, s.obsOff[:len(s.fill)])
+		dst := s.sortedObs[q]
+		for _, it := range s.orders[q] {
+			for _, u := range s.itemUsers[it] {
+				dst[s.fill[u]] = it
+				s.fill[u]++
+			}
+		}
+	}
+}
+
+// argsortDesc returns item ids ordered by descending value.
+func argsortDesc(xs []float64) []int32 {
+	idx := make([]int32, len(xs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sortSliceInt32(idx, func(a, b int32) bool {
+		if xs[a] != xs[b] {
+			return xs[a] > xs[b]
+		}
+		return a < b
+	})
+	return idx
+}
+
+// Sample draws the triple S = {i, k, j} for user u (§5.2 Steps 2–4),
+// choosing i uniformly from the user's observed items. The user must have
+// at least one observed and one unobserved item.
+func (s *TripleSampler) Sample(u int32) Triple {
+	obs := s.data.Positives(u)
+	return s.SampleWithI(u, obs[s.rng.Intn(len(obs))])
+}
+
+// SampleWithI draws the (k, j) pair for a caller-chosen observed item i —
+// the path used by pair-uniform SGD, where (u, i) is a uniformly sampled
+// training record (§4.3: "randomly select a record").
+func (s *TripleSampler) SampleWithI(u, i int32) Triple {
+	s.steps++
+	if s.cfg.Strategy != Uniform && s.cfg.RefreshEvery > 0 && s.steps%s.cfg.RefreshEvery == 0 {
+		s.Refresh()
+	}
+
+	obs := s.data.Positives(u)
+
+	var k, j int32
+	switch s.cfg.Strategy {
+	case Uniform:
+		k = s.uniformK(obs, i)
+		j = s.uniformJ(u)
+	case DSS:
+		q, descending := s.pickFactorList(u)
+		k = s.rankedK(u, obs, i, q, descending)
+		j = s.rankedJ(u, q, descending)
+	case PositiveOnly:
+		q, descending := s.pickFactorList(u)
+		k = s.rankedK(u, obs, i, q, descending)
+		j = s.uniformJ(u)
+	case NegativeOnly:
+		q, descending := s.pickFactorList(u)
+		k = s.uniformK(obs, i)
+		j = s.rankedJ(u, q, descending)
+	default:
+		panic(fmt.Sprintf("sampling: unknown strategy %v", s.cfg.Strategy))
+	}
+	return Triple{I: i, K: k, J: j}
+}
+
+// pickFactorList implements Steps 2–3: choose a random factor q and apply
+// the sign test — a negative U_{u,q} reverses the ranking list.
+func (s *TripleSampler) pickFactorList(u int32) (q int, descending bool) {
+	q = s.rng.Intn(s.model.Dim())
+	return q, s.model.UserFactor(u, q) >= 0
+}
+
+// uniformK draws a second observed item distinct from i when possible.
+func (s *TripleSampler) uniformK(obs []int32, i int32) int32 {
+	if len(obs) == 1 {
+		return obs[0]
+	}
+	for {
+		k := obs[s.rng.Intn(len(obs))]
+		if k != i {
+			return k
+		}
+	}
+}
+
+// uniformJ draws an unobserved item by rejection; the observed set is tiny
+// relative to the catalog, so this terminates almost immediately.
+func (s *TripleSampler) uniformJ(u int32) int32 {
+	m := s.data.NumItems()
+	for tries := 0; tries < 64; tries++ {
+		j := int32(s.rng.Intn(m))
+		if !s.data.IsPositive(u, j) {
+			return j
+		}
+	}
+	// Degenerate user observing nearly everything: scan from a random
+	// offset for the first unobserved item.
+	start := s.rng.Intn(m)
+	for off := 0; off < m; off++ {
+		j := int32((start + off) % m)
+		if !s.data.IsPositive(u, j) {
+			return j
+		}
+	}
+	panic("sampling: user has observed every item")
+}
+
+// rankedK draws the observed item k (≠ i) by geometric sampling over the
+// user's observed items ordered by the factor-q ranking list, which
+// Refresh has presorted. For MAP the paper samples from the *bottom* of
+// the list (a weak observed item whose promotion is informative); for MRR
+// from the *top*.
+func (s *TripleSampler) rankedK(u int32, obs []int32, i int32, q int, descending bool) int32 {
+	if len(obs) == 1 {
+		return obs[0]
+	}
+	sorted := s.sortedObs[q][s.obsOff[u]:s.obsOff[u+1]]
+	fromTop := s.cfg.Objective == MRR
+	if !descending {
+		fromTop = !fromTop
+	}
+	g := s.rng.GeometricCapped(geomPForLen(s.geomP, len(sorted)-1), len(sorted)-1)
+	// Walk g non-i entries in from the chosen end.
+	if fromTop {
+		for idx := 0; idx < len(sorted); idx++ {
+			if sorted[idx] == i {
+				continue
+			}
+			if g == 0 {
+				return sorted[idx]
+			}
+			g--
+		}
+	} else {
+		for idx := len(sorted) - 1; idx >= 0; idx-- {
+			if sorted[idx] == i {
+				continue
+			}
+			if g == 0 {
+				return sorted[idx]
+			}
+			g--
+		}
+	}
+	// Unreachable for len(obs) > 1, but keep a safe fallback.
+	return s.uniformK(obs, i)
+}
+
+// geomPForLen rescales the global geometric parameter to a short list so
+// the head-heavy shape is preserved rather than collapsing to index 0.
+func geomPForLen(p float64, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	// Aim the mean at roughly n/5, bounded to a valid probability.
+	q := 5 / float64(n)
+	if q > 1 {
+		q = 1
+	}
+	if q < p {
+		q = p
+	}
+	return q
+}
+
+// rankedJ draws the unobserved item j by geometric sampling from the top of
+// the factor-q ranking list (both CLAPF-MAP and CLAPF-MRR want a
+// high-scored negative — the hard-negative that keeps the gradient alive).
+func (s *TripleSampler) rankedJ(u int32, q int, descending bool) int32 {
+	order := s.orders[q]
+	m := len(order)
+	for tries := 0; tries < 64; tries++ {
+		g := s.rng.GeometricCapped(s.geomP, m)
+		if !descending {
+			g = m - 1 - g
+		}
+		j := order[g]
+		if !s.data.IsPositive(u, j) {
+			return j
+		}
+	}
+	return s.uniformJ(u)
+}

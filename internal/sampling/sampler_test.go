@@ -1,0 +1,279 @@
+package sampling
+
+import (
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// fixture returns a small dataset and a model whose item scores are known:
+// item i has every factor equal to float64(i), so higher item id = higher
+// factor value in every dimension.
+func fixture(t *testing.T) (*dataset.Dataset, *mf.Model) {
+	t.Helper()
+	const nu, ni = 8, 40
+	var pairs []dataset.Interaction
+	rng := mathx.NewRNG(100)
+	for u := int32(0); u < nu; u++ {
+		for c := 0; c < 6; c++ {
+			pairs = append(pairs, dataset.Interaction{User: u, Item: int32(rng.Intn(ni))})
+		}
+	}
+	d, err := dataset.FromInteractions("fix", nu, ni, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mf.MustNew(mf.Config{NumUsers: nu, NumItems: ni, Dim: 4, UseBias: false})
+	for i := int32(0); i < ni; i++ {
+		f := m.ItemFactors(i)
+		for q := range f {
+			f[q] = float64(i)
+		}
+	}
+	for u := int32(0); u < nu; u++ {
+		f := m.UserFactors(u)
+		for q := range f {
+			f[q] = 1 // positive sign for the DSS sign test
+		}
+	}
+	return d, m
+}
+
+func TestNewTripleSamplerValidation(t *testing.T) {
+	d, m := fixture(t)
+	rng := mathx.NewRNG(1)
+	if _, err := NewTripleSampler(TripleConfig{}, nil, nil, rng); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := NewTripleSampler(TripleConfig{}, d, nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewTripleSampler(TripleConfig{Strategy: DSS}, d, nil, rng); err == nil {
+		t.Error("DSS without model accepted")
+	}
+	if _, err := NewTripleSampler(TripleConfig{GeomP: 2}, d, m, rng); err == nil {
+		t.Error("GeomP > 1 accepted")
+	}
+	if _, err := NewTripleSampler(TripleConfig{RefreshEvery: -1}, d, m, rng); err == nil {
+		t.Error("negative RefreshEvery accepted")
+	}
+	if _, err := NewTripleSampler(TripleConfig{Strategy: Uniform}, d, nil, rng); err != nil {
+		t.Errorf("uniform without model rejected: %v", err)
+	}
+}
+
+// checkTriple asserts the CLAPF sampling invariants.
+func checkTriple(t *testing.T, d *dataset.Dataset, u int32, tr Triple) {
+	t.Helper()
+	if !d.IsPositive(u, tr.I) {
+		t.Fatalf("i = %d is not observed for user %d", tr.I, u)
+	}
+	if !d.IsPositive(u, tr.K) {
+		t.Fatalf("k = %d is not observed for user %d", tr.K, u)
+	}
+	if d.IsPositive(u, tr.J) {
+		t.Fatalf("j = %d is observed for user %d", tr.J, u)
+	}
+	if tr.K == tr.I && d.NumPositives(u) > 1 {
+		t.Fatalf("k == i for user with %d positives", d.NumPositives(u))
+	}
+}
+
+func TestTripleInvariantsAllStrategies(t *testing.T) {
+	d, m := fixture(t)
+	users := d.UsersWithAtLeast(2)
+	for _, strat := range []Strategy{Uniform, DSS, PositiveOnly, NegativeOnly} {
+		for _, obj := range []Objective{MAP, MRR} {
+			s, err := NewTripleSampler(TripleConfig{Strategy: strat, Objective: obj}, d, m, mathx.NewRNG(5))
+			if err != nil {
+				t.Fatalf("%v/%v: %v", strat, obj, err)
+			}
+			for n := 0; n < 2000; n++ {
+				u := users[n%len(users)]
+				checkTriple(t, d, u, s.Sample(u))
+			}
+		}
+	}
+}
+
+func TestDSSMAPPrefersLowScoredK(t *testing.T) {
+	// With item score = item id, CLAPF-MAP's k should come from the bottom
+	// of the user's observed list far more often than the top.
+	d, m := fixture(t)
+	s, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MAP}, d, m, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := d.UsersWithAtLeast(3)
+	lowK, highK := 0, 0
+	for n := 0; n < 6000; n++ {
+		u := users[n%len(users)]
+		obs := d.Positives(u) // sorted ascending = ascending score
+		tr := s.Sample(u)
+		mid := obs[len(obs)/2]
+		switch {
+		case tr.K < mid:
+			lowK++
+		case tr.K > mid:
+			highK++
+		}
+	}
+	if lowK <= highK {
+		t.Errorf("CLAPF-MAP k draws: low %d, high %d — want bottom-heavy", lowK, highK)
+	}
+}
+
+func TestDSSMRRPrefersHighScoredK(t *testing.T) {
+	d, m := fixture(t)
+	s, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MRR}, d, m, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := d.UsersWithAtLeast(3)
+	lowK, highK := 0, 0
+	for n := 0; n < 6000; n++ {
+		u := users[n%len(users)]
+		obs := d.Positives(u)
+		tr := s.Sample(u)
+		mid := obs[len(obs)/2]
+		switch {
+		case tr.K < mid:
+			lowK++
+		case tr.K > mid:
+			highK++
+		}
+	}
+	if highK <= lowK {
+		t.Errorf("CLAPF-MRR k draws: low %d, high %d — want top-heavy", lowK, highK)
+	}
+}
+
+func TestDSSNegativePrefersHighScoredJ(t *testing.T) {
+	// j should be drawn from the top of the global ranking (hard
+	// negatives): its mean score must exceed the uniform sampler's.
+	d, m := fixture(t)
+	dss, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MAP}, d, m, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewTripleSampler(TripleConfig{Strategy: Uniform}, d, nil, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := d.UsersWithAtLeast(2)
+	var dssJ, uniJ mathx.OnlineStats
+	for n := 0; n < 5000; n++ {
+		u := users[n%len(users)]
+		dssJ.Add(float64(dss.Sample(u).J))
+		uniJ.Add(float64(uni.Sample(u).J))
+	}
+	if dssJ.Mean() <= uniJ.Mean() {
+		t.Errorf("DSS j mean score %.2f not above uniform %.2f", dssJ.Mean(), uniJ.Mean())
+	}
+}
+
+func TestDSSSignTestReversesList(t *testing.T) {
+	// Flip all user factors negative: the ranking list is reversed, so
+	// hard negatives become the *low* item ids.
+	d, m := fixture(t)
+	for u := int32(0); u < int32(m.NumUsers()); u++ {
+		f := m.UserFactors(u)
+		for q := range f {
+			f[q] = -1
+		}
+	}
+	s, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MAP}, d, m, mathx.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := d.UsersWithAtLeast(2)
+	var js mathx.OnlineStats
+	for n := 0; n < 5000; n++ {
+		u := users[n%len(users)]
+		js.Add(float64(s.Sample(u).J))
+	}
+	// With the reversed list, draws concentrate on low ids; the uniform
+	// mean over 40 items is ~19.5.
+	if js.Mean() >= 19.5 {
+		t.Errorf("sign test did not reverse list: mean j id %.2f", js.Mean())
+	}
+}
+
+func TestPositiveOnlyJIsUniform(t *testing.T) {
+	d, m := fixture(t)
+	s, err := NewTripleSampler(TripleConfig{Strategy: PositiveOnly, Objective: MAP}, d, m, mathx.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, _ := NewTripleSampler(TripleConfig{Strategy: Uniform}, d, nil, mathx.NewRNG(13))
+	users := d.UsersWithAtLeast(2)
+	var posJ, uniJ mathx.OnlineStats
+	for n := 0; n < 5000; n++ {
+		u := users[n%len(users)]
+		posJ.Add(float64(s.Sample(u).J))
+		uniJ.Add(float64(uni.Sample(u).J))
+	}
+	if diff := posJ.Mean() - uniJ.Mean(); diff > 2 || diff < -2 {
+		t.Errorf("PositiveOnly j mean %.2f differs from uniform %.2f", posJ.Mean(), uniJ.Mean())
+	}
+}
+
+func TestRefreshTracksModel(t *testing.T) {
+	d, m := fixture(t)
+	s, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MAP, RefreshEvery: 1}, d, m, mathx.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert item scores: item 0 becomes the top item. After refresh, hard
+	// negatives must flip to low ids.
+	for i := int32(0); i < int32(m.NumItems()); i++ {
+		f := m.ItemFactors(i)
+		for q := range f {
+			f[q] = float64(m.NumItems()) - float64(i)
+		}
+	}
+	users := d.UsersWithAtLeast(2)
+	var js mathx.OnlineStats
+	for n := 0; n < 4000; n++ {
+		u := users[n%len(users)]
+		js.Add(float64(s.Sample(u).J))
+	}
+	if js.Mean() >= 19.5 {
+		t.Errorf("refresh did not track inverted model: mean j id %.2f", js.Mean())
+	}
+}
+
+func TestStrategyObjectiveStrings(t *testing.T) {
+	if Uniform.String() != "Uniform" || DSS.String() != "DSS" ||
+		PositiveOnly.String() != "Positive" || NegativeOnly.String() != "Negative" {
+		t.Error("Strategy names wrong")
+	}
+	if MAP.String() != "MAP" || MRR.String() != "MRR" {
+		t.Error("Objective names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should still print")
+	}
+}
+
+func TestSinglePositiveUser(t *testing.T) {
+	// A user with exactly one positive: k falls back to i (the trainer
+	// only feeds users with ≥2 positives, but the sampler must not crash).
+	d, err := dataset.FromInteractions("one", 1, 10, []dataset.Interaction{{User: 0, Item: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewTripleSampler(TripleConfig{Strategy: Uniform}, d, nil, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Sample(0)
+	if tr.I != 4 || tr.K != 4 {
+		t.Errorf("single-positive triple = %+v", tr)
+	}
+	if d.IsPositive(0, tr.J) {
+		t.Error("j observed")
+	}
+}

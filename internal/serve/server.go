@@ -1,0 +1,224 @@
+// Package serve exposes a trained CLAPF model over HTTP — the deployment
+// surface a downstream adopter runs behind their application. Endpoints:
+//
+//	GET /healthz                      liveness + model dimensions
+//	GET /recommend?user=U&k=K         top-k unobserved items for a known user
+//	GET /recommend?items=1,2,3&k=K    cold-start: fold the history in, then rank
+//	GET /similar?item=I&k=K           nearest items by factor cosine
+//
+// All responses are JSON. The server is read-only over an immutable model
+// and dataset, so handlers are safe for concurrent use.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mf"
+	"clapf/internal/rank"
+)
+
+// Server serves recommendations from a trained model. train supplies the
+// observed-item exclusions for known users and must match the model's
+// dimensions.
+type Server struct {
+	model *mf.Model
+	train *dataset.Dataset
+	// FoldInReg is the ridge strength for cold-start fold-in.
+	FoldInReg float64
+	// MaxK caps the k query parameter.
+	MaxK int
+}
+
+// New validates the pair and returns a Server.
+func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if train == nil {
+		return nil, fmt.Errorf("serve: nil training dataset")
+	}
+	if model.NumUsers() != train.NumUsers() || model.NumItems() != train.NumItems() {
+		return nil, fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
+			model.NumUsers(), model.NumItems(), train.NumUsers(), train.NumItems())
+	}
+	return &Server{model: model, train: train, FoldInReg: 0.1, MaxK: 100}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /recommend", s.handleRecommend)
+	mux.HandleFunc("GET /similar", s.handleSimilar)
+	return mux
+}
+
+// Item is one scored item in a JSON response.
+type Item struct {
+	Item  int32   `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// RecommendResponse is the /recommend payload.
+type RecommendResponse struct {
+	User  *int32 `json:"user,omitempty"`
+	Items []Item `json:"items"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Users  int    `json:"users"`
+	Items  int    `json:"items"`
+	Dim    int    `json:"dim"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Users:  s.model.NumUsers(),
+		Items:  s.model.NumItems(),
+		Dim:    s.model.Dim(),
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	k, err := s.parseK(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	userParam := r.URL.Query().Get("user")
+	itemsParam := r.URL.Query().Get("items")
+	switch {
+	case userParam != "" && itemsParam != "":
+		httpError(w, http.StatusBadRequest, fmt.Errorf("pass either user or items, not both"))
+	case userParam != "":
+		s.recommendKnown(w, userParam, k)
+	case itemsParam != "":
+		s.recommendColdStart(w, itemsParam, k)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing user or items parameter"))
+	}
+}
+
+func (s *Server) recommendKnown(w http.ResponseWriter, userParam string, k int) {
+	u64, err := strconv.ParseInt(userParam, 10, 32)
+	if err != nil || u64 < 0 || int(u64) >= s.model.NumUsers() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
+		return
+	}
+	u := int32(u64)
+	scores := make([]float64, s.model.NumItems())
+	s.model.ScoreAll(u, scores)
+	top := rank.TopK(scores, k, func(i int32) bool { return s.train.IsPositive(u, i) })
+	writeJSON(w, http.StatusOK, RecommendResponse{User: &u, Items: toItems(top)})
+}
+
+func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k int) {
+	history, err := parseItemList(itemsParam, s.model.NumItems())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	uf, err := mf.FoldInUser(s.model, history, s.FoldInReg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	seen := make(map[int32]bool, len(history))
+	for _, it := range history {
+		seen[it] = true
+	}
+	scores := make([]float64, s.model.NumItems())
+	s.model.ScoreAllFoldIn(uf, scores)
+	top := rank.TopK(scores, k, func(i int32) bool { return seen[i] })
+	writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(top)})
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	k, err := s.parseK(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	itemParam := r.URL.Query().Get("item")
+	i64, err := strconv.ParseInt(itemParam, 10, 32)
+	if err != nil || i64 < 0 || int(i64) >= s.model.NumItems() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
+		return
+	}
+	sims, err := mf.SimilarItems(s.model, int32(i64), k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(sims)})
+}
+
+func (s *Server) parseK(r *http.Request) (int, error) {
+	kParam := r.URL.Query().Get("k")
+	if kParam == "" {
+		return 10, nil
+	}
+	k, err := strconv.Atoi(kParam)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("invalid k %q", kParam)
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	return k, nil
+}
+
+func parseItemList(param string, numItems int) ([]int32, error) {
+	parts := strings.Split(param, ",")
+	items := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("invalid item %q", p)
+		}
+		if v < 0 || int(v) >= numItems {
+			return nil, fmt.Errorf("item %d out of range [0,%d)", v, numItems)
+		}
+		items = append(items, int32(v))
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("empty item list")
+	}
+	return items, nil
+}
+
+func toItems(es []rank.Entry) []Item {
+	out := make([]Item, len(es))
+	for i, e := range es {
+		out[i] = Item{Item: e.Item, Score: e.Score}
+	}
+	return out
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding errors after the header is written can only be logged; for
+	// these tiny payloads they do not occur in practice.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Model exposes the served model (for status reporting by callers).
+func (s *Server) Model() *mf.Model { return s.model }

@@ -1,0 +1,237 @@
+// Package store persists trained factor models in a small versioned binary
+// format with an integrity checksum, so a model trained by cmd/clapf-train
+// can be reloaded for serving or later evaluation without retraining.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "CLAPFMF\x00"
+//	version uint32
+//	flags   uint32   bit 0: has item bias
+//	users   uint64
+//	items   uint64
+//	dim     uint64
+//	U       users·dim float64 bits
+//	V       items·dim float64 bits
+//	B       items float64 bits (only when bias flag set)
+//	crc     uint32   CRC-32 (IEEE) of everything above
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"clapf/internal/mf"
+)
+
+var magic = [8]byte{'C', 'L', 'A', 'P', 'F', 'M', 'F', 0}
+
+// Version is the current format version.
+const Version uint32 = 1
+
+const flagBias uint32 = 1
+
+// Save writes the model to w.
+func Save(w io.Writer, m *mf.Model) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	if _, err := mw.Write(magic[:]); err != nil {
+		return fmt.Errorf("store: write magic: %w", err)
+	}
+	var flags uint32
+	if m.HasBias() {
+		flags |= flagBias
+	}
+	if err := writeU32(mw, Version); err != nil {
+		return err
+	}
+	if err := writeU32(mw, flags); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(m.NumUsers()), uint64(m.NumItems()), uint64(m.Dim())} {
+		if err := writeU64(mw, v); err != nil {
+			return err
+		}
+	}
+	u, v, b := m.RawParams()
+	for _, block := range [][]float64{u, v, b} {
+		if err := writeFloats(mw, block); err != nil {
+			return err
+		}
+	}
+	return writeU32(w, crc.Sum32())
+}
+
+// Load reads a model written by Save, verifying magic, version, and
+// checksum.
+func Load(r io.Reader) (*mf.Model, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(tr, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("store: bad magic %q", gotMagic[:])
+	}
+	version, err := readU32(tr)
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("store: unsupported version %d (have %d)", version, Version)
+	}
+	flags, err := readU32(tr)
+	if err != nil {
+		return nil, err
+	}
+	dims := make([]uint64, 3)
+	for i := range dims {
+		if dims[i], err = readU64(tr); err != nil {
+			return nil, err
+		}
+	}
+	const maxDim = 1 << 31
+	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
+		dims[0] > maxDim || dims[1] > maxDim || dims[2] > 1<<20 {
+		return nil, fmt.Errorf("store: implausible dimensions %v", dims)
+	}
+	if dims[0]*dims[2] > 1<<34 || dims[1]*dims[2] > 1<<34 {
+		return nil, fmt.Errorf("store: parameter block too large: %v", dims)
+	}
+	numUsers, numItems, dim := int(dims[0]), int(dims[1]), int(dims[2])
+	useBias := flags&flagBias != 0
+
+	u, err := readFloats(tr, numUsers*dim)
+	if err != nil {
+		return nil, err
+	}
+	v, err := readFloats(tr, numItems*dim)
+	if err != nil {
+		return nil, err
+	}
+	var b []float64
+	if useBias {
+		if b, err = readFloats(tr, numItems); err != nil {
+			return nil, err
+		}
+	}
+	wantSum := crc.Sum32()
+	gotSum, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: read checksum: %w", err)
+	}
+	if gotSum != wantSum {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
+	}
+	return mf.FromRaw(mf.Config{
+		NumUsers: numUsers,
+		NumItems: numItems,
+		Dim:      dim,
+		UseBias:  useBias,
+	}, u, v, b)
+}
+
+// SaveFile writes the model to path atomically (write to a temp file in the
+// same directory, then rename).
+func SaveFile(path string, m *mf.Model) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".clapf-model-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := Save(bw, m); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*mf.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readFloats(r io.Reader, n int) ([]float64, error) {
+	raw := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("store: read %d floats: %w", n, err)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return xs, nil
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+func sampleModel(seed uint64, useBias bool) *mf.Model {
+	m := mf.MustNew(mf.Config{NumUsers: 7, NumItems: 11, Dim: 5, UseBias: useBias})
+	m.InitGaussian(mathx.NewRNG(seed), 0.4)
+	if useBias {
+		for i := int32(0); i < 11; i++ {
+			m.AddBias(i, mathx.NewRNG(seed+uint64(i)).NormFloat64())
+		}
+	}
+	return m
+}
+
+func modelsEqual(a, b *mf.Model) bool {
+	if a.NumUsers() != b.NumUsers() || a.NumItems() != b.NumItems() ||
+		a.Dim() != b.Dim() || a.HasBias() != b.HasBias() {
+		return false
+	}
+	for u := int32(0); u < int32(a.NumUsers()); u++ {
+		for i := int32(0); i < int32(a.NumItems()); i++ {
+			if a.Score(u, i) != b.Score(u, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, useBias := range []bool{true, false} {
+		m := sampleModel(1, useBias)
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("Save(bias=%v): %v", useBias, err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load(bias=%v): %v", useBias, err)
+		}
+		if !modelsEqual(m, got) {
+			t.Errorf("round trip (bias=%v) changed the model", useBias)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, useBias bool) bool {
+		m := sampleModel(seed, useBias)
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		return err == nil && modelsEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	m := sampleModel(2, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip one byte in the parameter region: checksum must catch it.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	// Truncation must fail cleanly.
+	if _, err := Load(bytes.NewReader(clean[:len(clean)-10])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+
+	// Wrong magic.
+	bad := append([]byte(nil), clean...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Wrong version.
+	badv := append([]byte(nil), clean...)
+	badv[8] = 0xFE
+	if _, err := Load(bytes.NewReader(badv)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestLoadRejectsHugeDimensions(t *testing.T) {
+	m := sampleModel(3, false)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The users field lives at offset 16; blow it up to provoke the
+	// allocation guard before any huge read happens.
+	for i := 16; i < 24; i++ {
+		data[i] = 0xFF
+	}
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("implausible dimensions accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.clapf")
+	m := sampleModel(4, true)
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(m, got) {
+		t.Error("file round trip changed the model")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want only the model file", len(entries))
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// failAfter writes n bytes successfully, then errors — exercising every
+// partial-write path in Save.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		can := f.n - f.written
+		if can < 0 {
+			can = 0
+		}
+		f.written += can
+		return can, errFail
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errFail = os.ErrClosed
+
+func TestSaveWriteErrors(t *testing.T) {
+	m := sampleModel(6, true)
+	// Probe failure at several offsets covering magic, header, params, and
+	// the trailing checksum.
+	for _, n := range []int{0, 4, 10, 20, 40, 200, 800, 849} {
+		w := &failAfter{n: n}
+		if err := Save(w, m); err == nil {
+			t.Errorf("Save with writer failing at byte %d succeeded", n)
+		}
+	}
+}
+
+func TestSaveFileUnwritableDir(t *testing.T) {
+	m := sampleModel(7, false)
+	if err := SaveFile("/nonexistent-dir-xyz/m.clapf", m); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}
+
+func TestLoadTruncatedEverywhere(t *testing.T) {
+	m := sampleModel(8, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncating at every prefix length must fail, never panic.
+	for n := 0; n < len(full)-1; n += 37 {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+}
