@@ -129,6 +129,10 @@ func DefaultConfig(v Variant, trainPairs int) Config {
 // Trainer learns a CLAPF model by stochastic gradient descent.
 type Trainer = core.Trainer
 
+// TrainStats is one training-telemetry snapshot (smoothed loss, gradient
+// magnitude, steps/sec) delivered to a Trainer.SetStatsHook callback.
+type TrainStats = core.TrainStats
+
 // NewTrainer validates cfg and prepares a trainer over the training split.
 func NewTrainer(cfg Config, train *Dataset) (*Trainer, error) {
 	return core.NewTrainer(cfg, train)

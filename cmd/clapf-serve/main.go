@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	clapf-serve -model model.clapf -train train.tsv [-addr :8080]
+//	clapf-serve -model model.clapf -train train.tsv [-addr :8080] [-pprof]
 //
-// Endpoints (JSON): GET /healthz, GET /recommend?user=U&k=K,
-// GET /recommend?items=1,2,3&k=K (cold-start fold-in), and
-// GET /similar?item=I&k=K. The server drains in-flight requests on
-// SIGINT/SIGTERM.
+// Endpoints (JSON): GET /healthz (liveness, model dims, uptime, request
+// totals), GET /recommend?user=U&k=K, GET /recommend?items=1,2,3&k=K
+// (cold-start fold-in), and GET /similar?item=I&k=K. GET /metrics serves
+// Prometheus text exposition (per-endpoint request counts, status codes,
+// latency histograms, model gauges). -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ for live profiling. The server
+// drains in-flight requests on SIGINT/SIGTERM.
 package main
 
 import (
@@ -15,13 +18,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"clapf"
+	"clapf/internal/obs"
 	"clapf/internal/serve"
 )
 
@@ -30,10 +36,11 @@ func main() {
 		modelPath = flag.String("model", "", "trained model file (required)")
 		trainPath = flag.String("train", "", "training dataset TSV, for exclusions (required)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*modelPath, *trainPath, *addr); err != nil {
+	if err := run(*modelPath, *trainPath, *addr, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-serve:", err)
 		os.Exit(1)
 	}
@@ -60,22 +67,46 @@ func buildServer(modelPath, trainPath string) (*serve.Server, error) {
 	return serve.New(model, train)
 }
 
-func run(modelPath, trainPath, addr string) error {
+// newHandler assembles the final handler: the instrumented serve mux,
+// optionally with the pprof endpoints mounted beside it. pprof is opt-in
+// because it exposes heap and CPU internals — not something to leave on
+// an internet-facing port by default.
+func newHandler(server *serve.Server, pprofOn bool) http.Handler {
+	h := server.Handler()
+	if !pprofOn {
+		return h
+	}
+	top := http.NewServeMux()
+	top.Handle("/", h)
+	top.HandleFunc("/debug/pprof/", pprof.Index)
+	top.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	top.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	top.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	top.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return top
+}
+
+func run(modelPath, trainPath, addr string, pprofOn bool) error {
+	logger := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
+
 	server, err := buildServer(modelPath, trainPath)
 	if err != nil {
 		return err
 	}
+	server.SetLogger(logger)
 	model := server.Model()
 
 	httpServer := &http.Server{
 		Addr:              addr,
-		Handler:           server.Handler(),
+		Handler:           newHandler(server, pprofOn),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving %d users × %d items on %s\n", model.NumUsers(), model.NumItems(), addr)
+		logger.Info("serving", "addr", addr,
+			"users", model.NumUsers(), "items", model.NumItems(), "dim", model.Dim(),
+			"pprof", pprofOn)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -83,14 +114,27 @@ func run(modelPath, trainPath, addr string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		// ErrServerClosed means someone shut the server down cleanly —
+		// not a failure even when it arrives without our signal.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
 	case sig := <-stop:
-		fmt.Printf("received %v, draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return err
+		shutdownErr := httpServer.Shutdown(ctx)
+		// Shutdown makes ListenAndServe return ErrServerClosed; drain it
+		// so the goroutine's send never leaks, and surface any real
+		// listener error that raced with the signal.
+		if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
 		}
+		if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+			return shutdownErr
+		}
+		logger.Info("stopped")
 		return nil
 	}
 }

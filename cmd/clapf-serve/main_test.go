@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"clapf"
@@ -73,6 +75,48 @@ func TestBuildServerAndServe(t *testing.T) {
 	}
 	if len(body.Items) != 3 {
 		t.Errorf("got %d items", len(body.Items))
+	}
+}
+
+func TestHandlerMetricsAndPprof(t *testing.T) {
+	modelPath, trainPath := fixtureFiles(t)
+	s, err := buildServer(modelPath, trainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		pprofOn    bool
+		path       string
+		wantStatus int
+	}{
+		{"metrics without pprof", false, "/metrics", 200},
+		{"pprof index disabled", false, "/debug/pprof/", 404},
+		{"metrics with pprof", true, "/metrics", 200},
+		{"pprof index enabled", true, "/debug/pprof/", 200},
+		{"pprof cmdline enabled", true, "/debug/pprof/cmdline", 200},
+		{"recommend with pprof", true, "/recommend?user=1&k=3", 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ts := httptest.NewServer(newHandler(s, c.pprofOn))
+			defer ts.Close()
+			resp, err := ts.Client().Get(ts.URL + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("GET %s = %d, want %d", c.path, resp.StatusCode, c.wantStatus)
+			}
+			if c.path == "/metrics" {
+				buf, _ := io.ReadAll(resp.Body)
+				if !strings.Contains(string(buf), "clapf_http_requests_total") {
+					t.Errorf("/metrics exposition missing request counter:\n%s", buf)
+				}
+			}
+		})
 	}
 }
 

@@ -5,69 +5,123 @@
 //
 //	clapf-train -train train.tsv [-test test.tsv] [-variant map|mrr]
 //	            [-lambda 0.4] [-dss] [-epochs 30] [-out model.clapf]
+//	            [-log-every N] [-metrics-out telemetry.json]
+//
+// While training, one structured telemetry line is emitted per reporting
+// interval (default: one epoch-equivalent):
+//
+//	… level=INFO msg=telemetry step=9040 total=271200 loss=0.5817 grad_mag=0.3294 steps_per_sec=913642 elapsed=9ms
+//
+// loss is an EWMA of the per-step logistic loss −ln σ(R); grad_mag is the
+// interval mean of the Eq. 23 gradient scalar 1−σ(R) (near zero ⇒ the
+// vanishing-gradient regime DSS escapes); steps_per_sec is SGD throughput.
+// -metrics-out additionally dumps the full interval history plus DSS
+// sampler draw histograms as JSON for offline plotting.
 //
 // Dataset files use the clapf TSV format (see clapf-datagen or
 // clapf.WriteDatasetTSV).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"time"
 
 	"clapf"
+	"clapf/internal/obs"
 )
 
 func main() {
-	var (
-		trainPath = flag.String("train", "", "training dataset (TSV, required)")
-		testPath  = flag.String("test", "", "test dataset (TSV, optional)")
-		variant   = flag.String("variant", "map", "objective: map or mrr")
-		lambda    = flag.Float64("lambda", 0.4, "list-vs-pairwise trade-off λ in [0,1]")
-		dss       = flag.Bool("dss", false, "use the Double Sampling Strategy (CLAPF+)")
-		dim       = flag.Int("dim", 20, "latent dimensionality")
-		epochs    = flag.Int("epochs", 30, "epoch-equivalents of SGD")
-		rate      = flag.Float64("rate", 0.05, "learning rate")
-		reg       = flag.Float64("reg", 0.01, "L2 regularization")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		outPath   = flag.String("out", "", "path to save the trained model (optional)")
-	)
+	var o options
+	flag.StringVar(&o.trainPath, "train", "", "training dataset (TSV, required)")
+	flag.StringVar(&o.testPath, "test", "", "test dataset (TSV, optional)")
+	flag.StringVar(&o.variant, "variant", "map", "objective: map or mrr")
+	flag.Float64Var(&o.lambda, "lambda", 0.4, "list-vs-pairwise trade-off λ in [0,1]")
+	flag.BoolVar(&o.dss, "dss", false, "use the Double Sampling Strategy (CLAPF+)")
+	flag.IntVar(&o.dim, "dim", 20, "latent dimensionality")
+	flag.IntVar(&o.epochs, "epochs", 30, "epoch-equivalents of SGD")
+	flag.Float64Var(&o.rate, "rate", 0.05, "learning rate")
+	flag.Float64Var(&o.reg, "reg", 0.01, "L2 regularization")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.outPath, "out", "", "path to save the trained model (optional)")
+	flag.IntVar(&o.logEvery, "log-every", 0, "steps between telemetry lines (0 = one epoch-equivalent)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON telemetry dump here after training (optional)")
 	flag.Parse()
 
-	if err := run(*trainPath, *testPath, *variant, *lambda, *dss, *dim, *epochs, *rate, *reg, *seed, *outPath); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trainPath, testPath, variant string, lambda float64, dss bool,
-	dim, epochs int, rate, reg float64, seed uint64, outPath string) error {
-	if trainPath == "" {
+// options carries every flag; run is pure over it for testability.
+type options struct {
+	trainPath, testPath string
+	variant             string
+	lambda              float64
+	dss                 bool
+	dim, epochs         int
+	rate, reg           float64
+	seed                uint64
+	outPath             string
+	logEvery            int
+	metricsOut          string
+}
+
+// intervalRecord is one telemetry snapshot in the -metrics-out dump.
+type intervalRecord struct {
+	Step           int     `json:"step"`
+	SmoothedLoss   float64 `json:"smoothed_loss"`
+	GradMag        float64 `json:"grad_mag"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// telemetryDump is the -metrics-out payload.
+type telemetryDump struct {
+	Variant           string                `json:"variant"`
+	Lambda            float64               `json:"lambda"`
+	DSS               bool                  `json:"dss"`
+	Steps             int                   `json:"steps"`
+	WallSeconds       float64               `json:"wall_seconds"`
+	StepsPerSec       float64               `json:"steps_per_sec"`
+	FinalSmoothedLoss float64               `json:"final_smoothed_loss"`
+	Intervals         []intervalRecord      `json:"intervals"`
+	PosDraws          obs.HistogramSnapshot `json:"pos_draws"`
+	NegDraws          obs.HistogramSnapshot `json:"neg_draws"`
+}
+
+func run(w io.Writer, o options) error {
+	if o.trainPath == "" {
 		return fmt.Errorf("-train is required")
 	}
-	train, err := loadTSV(trainPath)
+	train, err := loadTSV(o.trainPath)
 	if err != nil {
 		return err
 	}
 
 	var v clapf.Variant
-	switch variant {
+	switch o.variant {
 	case "map":
 		v = clapf.MAP
 	case "mrr":
 		v = clapf.MRR
 	default:
-		return fmt.Errorf("unknown variant %q (want map or mrr)", variant)
+		return fmt.Errorf("unknown variant %q (want map or mrr)", o.variant)
 	}
 
 	cfg := clapf.DefaultConfig(v, train.NumPairs())
-	cfg.Lambda = lambda
-	cfg.Dim = dim
-	cfg.Steps = epochs * train.NumPairs()
-	cfg.LearnRate = rate
-	cfg.RegUser, cfg.RegItem, cfg.RegBias = reg, reg, reg
-	cfg.Seed = seed
-	if dss {
+	cfg.Lambda = o.lambda
+	cfg.Dim = o.dim
+	cfg.Steps = o.epochs * train.NumPairs()
+	cfg.LearnRate = o.rate
+	cfg.RegUser, cfg.RegItem, cfg.RegBias = o.reg, o.reg, o.reg
+	cfg.Seed = o.seed
+	if o.dss {
 		cfg.Sampler.Strategy = clapf.SamplerDSS
 	}
 
@@ -75,29 +129,97 @@ func run(trainPath, testPath, variant string, lambda float64, dss bool,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps\n",
-		v, lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps)
-	trainer.Run()
 
-	if testPath != "" {
-		test, err := loadTSV(testPath)
+	// Telemetry: one structured line per interval, accumulated for the
+	// optional JSON dump.
+	logger := obs.NewTextLogger(w, slog.LevelInfo)
+	every := o.logEvery
+	if every <= 0 {
+		every = train.NumPairs() // one epoch-equivalent
+	}
+	var intervals []intervalRecord
+	err = trainer.SetStatsHook(every, func(st clapf.TrainStats) {
+		logger.Info("telemetry",
+			"step", st.Step,
+			"total", st.TotalSteps,
+			"loss", fmt.Sprintf("%.4f", st.SmoothedLoss),
+			"grad_mag", fmt.Sprintf("%.4f", st.GradMag),
+			"steps_per_sec", int(st.StepsPerSec),
+			"elapsed", st.Elapsed.Round(time.Millisecond).String())
+		intervals = append(intervals, intervalRecord{
+			Step:           st.Step,
+			SmoothedLoss:   st.SmoothedLoss,
+			GradMag:        st.GradMag,
+			StepsPerSec:    st.StepsPerSec,
+			ElapsedSeconds: st.Elapsed.Seconds(),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	posDraws := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	negDraws := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	trainer.InstrumentSampler(posDraws, negDraws)
+
+	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps\n",
+		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps)
+	start := time.Now()
+	trainer.Run()
+	wall := time.Since(start)
+
+	sps := 0.0
+	if secs := wall.Seconds(); secs > 0 {
+		sps = float64(trainer.StepsDone()) / secs
+	}
+	fmt.Fprintf(w, "trained %d steps in %s (%.0f steps/s), final smoothed loss %.4f\n",
+		trainer.StepsDone(), wall.Round(time.Millisecond), sps, trainer.SmoothedLoss())
+	if o.dss && negDraws.Count() > 0 {
+		fmt.Fprintf(w, "DSS draws: mean positive rank %.1f, mean negative rank %.1f (of %d items)\n",
+			posDraws.Mean(), negDraws.Mean(), train.NumItems())
+	}
+
+	if o.metricsOut != "" {
+		dump := telemetryDump{
+			Variant:           v.String(),
+			Lambda:            o.lambda,
+			DSS:               o.dss,
+			Steps:             trainer.StepsDone(),
+			WallSeconds:       wall.Seconds(),
+			StepsPerSec:       sps,
+			FinalSmoothedLoss: trainer.SmoothedLoss(),
+			Intervals:         intervals,
+			PosDraws:          posDraws.Snapshot(),
+			NegDraws:          negDraws.Snapshot(),
+		}
+		buf, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding telemetry: %w", err)
+		}
+		if err := os.WriteFile(o.metricsOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing telemetry: %w", err)
+		}
+		fmt.Fprintf(w, "telemetry written to %s\n", o.metricsOut)
+	}
+
+	if o.testPath != "" {
+		test, err := loadTSV(o.testPath)
 		if err != nil {
 			return err
 		}
 		res := clapf.Evaluate(trainer.Model(), train, test, clapf.EvalOptions{})
-		fmt.Printf("evaluated %d users:\n", res.Users)
+		fmt.Fprintf(w, "evaluated %d users in %s:\n", res.Users, res.Timing)
 		for _, m := range res.AtK {
-			fmt.Printf("  k=%-3d Prec %.4f  Recall %.4f  F1 %.4f  1-call %.4f  NDCG %.4f\n",
+			fmt.Fprintf(w, "  k=%-3d Prec %.4f  Recall %.4f  F1 %.4f  1-call %.4f  NDCG %.4f\n",
 				m.K, m.Prec, m.Recall, m.F1, m.OneCall, m.NDCG)
 		}
-		fmt.Printf("  MAP %.4f  MRR %.4f  AUC %.4f\n", res.MAP, res.MRR, res.AUC)
+		fmt.Fprintf(w, "  MAP %.4f  MRR %.4f  AUC %.4f\n", res.MAP, res.MRR, res.AUC)
 	}
 
-	if outPath != "" {
-		if err := clapf.SaveModelFile(outPath, trainer.Model()); err != nil {
+	if o.outPath != "" {
+		if err := clapf.SaveModelFile(o.outPath, trainer.Model()); err != nil {
 			return err
 		}
-		fmt.Printf("model saved to %s\n", outPath)
+		fmt.Fprintf(w, "model saved to %s\n", o.outPath)
 	}
 	return nil
 }

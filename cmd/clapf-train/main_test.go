@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"clapf"
@@ -28,6 +33,19 @@ func writeDataset(t *testing.T, path string, seed uint64) {
 	}
 }
 
+func baseOptions(trainPath string) options {
+	return options{
+		trainPath: trainPath,
+		variant:   "map",
+		lambda:    0.3,
+		dim:       8,
+		epochs:    5,
+		rate:      0.05,
+		reg:       0.01,
+		seed:      3,
+	}
+}
+
 func TestTrainEvaluateSave(t *testing.T) {
 	dir := t.TempDir()
 	trainPath := filepath.Join(dir, "train.tsv")
@@ -36,8 +54,10 @@ func TestTrainEvaluateSave(t *testing.T) {
 	writeDataset(t, trainPath, 1)
 	writeDataset(t, testPath, 2)
 
-	err := run(trainPath, testPath, "map", 0.3, false, 8, 5, 0.05, 0.01, 3, modelPath)
-	if err != nil {
+	o := baseOptions(trainPath)
+	o.testPath = testPath
+	o.outPath = modelPath
+	if err := run(io.Discard, o); err != nil {
 		t.Fatal(err)
 	}
 	m, err := clapf.LoadModelFile(modelPath)
@@ -53,8 +73,105 @@ func TestTrainMRRWithDSS(t *testing.T) {
 	dir := t.TempDir()
 	trainPath := filepath.Join(dir, "train.tsv")
 	writeDataset(t, trainPath, 3)
-	if err := run(trainPath, "", "mrr", 0.2, true, 8, 5, 0.05, 0.01, 3, ""); err != nil {
+	o := baseOptions(trainPath)
+	o.variant = "mrr"
+	o.lambda = 0.2
+	o.dss = true
+	if err := run(io.Discard, o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+var (
+	telemetryLineRE = regexp.MustCompile(
+		`msg=telemetry step=\d+ total=\d+ loss=\d+\.\d{4} grad_mag=\d+\.\d{4} steps_per_sec=\d+ elapsed=\S+`)
+	summaryLineRE = regexp.MustCompile(
+		`(?m)^trained \d+ steps in \S+ \(\d+ steps/s\), final smoothed loss \d+\.\d{4}$`)
+)
+
+func TestTelemetryAndSummaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	testPath := filepath.Join(dir, "test.tsv")
+	writeDataset(t, trainPath, 5)
+	writeDataset(t, testPath, 6)
+
+	var out bytes.Buffer
+	o := baseOptions(trainPath)
+	o.testPath = testPath
+	o.epochs = 4
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+
+	// One telemetry line per epoch-equivalent (default interval).
+	lines := telemetryLineRE.FindAllString(text, -1)
+	if len(lines) != 4 {
+		t.Errorf("got %d telemetry lines, want 4; output:\n%s", len(lines), text)
+	}
+	if !summaryLineRE.MatchString(text) {
+		t.Errorf("summary line missing or malformed in:\n%s", text)
+	}
+	// Eval timing phases surface in the evaluation header.
+	if !regexp.MustCompile(`evaluated \d+ users in total \S+ \(score \S+, rank \S+, metrics \S+\):`).MatchString(text) {
+		t.Errorf("eval timing missing in:\n%s", text)
+	}
+}
+
+func TestLogEveryOverride(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	writeDataset(t, trainPath, 7)
+
+	var out bytes.Buffer
+	o := baseOptions(trainPath)
+	o.epochs = 2
+	o.logEvery = 100 // pairs ≈ hundreds, so this yields many lines
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(telemetryLineRE.FindAllString(out.String(), -1)); n < 4 {
+		t.Errorf("got %d telemetry lines with -log-every=100, want several", n)
+	}
+}
+
+func TestMetricsOutDump(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	dumpPath := filepath.Join(dir, "telemetry.json")
+	writeDataset(t, trainPath, 8)
+
+	var out bytes.Buffer
+	o := baseOptions(trainPath)
+	o.dss = true
+	o.metricsOut = dumpPath
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetryDump
+	if err := json.Unmarshal(buf, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Variant != "MAP" || !dump.DSS {
+		t.Errorf("dump header = %+v", dump)
+	}
+	if dump.Steps == 0 || dump.FinalSmoothedLoss <= 0 || dump.StepsPerSec <= 0 {
+		t.Errorf("dump totals = %+v", dump)
+	}
+	if len(dump.Intervals) != o.epochs {
+		t.Errorf("dump has %d intervals, want %d", len(dump.Intervals), o.epochs)
+	}
+	if dump.NegDraws.Count == 0 || dump.PosDraws.Count == 0 {
+		t.Error("DSS draw histograms empty in dump")
+	}
+	if !strings.Contains(out.String(), "DSS draws: mean positive rank") {
+		t.Errorf("DSS draw summary missing in:\n%s", out.String())
 	}
 }
 
@@ -63,16 +180,21 @@ func TestTrainErrors(t *testing.T) {
 	trainPath := filepath.Join(dir, "train.tsv")
 	writeDataset(t, trainPath, 4)
 
-	if err := run("", "", "map", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
-		t.Error("missing -train accepted")
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"missing -train", func(o *options) { o.trainPath = "" }},
+		{"unknown variant", func(o *options) { o.variant = "bogus" }},
+		{"lambda out of range", func(o *options) { o.lambda = 7 }},
+		{"missing training file", func(o *options) { o.trainPath = filepath.Join(dir, "absent.tsv") }},
 	}
-	if err := run(trainPath, "", "bogus", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
-		t.Error("unknown variant accepted")
-	}
-	if err := run(trainPath, "", "map", 7, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
-		t.Error("λ out of range accepted")
-	}
-	if err := run(filepath.Join(dir, "absent.tsv"), "", "map", 0.3, false, 8, 1, 0.05, 0.01, 1, ""); err == nil {
-		t.Error("missing training file accepted")
+	for _, c := range cases {
+		o := baseOptions(trainPath)
+		o.epochs = 1
+		c.mut(&o)
+		if err := run(io.Discard, o); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"clapf/internal/dataset"
 	"clapf/internal/mathx"
@@ -101,6 +102,16 @@ type Trainer struct {
 
 	stepsDone int
 	gradMag   mathx.OnlineStats // running mean of 1−σ(R), Eq. 23's scalar
+
+	// Telemetry (see stats.go); inactive until SetStatsHook installs a
+	// hook, so the bare training loop pays nothing.
+	hook         StatsHook
+	hookEvery    int
+	lossEWMA     float64
+	lossN        int
+	trainStart   time.Time
+	lastHookTime time.Time
+	lastHookStep int
 }
 
 // NewTrainer validates the configuration and prepares a trainer over the
@@ -188,10 +199,17 @@ func (t *Trainer) RunSteps(n int) {
 
 // Step samples one (u, i, k, j) case and applies Eq. 22.
 func (t *Trainer) Step() {
+	if t.hook != nil && t.trainStart.IsZero() {
+		now := time.Now()
+		t.trainStart, t.lastHookTime, t.lastHookStep = now, now, t.stepsDone
+	}
 	rec := t.pairs[t.rng.Intn(len(t.pairs))]
 	tr := t.sampler.SampleWithI(rec.User, rec.Item)
 	t.update(rec.User, tr)
 	t.stepsDone++
+	if t.hook != nil {
+		t.maybeFireHook()
+	}
 }
 
 // update applies the SGD update for one sampled triple.
@@ -231,6 +249,9 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 
 	g := 1 - mathx.Sigmoid(r) // Eq. 23's multiplicative scalar
 	t.gradMag.Add(g)
+	if t.hook != nil {
+		t.observeLoss(-mathx.LogSigmoid(r))
+	}
 
 	gamma := t.cfg.LearnRate
 	regU, regV, regB := t.cfg.RegUser, t.cfg.RegItem, t.cfg.RegBias

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clapf/internal/mathx"
+	"clapf/internal/obs"
+)
+
+// TrainStats is one telemetry snapshot, delivered to a stats hook every
+// reporting interval. It is the trainer-side feedback loop the DSS /
+// pairwise-SGD literature says to watch first: a smoothed loss curve and
+// the gradient scalar reveal the vanishing-gradient regime long before
+// ranking metrics move.
+type TrainStats struct {
+	// Step is the number of SGD updates completed so far.
+	Step int
+	// TotalSteps is the configured step budget.
+	TotalSteps int
+	// SmoothedLoss is an exponentially weighted moving average of the
+	// per-step logistic loss −ln σ(R) (the data term of f(u, S); the
+	// regularizer is omitted as it only shifts the curve).
+	SmoothedLoss float64
+	// GradMag is the mean multiplicative gradient scalar 1−σ(R) (Eq. 23)
+	// over the interval — near zero means sampled triples carry no
+	// learning signal.
+	GradMag float64
+	// StepsPerSec is the SGD throughput over the interval.
+	StepsPerSec float64
+	// Elapsed is the wall-clock time since the first instrumented step.
+	Elapsed time.Duration
+}
+
+// StatsHook receives TrainStats snapshots; it runs on the training
+// goroutine, so keep it cheap (log, append, publish to a gauge).
+type StatsHook func(TrainStats)
+
+// lossEWMAWindow bounds the effective smoothing window: early on the
+// average is a plain running mean (exact warm-up), after ~window steps it
+// behaves like an EWMA with α = 1/window.
+const lossEWMAWindow = 1024
+
+// SetStatsHook installs fn to fire every `every` steps. Loss smoothing is
+// only maintained while a hook is installed, so an un-instrumented
+// trainer pays nothing. Passing a nil hook removes instrumentation.
+func (t *Trainer) SetStatsHook(every int, fn StatsHook) error {
+	if fn != nil && every <= 0 {
+		return fmt.Errorf("core: stats interval = %d, want > 0", every)
+	}
+	t.hook = fn
+	t.hookEvery = every
+	t.trainStart = time.Time{} // re-arm the clock on the next step
+	return nil
+}
+
+// SmoothedLoss returns the current loss EWMA (0 until a hook is installed
+// and at least one step has run).
+func (t *Trainer) SmoothedLoss() float64 { return t.lossEWMA }
+
+// InstrumentSampler attaches draw-position histograms to the underlying
+// triple sampler; see sampling.TripleSampler.SetDrawHists.
+func (t *Trainer) InstrumentSampler(pos, neg *obs.Histogram) {
+	t.sampler.SetDrawHists(pos, neg)
+}
+
+// observeLoss folds one per-step logistic loss into the EWMA.
+func (t *Trainer) observeLoss(loss float64) {
+	t.lossN++
+	alpha := 1.0 / float64(t.lossN)
+	if t.lossN > lossEWMAWindow {
+		alpha = 1.0 / lossEWMAWindow
+	}
+	t.lossEWMA += alpha * (loss - t.lossEWMA)
+}
+
+// maybeFireHook emits a snapshot when the interval boundary is crossed.
+func (t *Trainer) maybeFireHook() {
+	if t.stepsDone-t.lastHookStep < t.hookEvery {
+		return
+	}
+	now := time.Now()
+	steps := t.stepsDone - t.lastHookStep
+	secs := now.Sub(t.lastHookTime).Seconds()
+	sps := 0.0
+	if secs > 0 {
+		sps = float64(steps) / secs
+	}
+	stats := TrainStats{
+		Step:         t.stepsDone,
+		TotalSteps:   t.cfg.Steps,
+		SmoothedLoss: t.lossEWMA,
+		GradMag:      t.gradMag.Mean(),
+		StepsPerSec:  sps,
+		Elapsed:      now.Sub(t.trainStart),
+	}
+	// The interval owns the Eq. 23 accumulator while a hook is installed:
+	// each snapshot reports the mean since the previous one.
+	t.gradMag = mathx.OnlineStats{}
+	t.lastHookTime = now
+	t.lastHookStep = t.stepsDone
+	t.hook(stats)
+}

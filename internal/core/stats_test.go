@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/obs"
+	"clapf/internal/sampling"
+)
+
+func statsTrainData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "stats", Users: 40, Items: 60, Pairs: 900,
+		ZipfExp: 0.6, Dim: 4, Affinity: 5,
+	}, mathx.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Data
+}
+
+func TestStatsHookFires(t *testing.T) {
+	train := statsTrainData(t)
+	cfg := DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Dim = 4
+	cfg.Steps = 5000
+	cfg.Seed = 7
+	tr, err := NewTrainer(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []TrainStats
+	if err := tr.SetStatsHook(1000, func(s TrainStats) { snaps = append(snaps, s) }); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run()
+
+	if len(snaps) != 5 {
+		t.Fatalf("hook fired %d times, want 5", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Step != (i+1)*1000 {
+			t.Errorf("snapshot %d at step %d, want %d", i, s.Step, (i+1)*1000)
+		}
+		if s.TotalSteps != cfg.Steps {
+			t.Errorf("snapshot %d TotalSteps = %d, want %d", i, s.TotalSteps, cfg.Steps)
+		}
+		if s.SmoothedLoss <= 0 {
+			t.Errorf("snapshot %d loss = %v, want > 0", i, s.SmoothedLoss)
+		}
+		if s.GradMag <= 0 || s.GradMag >= 1 {
+			t.Errorf("snapshot %d grad mag = %v, want (0,1)", i, s.GradMag)
+		}
+		if s.StepsPerSec <= 0 {
+			t.Errorf("snapshot %d steps/sec = %v, want > 0", i, s.StepsPerSec)
+		}
+		if s.Elapsed <= 0 {
+			t.Errorf("snapshot %d elapsed = %v, want > 0", i, s.Elapsed)
+		}
+	}
+	// Loss should trend down over training on learnable data.
+	if last, first := snaps[len(snaps)-1].SmoothedLoss, snaps[0].SmoothedLoss; last >= first {
+		t.Errorf("smoothed loss did not decrease: first %v, last %v", first, last)
+	}
+	if tr.SmoothedLoss() != snaps[len(snaps)-1].SmoothedLoss {
+		t.Errorf("SmoothedLoss() = %v, want %v", tr.SmoothedLoss(), snaps[len(snaps)-1].SmoothedLoss)
+	}
+}
+
+func TestStatsHookValidationAndRemoval(t *testing.T) {
+	train := statsTrainData(t)
+	cfg := DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Steps = 100
+	tr, err := NewTrainer(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetStatsHook(0, func(TrainStats) {}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	fired := 0
+	if err := tr.SetStatsHook(10, func(TrainStats) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunSteps(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if err := tr.SetStatsHook(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunSteps(20)
+	if fired != 2 {
+		t.Errorf("hook fired after removal: %d", fired)
+	}
+}
+
+func TestInstrumentSamplerRecordsDSSDraws(t *testing.T) {
+	train := statsTrainData(t)
+	cfg := DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Steps = 3000
+	cfg.Sampler.Strategy = sampling.DSS
+	cfg.Seed = 9
+	tr, err := NewTrainer(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	neg := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	tr.InstrumentSampler(pos, neg)
+	tr.Run()
+
+	if pos.Count() == 0 {
+		t.Error("positive draw histogram empty under DSS")
+	}
+	if neg.Count() == 0 {
+		t.Error("negative draw histogram empty under DSS")
+	}
+	// Geometric draws concentrate near the list head: the mean drawn rank
+	// must sit well inside the catalog, not near uniform (m/2).
+	m := float64(train.NumItems())
+	if neg.Mean() >= m/2 {
+		t.Errorf("negative draw mean rank = %v, want < %v (head-heavy)", neg.Mean(), m/2)
+	}
+}
+
+func TestUniformSamplerRecordsNothing(t *testing.T) {
+	train := statsTrainData(t)
+	cfg := DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Steps = 500
+	tr, err := NewTrainer(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	neg := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
+	tr.InstrumentSampler(pos, neg)
+	tr.Run()
+	if pos.Count() != 0 || neg.Count() != 0 {
+		t.Errorf("uniform strategy recorded draws: pos %d, neg %d", pos.Count(), neg.Count())
+	}
+}

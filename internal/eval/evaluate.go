@@ -3,9 +3,11 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"clapf/internal/dataset"
 	"clapf/internal/mathx"
+	"clapf/internal/obs"
 )
 
 // Scorer is the interface every recommender in the repository satisfies:
@@ -33,11 +35,30 @@ var DefaultKs = []int{3, 5, 10, 15, 20}
 
 // Result aggregates metrics over all evaluated users.
 type Result struct {
-	AtK   []KMetrics // one per requested cutoff, in Ks order
-	MAP   float64
-	MRR   float64
-	AUC   float64
-	Users int // users with at least one test positive that were evaluated
+	AtK    []KMetrics // one per requested cutoff, in Ks order
+	MAP    float64
+	MRR    float64
+	AUC    float64
+	Users  int // users with at least one test positive that were evaluated
+	Timing Timing
+}
+
+// Timing breaks the evaluation wall-clock into its phases, accumulated
+// across users: model scoring (ScoreAll), candidate ranking (building
+// and sorting the unobserved-item list), and metric computation. Total
+// covers the whole Evaluate call, including user selection.
+type Timing struct {
+	Score   time.Duration
+	Rank    time.Duration
+	Metrics time.Duration
+	Total   time.Duration
+}
+
+// String renders the phase breakdown for log lines and CLI summaries.
+func (t Timing) String() string {
+	return fmt.Sprintf("total %s (score %s, rank %s, metrics %s)",
+		t.Total.Round(time.Millisecond), t.Score.Round(time.Millisecond),
+		t.Rank.Round(time.Millisecond), t.Metrics.Round(time.Millisecond))
 }
 
 // At returns the KMetrics for cutoff k, or an error if k was not requested.
@@ -64,6 +85,8 @@ func (r Result) MustAt(k int) KMetrics {
 // averaged. Training positives are excluded from the candidate set (they
 // are not recommendable); test positives are the relevance labels.
 func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
+	total := obs.StartSpan("eval")
+	var timing Timing
 	ks := opts.Ks
 	if len(ks) == 0 {
 		ks = DefaultKs
@@ -86,9 +109,12 @@ func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 		if len(rel) == 0 {
 			continue
 		}
+		sp := obs.StartSpan("eval.score")
 		s.ScoreAll(u, scores)
+		timing.Score += sp.End()
 
 		// Candidate set: all items unobserved in training.
+		sp = obs.StartSpan("eval.rank")
 		cands = cands[:0]
 		trainPos := train.Positives(u)
 		tp := 0
@@ -108,7 +134,9 @@ func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 			}
 			return ia < ib
 		})
+		timing.Rank += sp.End()
 
+		sp = obs.StartSpan("eval.metrics")
 		le := NewListEval(cands, func(i int32) bool { return test.IsPositive(u, i) }, len(rel))
 		for i, k := range ks {
 			m := le.AtK(k)
@@ -121,10 +149,13 @@ func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 		mapSum += le.AP()
 		mrrSum += le.RR()
 		aucSum += le.AUC()
+		timing.Metrics += sp.End()
 		evaluated++
 	}
 
 	res := Result{AtK: sums, Users: evaluated}
+	timing.Total = total.End()
+	res.Timing = timing
 	if evaluated == 0 {
 		return res
 	}

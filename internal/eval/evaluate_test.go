@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"strings"
 	"testing"
 
 	"clapf/internal/dataset"
@@ -175,5 +176,23 @@ func TestEvaluateRecallMonotoneInK(t *testing.T) {
 		if res.AtK[i].OneCall+1e-12 < res.AtK[i-1].OneCall {
 			t.Errorf("1-call not monotone in k: %v", res.AtK)
 		}
+	}
+}
+
+func TestEvaluateTiming(t *testing.T) {
+	train, test := buildSplit(t)
+	res := Evaluate(oracleScorer{test}, train, test, Options{Ks: []int{5}})
+	tm := res.Timing
+	if tm.Total <= 0 {
+		t.Fatalf("total = %v, want > 0", tm.Total)
+	}
+	if tm.Score <= 0 || tm.Rank <= 0 || tm.Metrics <= 0 {
+		t.Errorf("phases not all measured: %+v", tm)
+	}
+	if sum := tm.Score + tm.Rank + tm.Metrics; sum > tm.Total {
+		t.Errorf("phases (%v) exceed total (%v)", sum, tm.Total)
+	}
+	if s := tm.String(); !strings.Contains(s, "score") || !strings.Contains(s, "rank") || !strings.Contains(s, "metrics") {
+		t.Errorf("Timing.String() = %q", s)
 	}
 }

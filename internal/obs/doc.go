@@ -1,0 +1,22 @@
+// Package obs is the repository's dependency-free observability core.
+//
+// It provides three small, composable layers:
+//
+//   - Metrics: atomic Counter, Gauge, and fixed-bucket Histogram types,
+//     plus labeled CounterVec/HistogramVec families, collected in a
+//     Registry that writes the Prometheus text exposition format
+//     (version 0.0.4) and can serve it over HTTP.
+//   - Logging: log/slog constructors with a shared convention (logfmt
+//     text for humans, JSON for machines, and a no-op logger so library
+//     types can log unconditionally at zero cost until a caller opts in).
+//   - Timing: wall-clock Spans for phase accounting, and HTTP middleware
+//     recording per-endpoint request counts, status codes, and latency
+//     histograms.
+//
+// Everything is safe for concurrent use; the hot observe paths
+// (Counter.Inc, Gauge.Set, Histogram.Observe, Vec.With on an existing
+// child) are lock-free or read-locked and allocation-free. The package
+// imports only the standard library so any layer of the repository —
+// trainer, sampler, evaluator, HTTP server — can depend on it without
+// cycles.
+package obs

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with Prometheus
+// semantics: the bucket for upper bound B counts observations v ≤ B, and
+// an implicit +Inf bucket catches the rest. Observe is lock-free.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds, immutable
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds. The bounds slice is copied. It panics on unsorted or
+// empty bounds — bucket layouts are fixed at construction by design.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Mean returns Sum/Count, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Under concurrent writers the buckets are individually exact but may
+// not form a single consistent cut — fine for monitoring.
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`     // finite upper bounds
+	Cumulative []uint64  `json:"cumulative"` // counts ≤ each bound, then total (+Inf)
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+}
+
+// Snapshot copies the current bucket state with Prometheus-style
+// cumulative counts (Cumulative has one more entry than Bounds: +Inf).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// LatencyBuckets is the default request-latency layout in seconds,
+// spanning 100µs to 2.5s — a recommender serve path's realistic range.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// ExponentialBuckets returns count bounds starting at start, each factor
+// times the previous — the standard layout for long-tailed quantities.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns count bounds starting at start with equal width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if width <= 0 || count < 1 {
+		panic("obs: LinearBuckets needs width > 0, count >= 1")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// RankBuckets returns a layout for ranking-list draw positions in
+// [0, max): {0, 1, 2, 4, …} doubling up to just below max. Position 0 is
+// the head of the list, so the first buckets resolve exactly the region
+// DSS's geometric draws concentrate on.
+func RankBuckets(max int) []float64 {
+	b := []float64{0}
+	for v := 1; v < max; v *= 2 {
+		b = append(b, float64(v))
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// HTTPMetrics bundles the serve-path instrumentation: request counts by
+// (path, code), latency histograms by path, and an in-flight gauge.
+type HTTPMetrics struct {
+	// Requests counts completed requests, labeled {path, code}.
+	Requests *CounterVec
+	// Latency records request durations in seconds, labeled {path}.
+	Latency *HistogramVec
+	// InFlight tracks requests currently being handled.
+	InFlight *Gauge
+}
+
+// NewHTTPMetrics registers the three standard serve-path families under
+// prefix (e.g. "clapf_") and returns them.
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: reg.NewCounterVec(prefix+"http_requests_total",
+			"Completed HTTP requests by endpoint and status code.", "path", "code"),
+		Latency: reg.NewHistogramVec(prefix+"http_request_duration_seconds",
+			"HTTP request latency by endpoint.", LatencyBuckets, "path"),
+		InFlight: reg.NewGauge(prefix+"http_in_flight_requests",
+			"Requests currently being handled."),
+	}
+}
+
+// TotalRequests returns the completed-request total across all endpoints
+// and codes — the /healthz "requests_total" figure.
+func (m *HTTPMetrics) TotalRequests() uint64 { return m.Requests.Sum() }
+
+// Middleware wraps next, recording count, status code, and latency per
+// request. normalize maps a raw URL path to a bounded label value (return
+// a fixed sentinel for unknown paths so label cardinality stays finite);
+// nil uses the path verbatim.
+func (m *HTTPMetrics) Middleware(normalize func(path string) string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if normalize != nil {
+			path = normalize(path)
+		}
+		m.InFlight.Add(1)
+		defer m.InFlight.Add(-1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		sp := StartSpan(path)
+		next.ServeHTTP(sw, r)
+		d := sp.End()
+
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote a body (or nothing) without WriteHeader
+		}
+		m.Requests.With(path, strconv.Itoa(code)).Inc()
+		m.Latency.With(path).Observe(d.Seconds())
+	})
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

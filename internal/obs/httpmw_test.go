@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok") // no explicit WriteHeader: must still record 200
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	return mux
+}
+
+func TestMiddlewareRecords(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	h := m.Middleware(nil, testHandler())
+
+	cases := []struct {
+		path string
+		n    int
+		code string
+	}{
+		{"/ok", 3, "200"},
+		{"/slow", 2, "202"},
+		{"/fail", 1, "500"},
+		{"/nope", 1, "404"},
+	}
+	for _, c := range cases {
+		for i := 0; i < c.n; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", c.path, nil))
+		}
+	}
+
+	for _, c := range cases {
+		if got := m.Requests.With(c.path, c.code).Value(); got != uint64(c.n) {
+			t.Errorf("requests{%s,%s} = %d, want %d", c.path, c.code, got, c.n)
+		}
+		if got := m.Latency.With(c.path).Count(); got != uint64(c.n) {
+			t.Errorf("latency count{%s} = %d, want %d", c.path, got, c.n)
+		}
+	}
+	if got := m.TotalRequests(); got != 7 {
+		t.Errorf("total = %d, want 7", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Errorf("in-flight after drain = %v, want 0", got)
+	}
+	// /slow slept 2ms, so its latency histogram must have mass above the
+	// first bucket boundary (100µs) — i.e. buckets are actually populated
+	// with real durations, not zeros.
+	if mean := m.Latency.With("/slow").Mean(); mean < 0.002 {
+		t.Errorf("/slow mean latency = %v, want >= 2ms", mean)
+	}
+}
+
+func TestMiddlewareNormalize(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	norm := func(p string) string {
+		if p == "/ok" {
+			return p
+		}
+		return "other"
+	}
+	h := m.Middleware(norm, testHandler())
+	for _, p := range []string{"/ok", "/user/1", "/user/2", "/user/3"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", p, nil))
+	}
+	if got := m.Requests.With("/ok", "200").Value(); got != 1 {
+		t.Errorf("/ok = %d, want 1", got)
+	}
+	if got := m.Requests.With("other", "404").Value(); got != 3 {
+		t.Errorf("other = %d, want 3 (cardinality must stay bounded)", got)
+	}
+}
+
+func TestMiddlewareExposition(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	h := m.Middleware(nil, testHandler())
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := ParseExposition(t, sb.String())
+	if samples[`t_http_requests_total{path="/ok",code="200"}`] != 1 {
+		t.Errorf("request counter missing from exposition:\n%s", sb.String())
+	}
+	if samples[`t_http_request_duration_seconds_count{path="/ok"}`] != 1 {
+		t.Errorf("latency histogram missing from exposition:\n%s", sb.String())
+	}
+}
+
+// TestMiddlewareConcurrent drives the middleware from many goroutines for
+// the race detector.
+func TestMiddlewareConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	h := m.Middleware(nil, testHandler())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Requests.With("/ok", "200").Value(); got != 1600 {
+		t.Errorf("requests = %d, want 1600", got)
+	}
+}

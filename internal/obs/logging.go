@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewTextLogger returns a slog logger emitting logfmt-style key=value
+// lines to w — the format the CLIs use for human-readable telemetry
+// (`msg=telemetry step=1000 loss=0.62 …`).
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewJSONLogger returns a slog logger emitting one JSON object per line —
+// for shipping telemetry to a collector.
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// nopLevel sits above every real level, so a handler gated on it drops
+// all records without formatting them.
+const nopLevel = slog.Level(1 << 10)
+
+// NopLogger returns a logger that discards everything. Library types
+// default to it so instrumented code paths cost nothing until a caller
+// installs a real logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: nopLevel}))
+}

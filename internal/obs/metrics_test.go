@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1)
+	g.Add(-0.5)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1 counts {0.5, 1}; le=2 adds 1.5; le=4 adds 3; +Inf adds 100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %v, want 106", s.Sum)
+	}
+	if math.Abs(h.Mean()-106.0/5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	for i, w := range []float64{1, 2, 4, 8} {
+		if exp[i] != w {
+			t.Errorf("exp[%d] = %v, want %v", i, exp[i], w)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	for i, w := range []float64{0, 0.5, 1} {
+		if lin[i] != w {
+			t.Errorf("lin[%d] = %v, want %v", i, lin[i], w)
+		}
+	}
+	rb := RankBuckets(100)
+	if rb[0] != 0 || rb[1] != 1 || rb[len(rb)-1] != 64 {
+		t.Errorf("RankBuckets(100) = %v", rb)
+	}
+	// Must always be a valid (strictly increasing) layout.
+	NewHistogram(rb)
+	NewHistogram(RankBuckets(2))
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec("path", "code")
+	v.With("/a", "200").Add(3)
+	v.With("/a", "400").Inc()
+	v.With("/b", "200").Inc()
+	if got := v.With("/a", "200").Value(); got != 3 {
+		t.Errorf("child = %d, want 3", got)
+	}
+	if got := v.Sum(); got != 5 {
+		t.Errorf("sum = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	v.With("/a")
+}
+
+func TestHistogramVecSharedLayout(t *testing.T) {
+	v := NewHistogramVec([]float64{1, 10}, "path")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(5)
+	v.With("/b").Observe(50)
+	if got := v.With("/a").Count(); got != 2 {
+		t.Errorf("/a count = %d, want 2", got)
+	}
+	if got := v.With("/b").Count(); got != 1 {
+		t.Errorf("/b count = %d, want 1", got)
+	}
+}
+
+// TestConcurrentMetrics hammers every metric type from many goroutines;
+// the race detector (make check runs go test -race) is the assertion.
+func TestConcurrentMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "")
+	g := reg.NewGauge("g", "")
+	h := reg.NewHistogram("h", "", []float64{0.1, 1, 10})
+	cv := reg.NewCounterVec("cv_total", "", "l")
+	hv := reg.NewHistogramVec("hv", "", []float64{1, 2}, "l")
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := string(rune('a' + id%3))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+				cv.With(lbl).Inc()
+				hv.With(lbl).Observe(float64(i % 3))
+				if i%100 == 0 {
+					_ = reg.WritePrometheus(discard{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if cv.Sum() != workers*perWorker {
+		t.Errorf("vec sum = %d, want %d", cv.Sum(), workers*perWorker)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metrics and writes them in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; labeled children are sorted by label values, so output is
+// deterministic and diff-friendly.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []family
+	names map[string]bool
+}
+
+type family struct {
+	name, help, typ string
+	write           func(w io.Writer, name string) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func (r *Registry) register(name, help, typ string, write func(w io.Writer, name string) error) {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+	r.fams = append(r.fams, family{name: name, help: help, typ: typ, write: write})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer, name string) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		return err
+	})
+	return c
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := NewCounterVec(labels...)
+	r.register(name, help, "counter", func(w io.Writer, name string) error {
+		for _, ch := range v.children() {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelString(v.labels, ch.values, "", ""), ch.c.Value()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return v
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer, name string) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+		return err
+	})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time —
+// uptime, model dimensions, queue depths read from elsewhere.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func(w io.Writer, name string) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+		return err
+	})
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, "histogram", func(w io.Writer, name string) error {
+		return writeHistogram(w, name, nil, nil, h)
+	})
+	return h
+}
+
+// NewHistogramVec registers and returns a labeled histogram family with a
+// shared bucket layout.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := NewHistogramVec(bounds, labels...)
+	r.register(name, help, "histogram", func(w io.Writer, name string) error {
+		for _, ch := range v.children() {
+			if err := writeHistogram(w, name, v.labels, ch.values, ch.h); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return v
+}
+
+// WritePrometheus writes every registered family in exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]family(nil), r.fams...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		if err := f.write(bw, f.name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET time — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A scrape write error means the client went away; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// writeHistogram writes one histogram child's _bucket/_sum/_count series.
+func writeHistogram(w io.Writer, name string, labels, values []string, h *Histogram) error {
+	s := h.Snapshot()
+	for i, b := range s.Bounds {
+		le := formatFloat(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, values, "le", le), s.Cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, values, "le", "+Inf"), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels, values, "", ""), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels, values, "", ""), s.Count)
+	return err
+}
+
+// labelString renders {a="x",b="y"[,extraName="extraVal"]}, or "" when
+// there are no labels at all. Label names are emitted in declaration
+// order; le always comes last, matching Prometheus convention.
+func labelString(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expositionLine matches one sample line of the Prometheus text format:
+// name{labels} value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// ParseExposition scans exposition text, failing t on any malformed line,
+// and returns the samples as a map from "name{labels}" to value.
+func ParseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		key, valStr := line[:sp], line[sp+1:]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			f, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Errorf("bad value in %q: %v", line, err)
+				continue
+			}
+			v = f
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("steps_total", "SGD steps applied.")
+	c.Add(42)
+	g := reg.NewGauge("loss", "Smoothed loss.")
+	g.Set(0.625)
+	reg.NewGaugeFunc("answer", "", func() float64 { return 42 })
+	h := reg.NewHistogram("latency_seconds", "Request latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	cv := reg.NewCounterVec("requests_total", "Requests.", "path", "code")
+	cv.With("/recommend", "200").Add(7)
+	cv.With("/similar", "400").Inc()
+	hv := reg.NewHistogramVec("dur_seconds", "", []float64{1}, "path")
+	hv.With("/recommend").Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := ParseExposition(t, text)
+
+	want := map[string]float64{
+		`steps_total`:                       42,
+		`loss`:                              0.625,
+		`answer`:                            42,
+		`latency_seconds_bucket{le="0.01"}`: 1,
+		`latency_seconds_bucket{le="0.1"}`:  2,
+		`latency_seconds_bucket{le="+Inf"}`: 3,
+		`latency_seconds_count`:             3,
+		`requests_total{path="/recommend",code="200"}`:    7,
+		`requests_total{path="/similar",code="400"}`:      1,
+		`dur_seconds_bucket{path="/recommend",le="1"}`:    1,
+		`dur_seconds_bucket{path="/recommend",le="+Inf"}`: 1,
+		`dur_seconds_count{path="/recommend"}`:            1,
+	}
+	for k, v := range want {
+		if got, ok := samples[k]; !ok {
+			t.Errorf("missing sample %q in:\n%s", k, text)
+		} else if got != v {
+			t.Errorf("%s = %v, want %v", k, got, v)
+		}
+	}
+	for _, meta := range []string{
+		"# TYPE steps_total counter",
+		"# TYPE loss gauge",
+		"# TYPE latency_seconds histogram",
+		"# HELP steps_total SGD steps applied.",
+	} {
+		if !strings.Contains(text, meta) {
+			t.Errorf("missing %q", meta)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("ok_total", "")
+	for _, fn := range []func(){
+		func() { reg.NewCounter("ok_total", "") },
+		func() { reg.NewGauge("ok_total", "") },
+		func() { reg.NewCounter("bad name", "") },
+		func() { reg.NewCounter("", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad registration accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.NewCounterVec("esc_total", "", "v")
+	cv.With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong: %q", sb.String())
+	}
+}

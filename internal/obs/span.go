@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Span measures one named wall-clock interval. It is a value type: start
+// one, do the work, call End (or EndObserve to also record the duration
+// into a histogram).
+//
+//	sp := obs.StartSpan("eval.score")
+//	… work …
+//	elapsed := sp.End()
+type Span struct {
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing now.
+func StartSpan(name string) Span {
+	return Span{name: name, start: time.Now()}
+}
+
+// Name returns the span's name.
+func (s Span) Name() string { return s.name }
+
+// End returns the elapsed time since StartSpan.
+func (s Span) End() time.Duration { return time.Since(s.start) }
+
+// EndObserve returns the elapsed time and, when h is non-nil, records it
+// in seconds.
+func (s Span) EndObserve(h *Histogram) time.Duration {
+	d := time.Since(s.start)
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+	return d
+}

@@ -6,6 +6,7 @@ import (
 	"clapf/internal/dataset"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
+	"clapf/internal/obs"
 )
 
 // Strategy selects how the (k, j) pair of a CLAPF triple is drawn.
@@ -111,6 +112,10 @@ type TripleSampler struct {
 	// sortedObs by a single ordered scatter pass per factor.
 	itemUsers [][]int32
 	fill      []int32 // per-user write cursor, reset per factor
+
+	// Optional telemetry: rank positions drawn by the rank-aware
+	// strategies for k (posHist) and j (negHist). Nil = off.
+	posHist, negHist *obs.Histogram
 }
 
 // NewTripleSampler builds a sampler over the training data. model may be
@@ -261,6 +266,17 @@ func (s *TripleSampler) SampleWithI(u, i int32) Triple {
 	return Triple{I: i, K: k, J: j}
 }
 
+// SetDrawHists attaches optional histograms recording the geometric rank
+// positions drawn by the rank-aware strategies — pos for the observed
+// item k, neg for the unobserved item j. Position 0 is the end of the
+// ranking list the draw targets (the head for MRR's k and for j, the
+// tail for MAP's k), so a healthy DSS run shows head-heavy mass in both.
+// Uniform draws have no rank meaning and are not recorded. Pass nils to
+// detach. The histograms are observed from the training goroutine only.
+func (s *TripleSampler) SetDrawHists(pos, neg *obs.Histogram) {
+	s.posHist, s.negHist = pos, neg
+}
+
 // pickFactorList implements Steps 2–3: choose a random factor q and apply
 // the sign test — a negative U_{u,q} reverses the ranking list.
 func (s *TripleSampler) pickFactorList(u int32) (q int, descending bool) {
@@ -318,6 +334,9 @@ func (s *TripleSampler) rankedK(u int32, obs []int32, i int32, q int, descending
 		fromTop = !fromTop
 	}
 	g := s.rng.GeometricCapped(geomPForLen(s.geomP, len(sorted)-1), len(sorted)-1)
+	if s.posHist != nil {
+		s.posHist.Observe(float64(g))
+	}
 	// Walk g non-i entries in from the chosen end.
 	if fromTop {
 		for idx := 0; idx < len(sorted); idx++ {
@@ -374,6 +393,16 @@ func (s *TripleSampler) rankedJ(u int32, q int, descending bool) int32 {
 		}
 		j := order[g]
 		if !s.data.IsPositive(u, j) {
+			if s.negHist != nil {
+				// Record the rank relative to the targeted end, so the
+				// histogram reads "distance from the hard-negative head"
+				// for both list directions.
+				rank := g
+				if !descending {
+					rank = m - 1 - g
+				}
+				s.negHist.Observe(float64(rank))
+			}
 			return j
 		}
 	}

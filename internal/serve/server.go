@@ -1,24 +1,30 @@
 // Package serve exposes a trained CLAPF model over HTTP — the deployment
 // surface a downstream adopter runs behind their application. Endpoints:
 //
-//	GET /healthz                      liveness + model dimensions
+//	GET /healthz                      liveness + model dimensions + uptime/request totals
 //	GET /recommend?user=U&k=K         top-k unobserved items for a known user
 //	GET /recommend?items=1,2,3&k=K    cold-start: fold the history in, then rank
 //	GET /similar?item=I&k=K           nearest items by factor cosine
+//	GET /metrics                      Prometheus text exposition
 //
-// All responses are JSON. The server is read-only over an immutable model
-// and dataset, so handlers are safe for concurrent use.
+// All responses are JSON except /metrics. The server is read-only over an
+// immutable model and dataset, so handlers are safe for concurrent use.
+// Every request is recorded in the server's obs.Registry (count by
+// endpoint and status code, latency histogram by endpoint).
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"clapf/internal/dataset"
 	"clapf/internal/mf"
+	"clapf/internal/obs"
 	"clapf/internal/rank"
 )
 
@@ -32,9 +38,16 @@ type Server struct {
 	FoldInReg float64
 	// MaxK caps the k query parameter.
 	MaxK int
+
+	log          *slog.Logger
+	reg          *obs.Registry
+	httpm        *obs.HTTPMetrics
+	encodeErrors *obs.Counter
+	started      time.Time
 }
 
-// New validates the pair and returns a Server.
+// New validates the pair and returns a Server with its own metrics
+// registry and a no-op logger (install a real one with SetLogger).
 func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
@@ -46,16 +59,62 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 		return nil, fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
 			model.NumUsers(), model.NumItems(), train.NumUsers(), train.NumItems())
 	}
-	return &Server{model: model, train: train, FoldInReg: 0.1, MaxK: 100}, nil
+	s := &Server{
+		model:     model,
+		train:     train,
+		FoldInReg: 0.1,
+		MaxK:      100,
+		log:       obs.NopLogger(),
+		reg:       obs.NewRegistry(),
+		started:   time.Now(),
+	}
+	s.httpm = obs.NewHTTPMetrics(s.reg, "clapf_")
+	s.encodeErrors = s.reg.NewCounter("clapf_encode_errors_total",
+		"JSON response bodies that failed to encode after the header was written.")
+	s.reg.NewGaugeFunc("clapf_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.NewGaugeFunc("clapf_model_users", "Users in the served model.",
+		func() float64 { return float64(model.NumUsers()) })
+	s.reg.NewGaugeFunc("clapf_model_items", "Items in the served model.",
+		func() float64 { return float64(model.NumItems()) })
+	s.reg.NewGaugeFunc("clapf_model_dim", "Latent dimensionality of the served model.",
+		func() float64 { return float64(model.Dim()) })
+	return s, nil
 }
 
-// Handler returns the routed HTTP handler.
+// SetLogger installs the structured logger used for serve-path warnings
+// (encode failures and the like). nil restores the no-op logger.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.NopLogger()
+	}
+	s.log = l
+}
+
+// Registry exposes the server's metrics registry so callers can add
+// their own series or scrape it out-of-band.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// normalizeMetricPath keeps the metric path label's cardinality bounded:
+// routed endpoints keep their path, everything else collapses.
+func normalizeMetricPath(p string) string {
+	switch p {
+	case "/healthz", "/recommend", "/similar", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// Handler returns the routed HTTP handler, wrapped in the metrics
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /recommend", s.handleRecommend)
 	mux.HandleFunc("GET /similar", s.handleSimilar)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.httpm.Middleware(normalizeMetricPath, mux)
 }
 
 // Item is one scored item in a JSON response.
@@ -76,21 +135,28 @@ type HealthResponse struct {
 	Users  int    `json:"users"`
 	Items  int    `json:"items"`
 	Dim    int    `json:"dim"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RequestsTotal counts requests completed before this one, across
+	// all endpoints and status codes.
+	RequestsTotal uint64 `json:"requests_total"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
-		Users:  s.model.NumUsers(),
-		Items:  s.model.NumItems(),
-		Dim:    s.model.Dim(),
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Users:         s.model.NumUsers(),
+		Items:         s.model.NumItems(),
+		Dim:           s.model.Dim(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		RequestsTotal: s.httpm.TotalRequests(),
 	})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	k, err := s.parseK(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -98,38 +164,38 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	itemsParam := r.URL.Query().Get("items")
 	switch {
 	case userParam != "" && itemsParam != "":
-		httpError(w, http.StatusBadRequest, fmt.Errorf("pass either user or items, not both"))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("pass either user or items, not both"))
 	case userParam != "":
 		s.recommendKnown(w, userParam, k)
 	case itemsParam != "":
 		s.recommendColdStart(w, itemsParam, k)
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing user or items parameter"))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("missing user or items parameter"))
 	}
 }
 
 func (s *Server) recommendKnown(w http.ResponseWriter, userParam string, k int) {
 	u64, err := strconv.ParseInt(userParam, 10, 32)
 	if err != nil || u64 < 0 || int(u64) >= s.model.NumUsers() {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
 		return
 	}
 	u := int32(u64)
 	scores := make([]float64, s.model.NumItems())
 	s.model.ScoreAll(u, scores)
 	top := rank.TopK(scores, k, func(i int32) bool { return s.train.IsPositive(u, i) })
-	writeJSON(w, http.StatusOK, RecommendResponse{User: &u, Items: toItems(top)})
+	s.writeJSON(w, http.StatusOK, RecommendResponse{User: &u, Items: toItems(top)})
 }
 
 func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k int) {
 	history, err := parseItemList(itemsParam, s.model.NumItems())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	uf, err := mf.FoldInUser(s.model, history, s.FoldInReg)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	seen := make(map[int32]bool, len(history))
@@ -139,27 +205,27 @@ func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k 
 	scores := make([]float64, s.model.NumItems())
 	s.model.ScoreAllFoldIn(uf, scores)
 	top := rank.TopK(scores, k, func(i int32) bool { return seen[i] })
-	writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(top)})
+	s.writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(top)})
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	k, err := s.parseK(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	itemParam := r.URL.Query().Get("item")
 	i64, err := strconv.ParseInt(itemParam, 10, 32)
 	if err != nil || i64 < 0 || int(i64) >= s.model.NumItems() {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
 		return
 	}
 	sims, err := mf.SimilarItems(s.model, int32(i64), k)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(sims)})
+	s.writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(sims)})
 }
 
 func (s *Server) parseK(r *http.Request) (int, error) {
@@ -208,16 +274,21 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v with the given status. Encoding errors after the
+// header is written cannot reach the client anymore, but they must not
+// vanish either: they are logged and counted in clapf_encode_errors_total
+// so a broken payload type shows up on a dashboard instead of nowhere.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	// Encoding errors after the header is written can only be logged; for
-	// these tiny payloads they do not occur in practice.
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrors.Inc()
+		s.log.Error("response encode failed", "err", err, "status", code, "type", fmt.Sprintf("%T", v))
+	}
 }
 
 // Model exposes the served model (for status reporting by callers).
