@@ -138,6 +138,15 @@ func NewTrainer(cfg Config, train *Dataset) (*Trainer, error) {
 	return core.NewTrainer(cfg, train)
 }
 
+// TrainerState is a trainer's resumable non-parameter state — what
+// Trainer.Snapshot captures and Trainer.Restore replays. Together with
+// the model parameters it makes training crash-safe.
+type TrainerState = core.TrainerState
+
+// SamplerState is the triple sampler's resumable state inside a
+// TrainerState.
+type SamplerState = sampling.SamplerState
+
 // Model is a learned matrix-factorization model: Score, ScoreAll, and the
 // factor accessors.
 type Model = mf.Model

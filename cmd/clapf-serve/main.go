@@ -5,12 +5,21 @@
 //	clapf-serve -model model.clapf -train train.tsv [-addr :8080] [-pprof]
 //
 // Endpoints (JSON): GET /healthz (liveness, model dims, uptime, request
-// totals), GET /recommend?user=U&k=K, GET /recommend?items=1,2,3&k=K
-// (cold-start fold-in), and GET /similar?item=I&k=K. GET /metrics serves
-// Prometheus text exposition (per-endpoint request counts, status codes,
-// latency histograms, model gauges). -pprof additionally mounts
-// net/http/pprof under /debug/pprof/ for live profiling. The server
-// drains in-flight requests on SIGINT/SIGTERM.
+// totals), GET /readyz (readiness — 503 while draining), GET
+// /recommend?user=U&k=K, GET /recommend?items=1,2,3&k=K (cold-start
+// fold-in), and GET /similar?item=I&k=K. GET /metrics serves Prometheus
+// text exposition (per-endpoint request counts, status codes, latency
+// histograms, model gauges). -pprof additionally mounts net/http/pprof
+// under /debug/pprof/ for live profiling.
+//
+// The process is hardened for unattended operation: handler panics are
+// recovered into 500s, load beyond -max-inflight is shed with 503 +
+// Retry-After, every request carries a -request-timeout deadline, and the
+// listener enforces read/write/idle timeouts so a slow client cannot pin
+// a connection forever. SIGHUP hot-reloads the model from -model without
+// dropping a request — a corrupt or mismatched file is rejected and the
+// old model keeps serving. SIGINT/SIGTERM flips /readyz to 503 and drains
+// in-flight requests before exiting.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -31,16 +41,38 @@ import (
 	"clapf/internal/serve"
 )
 
+// options carries the parsed flags; tests construct it directly and
+// inject sigCh/boundAddr instead of sending real signals.
+type options struct {
+	modelPath, trainPath string
+	addr                 string
+	pprofOn              bool
+	maxInFlight          int
+	requestTimeout       time.Duration
+	readTimeout          time.Duration
+	writeTimeout         time.Duration
+	idleTimeout          time.Duration
+
+	// sigCh, when non-nil, replaces signal.Notify delivery.
+	sigCh chan os.Signal
+	// boundAddr, when non-nil, receives the listener's address once bound.
+	boundAddr chan<- string
+}
+
 func main() {
-	var (
-		modelPath = flag.String("model", "", "trained model file (required)")
-		trainPath = flag.String("train", "", "training dataset TSV, for exclusions (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	)
+	var o options
+	flag.StringVar(&o.modelPath, "model", "", "trained model file (required; re-read on SIGHUP)")
+	flag.StringVar(&o.trainPath, "train", "", "training dataset TSV, for exclusions (required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 256, "in-flight request cap before shedding with 503 (0 disables)")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 10*time.Second, "per-request context deadline (0 disables)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 10*time.Second, "http.Server ReadTimeout")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "http.Server WriteTimeout")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Parse()
 
-	if err := run(*modelPath, *trainPath, *addr, *pprofOn); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-serve:", err)
 		os.Exit(1)
 	}
@@ -86,55 +118,80 @@ func newHandler(server *serve.Server, pprofOn bool) http.Handler {
 	return top
 }
 
-func run(modelPath, trainPath, addr string, pprofOn bool) error {
+func run(o options) error {
 	logger := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
 
-	server, err := buildServer(modelPath, trainPath)
+	server, err := buildServer(o.modelPath, o.trainPath)
 	if err != nil {
 		return err
 	}
 	server.SetLogger(logger)
+	server.MaxInFlight = o.maxInFlight
+	server.RequestTimeout = o.requestTimeout
 	model := server.Model()
 
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.boundAddr != nil {
+		o.boundAddr <- ln.Addr().String()
+	}
+
 	httpServer := &http.Server{
-		Addr:              addr,
-		Handler:           newHandler(server, pprofOn),
+		Handler:           newHandler(server, o.pprofOn),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("serving", "addr", addr,
+		logger.Info("serving", "addr", ln.Addr().String(),
 			"users", model.NumUsers(), "items", model.NumItems(), "dim", model.Dim(),
-			"pprof", pprofOn)
-		errCh <- httpServer.ListenAndServe()
+			"pprof", o.pprofOn)
+		errCh <- httpServer.Serve(ln)
 	}()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		// ErrServerClosed means someone shut the server down cleanly —
-		// not a failure even when it arrives without our signal.
-		if errors.Is(err, http.ErrServerClosed) {
+	stop := o.sigCh
+	if stop == nil {
+		stop = make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+		defer signal.Stop(stop)
+	}
+	for {
+		select {
+		case err := <-errCh:
+			// ErrServerClosed means someone shut the server down cleanly —
+			// not a failure even when it arrives without our signal.
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case sig := <-stop:
+			if sig == syscall.SIGHUP {
+				// Hot reload; failure keeps the old model serving, so it is
+				// logged (by ReloadFromFile) but never fatal.
+				_ = server.ReloadFromFile(o.modelPath)
+				continue
+			}
+			logger.Info("draining", "signal", sig.String())
+			server.SetReady(false) // /readyz → 503: stop new routing first
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			shutdownErr := httpServer.Shutdown(ctx)
+			// Shutdown makes Serve return ErrServerClosed; drain it so the
+			// goroutine's send never leaks, and surface any real listener
+			// error that raced with the signal.
+			if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				return serveErr
+			}
+			if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+				return shutdownErr
+			}
+			logger.Info("stopped")
 			return nil
 		}
-		return err
-	case sig := <-stop:
-		logger.Info("draining", "signal", sig.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		shutdownErr := httpServer.Shutdown(ctx)
-		// Shutdown makes ListenAndServe return ErrServerClosed; drain it
-		// so the goroutine's send never leaks, and surface any real
-		// listener error that raced with the signal.
-		if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
-			return serveErr
-		}
-		if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
-			return shutdownErr
-		}
-		logger.Info("stopped")
-		return nil
 	}
 }

@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"clapf"
 )
@@ -133,5 +136,102 @@ func TestBuildServerErrors(t *testing.T) {
 	}
 	if _, err := buildServer(modelPath, filepath.Join(t.TempDir(), "gone")); err == nil {
 		t.Error("missing train file accepted")
+	}
+}
+
+// healthGeneration fetches /healthz and returns the reported model
+// generation, failing the test on any transport or decode error.
+func healthGeneration(t *testing.T, base string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		ModelGeneration uint64 `json:"model_generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.ModelGeneration
+}
+
+// waitGeneration polls /healthz until the model generation reaches want,
+// since signal handling in run() is asynchronous to the test goroutine.
+func waitGeneration(t *testing.T, base string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if healthGeneration(t, base) == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("model generation never reached %d", want)
+}
+
+func TestRunReloadAndShutdown(t *testing.T) {
+	modelPath, trainPath := fixtureFiles(t)
+	o := options{
+		modelPath: modelPath, trainPath: trainPath,
+		addr:           "127.0.0.1:0",
+		maxInFlight:    16,
+		requestTimeout: 5 * time.Second,
+		readTimeout:    5 * time.Second,
+		writeTimeout:   5 * time.Second,
+		idleTimeout:    time.Minute,
+		sigCh:          make(chan os.Signal, 1),
+	}
+	bound := make(chan string, 1)
+	o.boundAddr = bound
+
+	done := make(chan error, 1)
+	go func() { done <- run(o) }()
+	base := "http://" + <-bound
+
+	if g := healthGeneration(t, base); g != 0 {
+		t.Fatalf("fresh server generation = %d", g)
+	}
+
+	// SIGHUP with a rewritten valid model file: generation advances.
+	model, err := clapf.LoadModelFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clapf.SaveModelFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	o.sigCh <- syscall.SIGHUP
+	waitGeneration(t, base, 1)
+
+	// SIGHUP with a corrupt file: reload is rejected, the old model and
+	// generation stay, and the server keeps answering.
+	if err := os.WriteFile(modelPath, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.sigCh <- syscall.SIGHUP
+	time.Sleep(100 * time.Millisecond)
+	if g := healthGeneration(t, base); g != 1 {
+		t.Fatalf("corrupt reload changed generation to %d", g)
+	}
+	resp, err := http.Get(base + "/recommend?user=1&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-corrupt-reload recommend = %d", resp.StatusCode)
+	}
+
+	// Interrupt: the server drains and run returns cleanly.
+	o.sigCh <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after interrupt")
 	}
 }

@@ -20,6 +20,15 @@
 //
 // Dataset files use the clapf TSV format (see clapf-datagen or
 // clapf.WriteDatasetTSV).
+//
+// Crash safety: with -checkpoint-dir set, training writes durable
+// version-2 checkpoints (model + step + RNG state + hyper-parameters +
+// train-data fingerprint) every -checkpoint-every steps, keeping the last
+// -checkpoint-keep generations. On SIGINT/SIGTERM the current step batch
+// finishes, a final checkpoint is written, and the process exits cleanly.
+// -resume restarts from the newest valid generation, skipping truncated
+// or corrupt files, after verifying the checkpoint belongs to the same
+// dataset and hyper-parameters.
 package main
 
 import (
@@ -29,10 +38,13 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"clapf"
 	"clapf/internal/obs"
+	"clapf/internal/store"
 )
 
 func main() {
@@ -50,6 +62,10 @@ func main() {
 	flag.StringVar(&o.outPath, "out", "", "path to save the trained model (optional)")
 	flag.IntVar(&o.logEvery, "log-every", 0, "steps between telemetry lines (0 = one epoch-equivalent)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON telemetry dump here after training (optional)")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for training checkpoints (optional)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "steps between checkpoints (0 = one epoch-equivalent)")
+	flag.IntVar(&o.checkpointKeep, "checkpoint-keep", 3, "checkpoint generations to keep (0 = all)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -70,6 +86,14 @@ type options struct {
 	outPath             string
 	logEvery            int
 	metricsOut          string
+	checkpointDir       string
+	checkpointEvery     int
+	checkpointKeep      int
+	resume              bool
+
+	// stopCh overrides the OS signal channel in tests; nil installs a real
+	// SIGINT/SIGTERM handler.
+	stopCh chan os.Signal
 }
 
 // intervalRecord is one telemetry snapshot in the -metrics-out dump.
@@ -161,10 +185,29 @@ func run(w io.Writer, o options) error {
 	negDraws := obs.NewHistogram(obs.RankBuckets(train.NumItems()))
 	trainer.InstrumentSampler(posDraws, negDraws)
 
+	if o.resume {
+		if o.checkpointDir == "" {
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		if err := resumeFromCheckpoint(w, trainer, train, o); err != nil {
+			return err
+		}
+	}
+
+	stop := o.stopCh
+	if stop == nil {
+		stop = make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(stop)
+	}
+
 	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps\n",
 		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps)
 	start := time.Now()
-	trainer.Run()
+	interrupted, err := trainLoop(w, trainer, train, o, cfg, stop)
+	if err != nil {
+		return err
+	}
 	wall := time.Since(start)
 
 	sps := 0.0
@@ -201,6 +244,20 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "telemetry written to %s\n", o.metricsOut)
 	}
 
+	if interrupted {
+		// The checkpoint (when enabled) is the durable artifact of an
+		// interrupted run; evaluating or publishing a half-trained model
+		// would be misleading, so both are skipped.
+		if o.checkpointDir != "" {
+			fmt.Fprintf(w, "interrupted at step %d; resume with -resume -checkpoint-dir %s\n",
+				trainer.StepsDone(), o.checkpointDir)
+		} else {
+			fmt.Fprintf(w, "interrupted at step %d (no -checkpoint-dir; progress not saved)\n",
+				trainer.StepsDone())
+		}
+		return nil
+	}
+
 	if o.testPath != "" {
 		test, err := loadTSV(o.testPath)
 		if err != nil {
@@ -222,6 +279,147 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "model saved to %s\n", o.outPath)
 	}
 	return nil
+}
+
+// trainLoop runs SGD in signal-responsive batches. With -checkpoint-dir
+// set, a durable checkpoint is written every checkpoint interval and at
+// the end of training. On a stop signal the current batch finishes, a
+// final checkpoint is written, and the loop reports interrupted=true.
+func trainLoop(w io.Writer, trainer *clapf.Trainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal) (interrupted bool, err error) {
+	ckptEvery := o.checkpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = train.NumPairs() // one epoch-equivalent
+	}
+	// Batches bound how long a stop signal waits for the loop; checkpoint
+	// intervals above the cap simply span several batches.
+	batch := ckptEvery
+	const maxBatch = 16384
+	if batch > maxBatch {
+		batch = maxBatch
+	}
+	lastCkpt := trainer.StepsDone()
+	for trainer.StepsDone() < cfg.Steps {
+		n := cfg.Steps - trainer.StepsDone()
+		if n > batch {
+			n = batch
+		}
+		trainer.RunSteps(n)
+		select {
+		case sig := <-stop:
+			interrupted = true
+			fmt.Fprintf(w, "caught %s at step %d\n", sig, trainer.StepsDone())
+		default:
+		}
+		done := trainer.StepsDone() >= cfg.Steps
+		if o.checkpointDir != "" && (interrupted || done || trainer.StepsDone()-lastCkpt >= ckptEvery) {
+			path, err := writeCheckpoint(trainer, train, o, cfg)
+			if err != nil {
+				return interrupted, err
+			}
+			lastCkpt = trainer.StepsDone()
+			if interrupted || done {
+				fmt.Fprintf(w, "checkpoint written to %s\n", path)
+			}
+		}
+		if interrupted || done {
+			return interrupted, nil
+		}
+	}
+	return false, nil
+}
+
+// hyperMap renders the run's hyper-parameters for the checkpoint trailer;
+// a resume refuses to continue under different values.
+func hyperMap(o options) map[string]string {
+	return map[string]string{
+		"variant": o.variant,
+		"lambda":  fmt.Sprintf("%g", o.lambda),
+		"dss":     fmt.Sprintf("%t", o.dss),
+		"dim":     fmt.Sprintf("%d", o.dim),
+		"rate":    fmt.Sprintf("%g", o.rate),
+		"reg":     fmt.Sprintf("%g", o.reg),
+		"seed":    fmt.Sprintf("%d", o.seed),
+	}
+}
+
+// writeCheckpoint snapshots the trainer into a durable v2 checkpoint
+// generation, pruning old generations beyond -checkpoint-keep.
+func writeCheckpoint(trainer *clapf.Trainer, train *clapf.Dataset, o options, cfg clapf.Config) (string, error) {
+	st := trainer.Snapshot()
+	meta := &store.Meta{
+		Epoch:           st.Step / train.NumPairs(),
+		Step:            st.Step,
+		TotalSteps:      cfg.Steps,
+		RNG:             st.RNG[:],
+		SamplerRNG:      st.Sampler.RNG[:],
+		SamplerSteps:    st.Sampler.Steps,
+		LossEWMA:        st.LossEWMA,
+		LossN:           st.LossN,
+		DataFingerprint: train.Fingerprint(),
+		Hyper:           hyperMap(o),
+	}
+	return store.WriteCheckpoint(o.checkpointDir, trainer.Model(), meta, o.checkpointKeep)
+}
+
+// resumeFromCheckpoint restores the trainer from the newest valid
+// generation in -checkpoint-dir, refusing checkpoints from a different
+// dataset or hyper-parameter setting.
+func resumeFromCheckpoint(w io.Writer, trainer *clapf.Trainer, train *clapf.Dataset, o options) error {
+	model, meta, path, skipped, err := store.LatestCheckpoint(o.checkpointDir)
+	for _, s := range skipped {
+		fmt.Fprintf(w, "skipping invalid checkpoint %s\n", s)
+	}
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if meta.DataFingerprint != 0 && meta.DataFingerprint != train.Fingerprint() {
+		return fmt.Errorf("resume: checkpoint %s was trained on different data (fingerprint %016x, dataset has %016x)",
+			path, meta.DataFingerprint, train.Fingerprint())
+	}
+	if err := hyperCompatible(meta.Hyper, hyperMap(o)); err != nil {
+		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+	}
+	rng, err := rngWords(meta.RNG, "rng")
+	if err != nil {
+		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+	}
+	samplerRNG, err := rngWords(meta.SamplerRNG, "sampler_rng")
+	if err != nil {
+		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+	}
+	st := clapf.TrainerState{
+		Step:     meta.Step,
+		RNG:      rng,
+		Sampler:  clapf.SamplerState{RNG: samplerRNG, Steps: meta.SamplerSteps},
+		LossEWMA: meta.LossEWMA,
+		LossN:    meta.LossN,
+	}
+	if err := trainer.Restore(st, model); err != nil {
+		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "resumed from %s at step %d (epoch %d)\n", path, meta.Step, meta.Epoch)
+	return nil
+}
+
+// hyperCompatible reports the first hyper-parameter present in both maps
+// whose values disagree.
+func hyperCompatible(ckpt, now map[string]string) error {
+	for k, want := range now {
+		if got, ok := ckpt[k]; ok && got != want {
+			return fmt.Errorf("hyper-parameter %s = %s in checkpoint, %s requested", k, got, want)
+		}
+	}
+	return nil
+}
+
+// rngWords converts a checkpoint's RNG word list into generator state.
+func rngWords(words []uint64, field string) ([4]uint64, error) {
+	var s [4]uint64
+	if len(words) != 4 {
+		return s, fmt.Errorf("%s has %d state words, want 4", field, len(words))
+	}
+	copy(s[:], words)
+	return s, nil
 }
 
 func loadTSV(path string) (*clapf.Dataset, error) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -11,6 +12,8 @@ import (
 	"testing"
 
 	"clapf"
+	"clapf/internal/fault"
+	"clapf/internal/store"
 )
 
 func writeDataset(t *testing.T, path string, seed uint64) {
@@ -172,6 +175,204 @@ func TestMetricsOutDump(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "DSS draws: mean positive rank") {
 		t.Errorf("DSS draw summary missing in:\n%s", out.String())
+	}
+}
+
+// finalLoss runs clapf-train with a telemetry dump and returns the final
+// smoothed loss.
+func finalLoss(t *testing.T, o options) float64 {
+	t.Helper()
+	o.metricsOut = filepath.Join(t.TempDir(), "telemetry.json")
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	buf, err := os.ReadFile(o.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetryDump
+	if err := json.Unmarshal(buf, &dump); err != nil {
+		t.Fatal(err)
+	}
+	return dump.FinalSmoothedLoss
+}
+
+func TestCheckpointWriteAndSignalExit(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	ckptDir := filepath.Join(dir, "ckpt")
+	writeDataset(t, trainPath, 11)
+
+	o := baseOptions(trainPath)
+	o.epochs = 3
+	o.checkpointDir = ckptDir
+	o.checkpointEvery = 300
+	o.checkpointKeep = 2
+	// Pre-loaded stop channel: the first batch finishes, then the run
+	// checkpoints and exits cleanly — the SIGINT contract.
+	o.stopCh = make(chan os.Signal, 1)
+	o.stopCh <- os.Interrupt
+
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("interrupted run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"caught interrupt at step", "checkpoint written to", "interrupted at step"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// A loadable checkpoint with full metadata must exist.
+	_, meta, path, _, err := store.LatestCheckpoint(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step == 0 || len(meta.RNG) != 4 || len(meta.SamplerRNG) != 4 || meta.DataFingerprint == 0 {
+		t.Errorf("checkpoint %s metadata incomplete: %+v", path, meta)
+	}
+	if meta.Hyper["variant"] != "map" {
+		t.Errorf("checkpoint hyper = %v", meta.Hyper)
+	}
+}
+
+func TestCheckpointKeepsLastN(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	ckptDir := filepath.Join(dir, "ckpt")
+	writeDataset(t, trainPath, 12)
+
+	o := baseOptions(trainPath)
+	o.epochs = 4
+	o.checkpointDir = ckptDir
+	o.checkpointEvery = 250
+	o.checkpointKeep = 2
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := store.ListCheckpoints(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Errorf("kept %d generations, want 2: %v", len(gens), gens)
+	}
+}
+
+// TestChaosResumeAfterTornCheckpoint is the acceptance chaos test: a
+// training run whose newest checkpoint generation was killed mid-write
+// (torn file via internal/fault) must resume from the newest *valid*
+// generation and reach a final smoothed loss within 5% of an
+// uninterrupted run with the same seed.
+func TestChaosResumeAfterTornCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	ckptDir := filepath.Join(dir, "ckpt")
+	writeDataset(t, trainPath, 13)
+
+	const fullEpochs = 6
+
+	// Reference: one uninterrupted run.
+	ref := baseOptions(trainPath)
+	ref.epochs = fullEpochs
+	refLoss := finalLoss(t, ref)
+
+	// Phase 1: train half the budget with checkpoints on.
+	half := baseOptions(trainPath)
+	half.epochs = fullEpochs / 2
+	half.checkpointDir = ckptDir
+	half.checkpointKeep = 0 // keep everything; the crash sits on top
+	if err := run(io.Discard, half); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the process "dies" while writing the next generation —
+	// internal/fault leaves a torn checkpoint newer than every valid one.
+	model, meta, _, _, err := store.LatestCheckpoint(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornMeta := *meta
+	tornMeta.Step = meta.Step + 123
+	tornPath := store.CheckpointPath(ckptDir, tornMeta.Step)
+	if err := fault.CrashFile(tornPath, 512, func(w io.Writer) error {
+		return store.SaveWithMeta(w, model, &tornMeta)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: resume to the full budget; the torn generation must be
+	// skipped, the valid one restored.
+	res := baseOptions(trainPath)
+	res.epochs = fullEpochs
+	res.checkpointDir = ckptDir
+	res.resume = true
+	res.metricsOut = filepath.Join(dir, "resumed.json")
+	var out bytes.Buffer
+	if err := run(&out, res); err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "skipping invalid checkpoint "+tornPath) {
+		t.Errorf("torn checkpoint not skipped:\n%s", text)
+	}
+	if !strings.Contains(text, "resumed from ") {
+		t.Errorf("resume line missing:\n%s", text)
+	}
+
+	buf, err := os.ReadFile(res.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetryDump
+	if err := json.Unmarshal(buf, &dump); err != nil {
+		t.Fatal(err)
+	}
+	resLoss := dump.FinalSmoothedLoss
+	if resLoss <= 0 || refLoss <= 0 {
+		t.Fatalf("losses not tracked: ref %v, resumed %v", refLoss, resLoss)
+	}
+	if diff := math.Abs(resLoss - refLoss); diff > 0.05*refLoss {
+		t.Errorf("resumed loss %v deviates from uninterrupted %v by %.1f%% (limit 5%%)",
+			resLoss, refLoss, 100*diff/refLoss)
+	}
+}
+
+func TestResumeRefusals(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	otherPath := filepath.Join(dir, "other.tsv")
+	ckptDir := filepath.Join(dir, "ckpt")
+	writeDataset(t, trainPath, 14)
+	writeDataset(t, otherPath, 15)
+
+	seeded := baseOptions(trainPath)
+	seeded.epochs = 1
+	seeded.checkpointDir = ckptDir
+	if err := run(io.Discard, seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"resume without dir", func(o *options) { o.checkpointDir = "" }},
+		{"resume from empty dir", func(o *options) { o.checkpointDir = filepath.Join(dir, "empty") }},
+		{"different dataset", func(o *options) { o.trainPath = otherPath }},
+		{"different lambda", func(o *options) { o.lambda = 0.9 }},
+		{"different seed", func(o *options) { o.seed = 999 }},
+	}
+	for _, c := range cases {
+		o := baseOptions(trainPath)
+		o.epochs = 2
+		o.checkpointDir = ckptDir
+		o.resume = true
+		c.mut(&o)
+		if err := run(io.Discard, o); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }
 

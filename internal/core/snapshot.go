@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/sampling"
+)
+
+// TrainerState is the resumable non-parameter state of a Trainer: where
+// the SGD schedule stands, both RNG streams, and the loss-smoothing
+// accumulator. Together with the model parameters it is everything a
+// checkpoint needs to continue training as if the process had never died.
+//
+// What resumes bit-identically and what does not: with the Uniform sampler
+// a restored run replays exactly the SGD trajectory of the uninterrupted
+// one (parameters are serialized as raw float64 bits and both RNG streams
+// are positioned exactly). Rank-aware samplers (DSS and the ablations)
+// rebuild their ranking lists from the restored parameters at resume time,
+// whereas the uninterrupted run would still be using lists built at the
+// previous refresh boundary — statistically equivalent, not bit-identical.
+type TrainerState struct {
+	// Step is the number of SGD updates already applied.
+	Step int
+	// RNG is the trainer's record-selection RNG state.
+	RNG [4]uint64
+	// Sampler is the triple sampler's resumable state.
+	Sampler sampling.SamplerState
+	// LossEWMA and LossN restore the smoothed-loss telemetry accumulator.
+	LossEWMA float64
+	LossN    int
+}
+
+// Snapshot captures the trainer's resumable state. The model parameters
+// are not included — snapshot them alongside via Model() (store.Meta
+// carries this state, the store payload carries the parameters).
+func (t *Trainer) Snapshot() TrainerState {
+	return TrainerState{
+		Step:     t.stepsDone,
+		RNG:      t.rng.State(),
+		Sampler:  t.sampler.State(),
+		LossEWMA: t.lossEWMA,
+		LossN:    t.lossN,
+	}
+}
+
+// Restore rewinds the trainer to a previously captured state: model
+// parameters are copied from m (which must match the trainer's shape),
+// both RNG streams are repositioned, the step counter and loss telemetry
+// pick up where they left off, and rank-aware samplers rebuild their
+// lists from the restored parameters. The trainer must have been
+// constructed with the same configuration and training data as the one
+// that produced the snapshot; Restore validates shape, not hyperparameters
+// — callers hold the checkpoint metadata for that.
+func (t *Trainer) Restore(st TrainerState, m *mf.Model) error {
+	if st.Step < 0 {
+		return fmt.Errorf("core: restore step %d < 0", st.Step)
+	}
+	if err := t.model.SetFrom(m); err != nil {
+		return err
+	}
+	t.rng.SetState(st.RNG)
+	t.sampler.Restore(st.Sampler)
+	t.stepsDone = st.Step
+	t.lossEWMA = st.LossEWMA
+	t.lossN = st.LossN
+	t.gradMag = mathx.OnlineStats{}
+	// Re-arm the telemetry clock so Elapsed and steps/sec restart from the
+	// resume point instead of spanning the outage.
+	t.trainStart = time.Time{}
+	t.lastHookStep = st.Step
+	return nil
+}

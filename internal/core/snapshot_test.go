@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/sampling"
+)
+
+func snapshotFixture(t *testing.T, strategy sampling.Strategy) (Config, *dataset.Dataset) {
+	t.Helper()
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "snap", Users: 40, Items: 60, Pairs: 900,
+		ZipfExp: 0.6, Dim: 4, Affinity: 5,
+	}, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(sampling.MAP, w.Data.NumPairs())
+	cfg.Dim = 6
+	cfg.Steps = 6000
+	cfg.Seed = 11
+	cfg.Sampler.Strategy = strategy
+	return cfg, w.Data
+}
+
+// TestSnapshotRestoreBitIdentical proves the crash-safety contract for the
+// Uniform sampler: train half, snapshot, train the rest; a fresh trainer
+// restored from the snapshot must produce bit-identical parameters after
+// the same remaining steps.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	cfg, data := snapshotFixture(t, sampling.Uniform)
+
+	ref, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.RunSteps(cfg.Steps / 2)
+	st := ref.Snapshot()
+	frozen := ref.Model().Clone()
+	ref.RunSteps(cfg.Steps - ref.StepsDone())
+
+	resumed, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(st, frozen); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.StepsDone() != cfg.Steps/2 {
+		t.Fatalf("StepsDone after restore = %d, want %d", resumed.StepsDone(), cfg.Steps/2)
+	}
+	resumed.RunSteps(cfg.Steps - resumed.StepsDone())
+
+	ru, rv, rb := ref.Model().RawParams()
+	su, sv, sb := resumed.Model().RawParams()
+	for name, pair := range map[string][2][]float64{
+		"U": {ru, su}, "V": {rv, sv}, "B": {rb, sb},
+	} {
+		a, b := pair[0], pair[1]
+		if len(a) != len(b) {
+			t.Fatalf("%s length mismatch", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: resumed %v != uninterrupted %v", name, i, b[i], a[i])
+			}
+		}
+	}
+	if got, want := resumed.SmoothedLoss(), ref.SmoothedLoss(); got != want {
+		// Loss smoothing is hook-gated; both trainers ran without hooks so
+		// both should report zero. The check guards the invariant anyway.
+		t.Errorf("SmoothedLoss: resumed %v, uninterrupted %v", got, want)
+	}
+}
+
+// TestSnapshotRestoreDSSConverges checks the weaker guarantee for the
+// rank-aware sampler: resume runs and ends in the same loss neighborhood.
+func TestSnapshotRestoreDSSConverges(t *testing.T) {
+	cfg, data := snapshotFixture(t, sampling.DSS)
+
+	ref, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetStatsHook(1000, func(TrainStats) {}); err != nil {
+		t.Fatal(err)
+	}
+	ref.RunSteps(cfg.Steps / 2)
+	st := ref.Snapshot()
+	frozen := ref.Model().Clone()
+	ref.RunSteps(cfg.Steps - ref.StepsDone())
+
+	resumed, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.SetStatsHook(1000, func(TrainStats) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(st, frozen); err != nil {
+		t.Fatal(err)
+	}
+	resumed.RunSteps(cfg.Steps - resumed.StepsDone())
+
+	refLoss, resLoss := ref.SmoothedLoss(), resumed.SmoothedLoss()
+	if refLoss <= 0 || resLoss <= 0 {
+		t.Fatalf("losses not tracked: ref %v, resumed %v", refLoss, resLoss)
+	}
+	if diff := math.Abs(resLoss - refLoss); diff > 0.05*refLoss {
+		t.Errorf("resumed DSS loss %v deviates from uninterrupted %v by more than 5%%", resLoss, refLoss)
+	}
+}
+
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	cfg, data := snapshotFixture(t, sampling.Uniform)
+	tr, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Snapshot()
+
+	wrongCfg := cfg
+	wrongCfg.Dim = cfg.Dim + 1
+	other, err := NewTrainer(wrongCfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Restore(st, other.Model()); err == nil {
+		t.Error("restore with mismatched model shape accepted")
+	}
+	if err := tr.Restore(TrainerState{Step: -1}, tr.Model().Clone()); err == nil {
+		t.Error("restore with negative step accepted")
+	}
+}
+
+// TestRestoreResumesLossTelemetry verifies the smoothed-loss curve is
+// continuous across a resume: the restored accumulator carries LossEWMA
+// and LossN forward.
+func TestRestoreResumesLossTelemetry(t *testing.T) {
+	cfg, data := snapshotFixture(t, sampling.Uniform)
+	tr, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetStatsHook(500, func(TrainStats) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunSteps(2000)
+	st := tr.Snapshot()
+	if st.LossEWMA == 0 || st.LossN != 2000 {
+		t.Fatalf("snapshot telemetry: EWMA %v, N %d", st.LossEWMA, st.LossN)
+	}
+
+	resumed, err := NewTrainer(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.SetStatsHook(500, func(TrainStats) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(st, tr.Model().Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.SmoothedLoss(); got != st.LossEWMA {
+		t.Errorf("restored SmoothedLoss = %v, want %v", got, st.LossEWMA)
+	}
+}

@@ -186,6 +186,35 @@ func (d *Dataset) ForEach(fn func(u, i int32)) {
 	}
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash over the dataset's dimensions
+// and every observed pair (rows are stored sorted, so the hash is
+// independent of insertion order). Checkpoints record it so a resumed run
+// can refuse to continue against different training data — silently mixing
+// datasets mid-run would corrupt the model without any visible error.
+// The name is deliberately excluded: the same interactions under a
+// different label are the same training problem.
+func (d *Dataset) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	mix(uint64(d.numUsers))
+	mix(uint64(d.numItems))
+	for u, row := range d.rows {
+		for _, it := range row {
+			mix(uint64(u)<<32 | uint64(uint32(it)))
+		}
+	}
+	return h
+}
+
 // ItemPopularity returns, for each item, the number of users who observed
 // it — the statistic PopRank ranks by and the generator's tail diagnostic.
 func (d *Dataset) ItemPopularity() []int {

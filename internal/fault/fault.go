@@ -1,0 +1,150 @@
+// Package fault provides deterministic fault injection for chaos tests:
+// writers and readers that fail at an exact byte offset, and file
+// corruption helpers that reproduce what crashes and torn disks leave
+// behind (truncated tails, flipped bits). Production code never imports
+// this package; tests use it to prove the store and checkpoint layers
+// survive the failures they claim to survive.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrInjected is the error returned by injected failures. Tests assert on
+// it with errors.Is to distinguish planned faults from real ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// Writer passes bytes through to W until FailAt total bytes have been
+// written, then fails every subsequent write with Err (ErrInjected when
+// nil). The write that crosses the boundary is a short write: bytes up to
+// the boundary reach W, the rest do not — exactly the torn tail a crash
+// mid-write leaves on disk.
+type Writer struct {
+	W      io.Writer
+	FailAt int64
+	Err    error
+
+	written int64
+}
+
+// NewWriter returns a Writer failing after failAt bytes.
+func NewWriter(w io.Writer, failAt int64) *Writer {
+	return &Writer{W: w, FailAt: failAt}
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	errOut := w.Err
+	if errOut == nil {
+		errOut = ErrInjected
+	}
+	remain := w.FailAt - w.written
+	if remain <= 0 {
+		return 0, errOut
+	}
+	if int64(len(p)) <= remain {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	n, err := w.W.Write(p[:remain])
+	w.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, errOut
+}
+
+// Written returns the number of bytes that reached the underlying writer.
+func (w *Writer) Written() int64 { return w.written }
+
+// Reader passes bytes through from R until FailAt total bytes have been
+// read, then fails with Err (ErrInjected when nil). The boundary read is
+// short: bytes up to the boundary are returned with a nil error, the next
+// call fails — matching io.Reader's contract so bufio and io.ReadFull
+// propagate the fault faithfully.
+type Reader struct {
+	R      io.Reader
+	FailAt int64
+	Err    error
+
+	read int64
+}
+
+// NewReader returns a Reader failing after failAt bytes.
+func NewReader(r io.Reader, failAt int64) *Reader {
+	return &Reader{R: r, FailAt: failAt}
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	errOut := r.Err
+	if errOut == nil {
+		errOut = ErrInjected
+	}
+	remain := r.FailAt - r.read
+	if remain <= 0 {
+		return 0, errOut
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := r.R.Read(p)
+	r.read += int64(n)
+	return n, err
+}
+
+// Truncate cuts the file at path down to n bytes — the on-disk aftermath
+// of a process killed mid-write (or a rename that beat its data to disk).
+func Truncate(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	if n < 0 || n > info.Size() {
+		return fmt.Errorf("fault: truncate %s to %d bytes, have %d", path, n, info.Size())
+	}
+	return os.Truncate(path, n)
+}
+
+// FlipByte XOR-flips the byte at offset off in the file at path — a
+// single-sector corruption that an integrity checksum must catch.
+func FlipByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("fault: read %s@%d: %w", path, off, err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("fault: write %s@%d: %w", path, off, err)
+	}
+	return f.Close()
+}
+
+// CrashFile simulates a crash while writing path: it runs write against a
+// Writer that dies after failAt bytes and leaves whatever made it through
+// on disk, bypassing any atomic-rename discipline — the file exists but is
+// incomplete, as after a power cut between rename and data sync.
+func CrashFile(path string, failAt int64, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	werr := write(NewWriter(f, failAt))
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	if werr == nil {
+		return fmt.Errorf("fault: write completed before byte %d — nothing crashed", failAt)
+	}
+	if !errors.Is(werr, ErrInjected) {
+		return werr
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriterFailsAtBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 10)
+
+	n, err := w.Write([]byte("0123456"))
+	if n != 7 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// This write crosses the boundary: 3 bytes land, then the injected error.
+	n, err = w.Write([]byte("789abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "0123456789" {
+		t.Errorf("underlying writer got %q", buf.String())
+	}
+	if w.Written() != 10 {
+		t.Errorf("Written() = %d", w.Written())
+	}
+	// Every later write fails immediately.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("post-fault write: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterCustomError(t *testing.T) {
+	w := &Writer{W: io.Discard, FailAt: 0, Err: os.ErrClosed}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("custom error not propagated: %v", err)
+	}
+}
+
+func TestReaderFailsAtBoundary(t *testing.T) {
+	r := NewReader(strings.NewReader("0123456789abcdef"), 10)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAll err = %v", err)
+	}
+	if string(got) != "0123456789" {
+		t.Errorf("read %q before fault", got)
+	}
+}
+
+func TestTruncateAndFlipByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "hello" {
+		t.Errorf("after truncate: %q", got)
+	}
+	if err := Truncate(path, 100); err == nil {
+		t.Error("growing truncate accepted")
+	}
+	if err := FlipByte(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if got[0] != 'h'^0xFF {
+		t.Errorf("byte not flipped: %q", got)
+	}
+	if err := FlipByte(path, 99); err == nil {
+		t.Error("out-of-range flip accepted")
+	}
+}
+
+func TestCrashFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	err := CrashFile(path, 4, func(w io.Writer) error {
+		_, err := w.Write([]byte("full payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "full" {
+		t.Errorf("torn file holds %q", got)
+	}
+
+	// A write that finishes under the limit is a test bug, not a crash.
+	if err := CrashFile(path, 1<<20, func(w io.Writer) error {
+		_, err := w.Write([]byte("tiny"))
+		return err
+	}); err == nil {
+		t.Error("CrashFile accepted a write that never crashed")
+	}
+}

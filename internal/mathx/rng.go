@@ -41,6 +41,21 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(seed)
 }
 
+// State returns the generator's four state words, for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState replaces the generator's state with one previously captured by
+// State, resuming the stream at exactly the same position. An all-zero
+// state would be absorbing for xoshiro256**, so it is re-expanded from
+// seed zero instead.
+func (r *RNG) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		*r = *NewRNG(0)
+		return
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

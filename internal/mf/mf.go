@@ -198,6 +198,28 @@ func (m *Model) Clone() *Model {
 	return &c
 }
 
+// SetFrom copies src's parameters into m, which must have the same shape.
+// Restoring into an existing model (rather than swapping pointers) keeps
+// every alias of m — samplers, servers, evaluators — looking at the new
+// parameters.
+func (m *Model) SetFrom(src *Model) error {
+	if src == nil {
+		return fmt.Errorf("mf: SetFrom nil model")
+	}
+	if m.numUsers != src.numUsers || m.numItems != src.numItems ||
+		m.dim != src.dim || m.useBias != src.useBias {
+		return fmt.Errorf("mf: SetFrom shape mismatch: have %d×%d dim %d bias %v, source %d×%d dim %d bias %v",
+			m.numUsers, m.numItems, m.dim, m.useBias,
+			src.numUsers, src.numItems, src.dim, src.useBias)
+	}
+	copy(m.u, src.u)
+	copy(m.v, src.v)
+	if m.b != nil {
+		copy(m.b, src.b)
+	}
+	return nil
+}
+
 // RawParams exposes the flat parameter slices for serialization. Callers
 // outside internal/store should use the accessor methods instead.
 func (m *Model) RawParams() (u, v, b []float64) { return m.u, m.v, m.b }

@@ -266,6 +266,31 @@ func (s *TripleSampler) SampleWithI(u, i int32) Triple {
 	return Triple{I: i, K: k, J: j}
 }
 
+// SamplerState captures the sampler's resumable state: the RNG position
+// and the step counter that drives the rank-list refresh schedule. The
+// rank lists themselves are not part of the state — they are derived from
+// the model and rebuilt on Restore.
+type SamplerState struct {
+	RNG   [4]uint64
+	Steps int
+}
+
+// State returns the sampler's resumable state for checkpointing.
+func (s *TripleSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State(), Steps: s.steps}
+}
+
+// Restore resumes the sampler from a captured state and rebuilds the
+// rank-aware structures from the current model. For the Uniform strategy
+// the continuation is bit-identical to the uninterrupted stream; for
+// rank-aware strategies the refreshed lists reflect the restored model
+// rather than the lists in memory at checkpoint time (see DESIGN.md).
+func (s *TripleSampler) Restore(st SamplerState) {
+	s.rng.SetState(st.RNG)
+	s.steps = st.Steps
+	s.Refresh()
+}
+
 // SetDrawHists attaches optional histograms recording the geometric rank
 // positions drawn by the rank-aware strategies — pos for the observed
 // item k, neg for the unobserved item j. Position 0 is the end of the

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+)
+
+// This file is the serve-path failure containment: a panic in one handler
+// must not kill the process, a burst of traffic must degrade into fast
+// 503s instead of unbounded queueing, and no request may hold a goroutine
+// forever. Each concern is one middleware; Handler() stacks them so the
+// request metrics see everything, including the failures.
+
+// exemptFromHardening marks the cheap operational endpoints that must
+// answer even when the server is overloaded — shedding a health probe
+// would make an overloaded server look dead and get it restarted.
+func exemptFromHardening(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// recoverMiddleware converts handler panics into 500 responses, counts
+// them in clapf_panics_total, and logs the stack. The connection's
+// goroutine survives, so one poisoned request cannot take the process
+// down with it.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // deliberate abort, not a bug
+				panic(rec)
+			}
+			s.panics.Inc()
+			s.log.Error("handler panic recovered",
+				"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
+			// The header may already be out; this write is best-effort.
+			http.Error(w, `{"error":"internal server error"}`, http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shedMiddleware bounds in-flight recommendation work with a semaphore.
+// When MaxInFlight requests are already running, new ones are rejected
+// immediately with 503 + Retry-After rather than queued — under overload
+// a bounded server stays fast for the requests it does accept.
+func (s *Server) shedMiddleware(next http.Handler) http.Handler {
+	if s.MaxInFlight <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, s.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromHardening(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.sheds.Inc()
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded"})
+		}
+	})
+}
+
+// timeoutMiddleware attaches a deadline to each request's context so
+// downstream work inherits a bound on how long it may run.
+func (s *Server) timeoutMiddleware(next http.Handler) http.Handler {
+	if s.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromHardening(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

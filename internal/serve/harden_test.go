@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"clapf/internal/fault"
+	"clapf/internal/mf"
+	"clapf/internal/store"
+)
+
+func TestRecoverMiddleware(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	for i := 1; i <= 2; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/recommend?user=1", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("panic %d: status = %d, want 500", i, rec.Code)
+		}
+		if s.panics.Value() != uint64(i) {
+			t.Errorf("panic %d: clapf_panics_total = %d", i, s.panics.Value())
+		}
+	}
+	// The server is still functional after panics.
+	rec, _ := get(t, s.Handler(), "/recommend?user=1&k=3")
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-panic request: status = %d", rec.Code)
+	}
+}
+
+func TestRecoverPropagatesAbortHandler(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler swallowed instead of propagated")
+		}
+		if s.panics.Value() != 0 {
+			t.Errorf("deliberate abort counted as panic: %d", s.panics.Value())
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/recommend", nil))
+}
+
+func TestShedMiddleware(t *testing.T) {
+	s, _ := testServer(t)
+	s.MaxInFlight = 1
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := s.shedMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/recommend" {
+			entered <- struct{}{}
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/recommend", nil))
+	}()
+	<-entered // the slot is now held
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/recommend", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap request: status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After header")
+	}
+	if s.sheds.Value() != 1 {
+		t.Errorf("clapf_load_shed_total = %d", s.sheds.Value())
+	}
+
+	// Health probes must never be shed, even at the cap.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s shed at cap: status = %d", path, rec.Code)
+		}
+	}
+
+	close(release)
+	wg.Wait()
+
+	// With the slot free again, requests flow.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/similar", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-release request: status = %d", rec.Code)
+	}
+}
+
+func TestTimeoutMiddlewareSetsDeadline(t *testing.T) {
+	s, _ := testServer(t)
+	s.RequestTimeout = 1 // nanosecond — any deadline proves the wiring
+	var hadDeadline bool
+	h := s.timeoutMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, hadDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/recommend", nil))
+	if !hadDeadline {
+		t.Error("request context has no deadline")
+	}
+	hadDeadline = false
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hadDeadline {
+		t.Error("health probe got a deadline; probes are exempt")
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	rec, _ := get(t, h, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready server: /readyz = %d", rec.Code)
+	}
+	s.SetReady(false)
+	rec, _ = get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining server: /readyz = %d, want 503", rec.Code)
+	}
+	// Liveness is unaffected by draining.
+	live := httptest.NewRecorder()
+	h.ServeHTTP(live, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if live.Code != http.StatusOK {
+		t.Errorf("draining server: /healthz = %d, want 200", live.Code)
+	}
+}
+
+func TestReloadFromFile(t *testing.T) {
+	s, _ := testServer(t)
+	dir := t.TempDir()
+	before := s.Model()
+
+	// A valid same-shape model swaps in.
+	next := mf.MustNew(mf.Config{
+		NumUsers: before.NumUsers(), NumItems: before.NumItems(),
+		Dim: before.Dim(), UseBias: before.HasBias(), InitStd: 0.1,
+	})
+	good := filepath.Join(dir, "good.clapf")
+	if err := store.SaveFile(good, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadFromFile(good); err != nil {
+		t.Fatalf("valid reload failed: %v", err)
+	}
+	if s.Model() == before || s.Generation() != 1 {
+		t.Fatalf("model not swapped: generation = %d", s.Generation())
+	}
+	current := s.Model()
+
+	// A torn file is rejected and the current model keeps serving.
+	torn := filepath.Join(dir, "torn.clapf")
+	if err := fault.CrashFile(torn, 64, func(w io.Writer) error {
+		return store.Save(w, next)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadFromFile(torn); err == nil {
+		t.Fatal("torn file accepted")
+	}
+
+	// A well-formed file with the wrong shape is rejected too.
+	small := mf.MustNew(mf.Config{NumUsers: 2, NumItems: 2, Dim: 2})
+	mismatched := filepath.Join(dir, "mismatched.clapf")
+	if err := store.SaveFile(mismatched, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadFromFile(mismatched); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+	if err := s.ReloadFromFile(filepath.Join(dir, "missing.clapf")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	if s.Model() != current || s.Generation() != 1 {
+		t.Errorf("failed reloads disturbed the served model: generation = %d", s.Generation())
+	}
+	if s.reloadOK.Value() != 1 || s.reloadFail.Value() != 3 {
+		t.Errorf("reload counters ok=%d fail=%d, want 1/3",
+			s.reloadOK.Value(), s.reloadFail.Value())
+	}
+
+	// The server still answers after the failed reloads.
+	rec, _ := get(t, s.Handler(), "/recommend?user=1&k=3")
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-reload request: status = %d", rec.Code)
+	}
+}
+
+func TestHealthzReportsGeneration(t *testing.T) {
+	s, _ := testServer(t)
+	if err := s.SwapModel(s.Model().Clone()); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ModelGeneration != 1 {
+		t.Errorf("model_generation = %d, want 1", h.ModelGeneration)
+	}
+}
+
+func TestHistoryBoundAndDedupe(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	// A history over the cap is a 400, cheaply.
+	s.MaxHistory = 4
+	long := "/recommend?items=" + strings.Repeat("1,", 4) + "2"
+	rec, _ := get(t, h, long)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("over-limit history: status = %d, want 400", rec.Code)
+	}
+
+	// Duplicates collapse: 1,1,2,1 is the history {1,2}.
+	items, err := parseItemList("1, 1,2,1", 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0] != 1 || items[1] != 2 {
+		t.Errorf("deduped list = %v, want [1 2]", items)
+	}
+
+	// And the deduped request serves fine end-to-end.
+	rec, body := get(t, h, "/recommend?items=3,3,5&k=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deduped request: status = %d: %s", rec.Code, rec.Body.String())
+	}
+	for _, it := range body.Items {
+		if it.Item == 3 || it.Item == 5 {
+			t.Errorf("history item %d recommended back", it.Item)
+		}
+	}
+}

@@ -2,15 +2,19 @@
 // surface a downstream adopter runs behind their application. Endpoints:
 //
 //	GET /healthz                      liveness + model dimensions + uptime/request totals
+//	GET /readyz                       readiness (503 while draining or before a model is live)
 //	GET /recommend?user=U&k=K         top-k unobserved items for a known user
 //	GET /recommend?items=1,2,3&k=K    cold-start: fold the history in, then rank
 //	GET /similar?item=I&k=K           nearest items by factor cosine
 //	GET /metrics                      Prometheus text exposition
 //
-// All responses are JSON except /metrics. The server is read-only over an
-// immutable model and dataset, so handlers are safe for concurrent use.
-// Every request is recorded in the server's obs.Registry (count by
-// endpoint and status code, latency histogram by endpoint).
+// All responses are JSON except /metrics. Handlers are read-only over an
+// immutable dataset and a model held behind an atomic pointer, so they
+// are safe for concurrent use and the model can be hot-swapped (SIGHUP in
+// cmd/clapf-serve) without dropping a request. The handler chain is
+// hardened (see harden.go): panics become 500s, overload sheds with 503,
+// and every request carries a deadline. Every request is recorded in the
+// server's obs.Registry.
 package serve
 
 import (
@@ -20,29 +24,46 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"clapf/internal/dataset"
 	"clapf/internal/mf"
 	"clapf/internal/obs"
 	"clapf/internal/rank"
+	"clapf/internal/store"
 )
 
 // Server serves recommendations from a trained model. train supplies the
 // observed-item exclusions for known users and must match the model's
-// dimensions.
+// dimensions. Configure the exported fields before calling Handler.
 type Server struct {
-	model *mf.Model
+	model atomic.Pointer[mf.Model]
 	train *dataset.Dataset
 	// FoldInReg is the ridge strength for cold-start fold-in.
 	FoldInReg float64
 	// MaxK caps the k query parameter.
 	MaxK int
+	// MaxHistory caps the cold-start items list; longer requests are
+	// rejected with 400 (an unbounded list is a trivial CPU/memory DoS on
+	// the fold-in path).
+	MaxHistory int
+	// MaxInFlight bounds concurrently handled recommendation requests;
+	// excess load is shed with 503 + Retry-After. <= 0 disables shedding.
+	MaxInFlight int
+	// RequestTimeout is the per-request context deadline. <= 0 disables it.
+	RequestTimeout time.Duration
 
+	ready        atomic.Bool
+	generation   atomic.Uint64 // model swaps since construction
 	log          *slog.Logger
 	reg          *obs.Registry
 	httpm        *obs.HTTPMetrics
 	encodeErrors *obs.Counter
+	panics       *obs.Counter
+	sheds        *obs.Counter
+	reloadOK     *obs.Counter
+	reloadFail   *obs.Counter
 	started      time.Time
 }
 
@@ -55,32 +76,64 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	if train == nil {
 		return nil, fmt.Errorf("serve: nil training dataset")
 	}
-	if model.NumUsers() != train.NumUsers() || model.NumItems() != train.NumItems() {
-		return nil, fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
-			model.NumUsers(), model.NumItems(), train.NumUsers(), train.NumItems())
+	if err := validateModel(model, train); err != nil {
+		return nil, err
 	}
 	s := &Server{
-		model:     model,
-		train:     train,
-		FoldInReg: 0.1,
-		MaxK:      100,
-		log:       obs.NopLogger(),
-		reg:       obs.NewRegistry(),
-		started:   time.Now(),
+		train:          train,
+		FoldInReg:      0.1,
+		MaxK:           100,
+		MaxHistory:     1024,
+		MaxInFlight:    256,
+		RequestTimeout: 10 * time.Second,
+		log:            obs.NopLogger(),
+		reg:            obs.NewRegistry(),
+		started:        time.Now(),
 	}
+	s.model.Store(model)
+	s.ready.Store(true)
 	s.httpm = obs.NewHTTPMetrics(s.reg, "clapf_")
 	s.encodeErrors = s.reg.NewCounter("clapf_encode_errors_total",
 		"JSON response bodies that failed to encode after the header was written.")
+	s.panics = s.reg.NewCounter("clapf_panics_total",
+		"Handler panics recovered into 500 responses.")
+	s.sheds = s.reg.NewCounter("clapf_load_shed_total",
+		"Requests shed with 503 because the in-flight cap was reached.")
+	reloads := s.reg.NewCounterVec("clapf_model_reloads_total",
+		"Hot model reload attempts by result.", "result")
+	s.reloadOK = reloads.With("ok")
+	s.reloadFail = reloads.With("error")
 	s.reg.NewGaugeFunc("clapf_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	s.reg.NewGaugeFunc("clapf_model_users", "Users in the served model.",
-		func() float64 { return float64(model.NumUsers()) })
+		func() float64 { return float64(s.Model().NumUsers()) })
 	s.reg.NewGaugeFunc("clapf_model_items", "Items in the served model.",
-		func() float64 { return float64(model.NumItems()) })
+		func() float64 { return float64(s.Model().NumItems()) })
 	s.reg.NewGaugeFunc("clapf_model_dim", "Latent dimensionality of the served model.",
-		func() float64 { return float64(model.Dim()) })
+		func() float64 { return float64(s.Model().Dim()) })
+	s.reg.NewGaugeFunc("clapf_model_generation",
+		"Successful model swaps since the server started.",
+		func() float64 { return float64(s.generation.Load()) })
+	s.reg.NewGaugeFunc("clapf_ready",
+		"1 while the server accepts traffic, 0 while draining.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
 	return s, nil
+}
+
+// validateModel checks a candidate model against the exclusion dataset —
+// the gate every swap must pass so a mismatched file can never go live.
+func validateModel(m *mf.Model, train *dataset.Dataset) error {
+	if m.NumUsers() != train.NumUsers() || m.NumItems() != train.NumItems() {
+		return fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
+			m.NumUsers(), m.NumItems(), train.NumUsers(), train.NumItems())
+	}
+	return nil
 }
 
 // SetLogger installs the structured logger used for serve-path warnings
@@ -96,25 +149,75 @@ func (s *Server) SetLogger(l *slog.Logger) {
 // their own series or scrape it out-of-band.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// Model returns the currently served model.
+func (s *Server) Model() *mf.Model { return s.model.Load() }
+
+// Generation returns how many successful model swaps have happened.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
+
+// SetReady flips the /readyz signal; cmd/clapf-serve marks the server
+// not-ready at the start of a drain so load balancers stop routing to it
+// while in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SwapModel atomically replaces the served model after validating it
+// against the exclusion dataset. On error the old model keeps serving.
+func (s *Server) SwapModel(m *mf.Model) error {
+	if m == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	if err := validateModel(m, s.train); err != nil {
+		return err
+	}
+	s.model.Store(m)
+	s.generation.Add(1)
+	return nil
+}
+
+// ReloadFromFile hot-reloads the model from path: the file is read and
+// checksum-verified, its dimensions are validated against the dataset,
+// and only then does the pointer swap — a torn, corrupt, or mismatched
+// file leaves the old model serving and counts as a failed reload.
+func (s *Server) ReloadFromFile(path string) error {
+	m, err := store.LoadFile(path)
+	if err == nil {
+		err = s.SwapModel(m)
+	}
+	if err != nil {
+		s.reloadFail.Inc()
+		s.log.Error("model reload failed; keeping current model", "path", path, "err", err)
+		return err
+	}
+	s.reloadOK.Inc()
+	s.log.Info("model reloaded", "path", path, "generation", s.generation.Load())
+	return nil
+}
+
 // normalizeMetricPath keeps the metric path label's cardinality bounded:
 // routed endpoints keep their path, everything else collapses.
 func normalizeMetricPath(p string) string {
 	switch p {
-	case "/healthz", "/recommend", "/similar", "/metrics":
+	case "/healthz", "/readyz", "/recommend", "/similar", "/metrics":
 		return p
 	}
 	return "other"
 }
 
-// Handler returns the routed HTTP handler, wrapped in the metrics
-// middleware.
+// Handler returns the routed HTTP handler wrapped in the hardening and
+// metrics middleware: metrics(recover(shed(timeout(mux)))), so panics and
+// shed requests are themselves visible in the request metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /recommend", s.handleRecommend)
 	mux.HandleFunc("GET /similar", s.handleSimilar)
 	mux.Handle("GET /metrics", s.reg.Handler())
-	return s.httpm.Middleware(normalizeMetricPath, mux)
+	var h http.Handler = mux
+	h = s.timeoutMiddleware(h)
+	h = s.shedMiddleware(h)
+	h = s.recoverMiddleware(h)
+	return s.httpm.Middleware(normalizeMetricPath, h)
 }
 
 // Item is one scored item in a JSON response.
@@ -135,6 +238,8 @@ type HealthResponse struct {
 	Users  int    `json:"users"`
 	Items  int    `json:"items"`
 	Dim    int    `json:"dim"`
+	// ModelGeneration counts successful hot reloads since startup.
+	ModelGeneration uint64 `json:"model_generation"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// RequestsTotal counts requests completed before this one, across
@@ -143,14 +248,29 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	m := s.Model()
 	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
-		Users:         s.model.NumUsers(),
-		Items:         s.model.NumItems(),
-		Dim:           s.model.Dim(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		RequestsTotal: s.httpm.TotalRequests(),
+		Status:          "ok",
+		Users:           m.NumUsers(),
+		Items:           m.NumItems(),
+		Dim:             m.Dim(),
+		ModelGeneration: s.generation.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		RequestsTotal:   s.httpm.TotalRequests(),
 	})
+}
+
+// handleReady is the routing signal, distinct from liveness: a draining
+// process is still alive (healthz 200) but should get no new traffic
+// (readyz 503).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -175,25 +295,27 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) recommendKnown(w http.ResponseWriter, userParam string, k int) {
+	m := s.Model()
 	u64, err := strconv.ParseInt(userParam, 10, 32)
-	if err != nil || u64 < 0 || int(u64) >= s.model.NumUsers() {
+	if err != nil || u64 < 0 || int(u64) >= m.NumUsers() {
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
 		return
 	}
 	u := int32(u64)
-	scores := make([]float64, s.model.NumItems())
-	s.model.ScoreAll(u, scores)
+	scores := make([]float64, m.NumItems())
+	m.ScoreAll(u, scores)
 	top := rank.TopK(scores, k, func(i int32) bool { return s.train.IsPositive(u, i) })
 	s.writeJSON(w, http.StatusOK, RecommendResponse{User: &u, Items: toItems(top)})
 }
 
 func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k int) {
-	history, err := parseItemList(itemsParam, s.model.NumItems())
+	m := s.Model()
+	history, err := parseItemList(itemsParam, m.NumItems(), s.MaxHistory)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	uf, err := mf.FoldInUser(s.model, history, s.FoldInReg)
+	uf, err := mf.FoldInUser(m, history, s.FoldInReg)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
@@ -202,13 +324,14 @@ func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k 
 	for _, it := range history {
 		seen[it] = true
 	}
-	scores := make([]float64, s.model.NumItems())
-	s.model.ScoreAllFoldIn(uf, scores)
+	scores := make([]float64, m.NumItems())
+	m.ScoreAllFoldIn(uf, scores)
 	top := rank.TopK(scores, k, func(i int32) bool { return seen[i] })
 	s.writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(top)})
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	m := s.Model()
 	k, err := s.parseK(r)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
@@ -216,11 +339,11 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	itemParam := r.URL.Query().Get("item")
 	i64, err := strconv.ParseInt(itemParam, 10, 32)
-	if err != nil || i64 < 0 || int(i64) >= s.model.NumItems() {
+	if err != nil || i64 < 0 || int(i64) >= m.NumItems() {
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
 		return
 	}
-	sims, err := mf.SimilarItems(s.model, int32(i64), k)
+	sims, err := mf.SimilarItems(m, int32(i64), k)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, err)
 		return
@@ -243,9 +366,18 @@ func (s *Server) parseK(r *http.Request) (int, error) {
 	return k, nil
 }
 
-func parseItemList(param string, numItems int) ([]int32, error) {
+// parseItemList parses a comma-separated history, bounding its length and
+// dropping duplicates — both the comma count and the dedup happen before
+// any per-item work, so a hostile list costs O(maxItems) at worst.
+func parseItemList(param string, numItems, maxItems int) ([]int32, error) {
+	if maxItems > 0 {
+		if n := strings.Count(param, ",") + 1; n > maxItems {
+			return nil, fmt.Errorf("history has %d items, limit %d", n, maxItems)
+		}
+	}
 	parts := strings.Split(param, ",")
 	items := make([]int32, 0, len(parts))
+	seen := make(map[int32]bool, len(parts))
 	for _, p := range parts {
 		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
 		if err != nil {
@@ -254,6 +386,10 @@ func parseItemList(param string, numItems int) ([]int32, error) {
 		if v < 0 || int(v) >= numItems {
 			return nil, fmt.Errorf("item %d out of range [0,%d)", v, numItems)
 		}
+		if seen[int32(v)] {
+			continue
+		}
+		seen[int32(v)] = true
 		items = append(items, int32(v))
 	}
 	if len(items) == 0 {
@@ -290,6 +426,3 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 		s.log.Error("response encode failed", "err", err, "status", code, "type", fmt.Sprintf("%T", v))
 	}
 }
-
-// Model exposes the served model (for status reporting by callers).
-func (s *Server) Model() *mf.Model { return s.model }

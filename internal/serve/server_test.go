@@ -59,7 +59,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, train); err == nil {
 		t.Error("nil model accepted")
 	}
-	if _, err := New(s.model, nil); err == nil {
+	if _, err := New(s.Model(), nil); err == nil {
 		t.Error("nil dataset accepted")
 	}
 	other := mf.MustNew(mf.Config{NumUsers: 2, NumItems: 2, Dim: 2})

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the model loader. Load must never
+// panic or over-allocate; it either returns a model whose re-serialization
+// is consistent, or an error. The seed corpus covers the interesting
+// shapes: a valid v1 file, a valid v2 file with metadata, a truncated
+// file, and a file whose checksum was flipped.
+func FuzzLoad(f *testing.F) {
+	m := sampleModel(1, true)
+	var v1 bytes.Buffer
+	if err := Save(&v1, m); err != nil {
+		f.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := SaveWithMeta(&v2, m, sampleMeta()); err != nil {
+		f.Fatal(err)
+	}
+	flipped := append([]byte(nil), v1.Bytes()...)
+	flipped[len(flipped)-1] ^= 0xFF
+
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:v1.Len()/2])
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, meta, err := LoadWithMeta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a round trip bit-for-bit.
+		var buf bytes.Buffer
+		if meta == nil {
+			err = Save(&buf, got)
+		} else {
+			err = SaveWithMeta(&buf, got, meta)
+		}
+		if err != nil {
+			t.Fatalf("re-save of fuzz-accepted model failed: %v", err)
+		}
+		again, _, err := LoadWithMeta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of re-saved model failed: %v", err)
+		}
+		if !modelsEqual(got, again) {
+			t.Fatal("fuzz round trip changed the model")
+		}
+	})
+}

@@ -13,17 +13,27 @@
 //	U       users·dim float64 bits
 //	V       items·dim float64 bits
 //	B       items float64 bits (only when bias flag set)
+//	meta    uint32 length + JSON bytes (version >= 2 only)
 //	crc     uint32   CRC-32 (IEEE) of everything above
+//
+// Version 1 files carry only the parameters; version 2 appends a metadata
+// trailer (training step, RNG state, hyper-parameters, train-data
+// fingerprint) that makes a file a resumable training checkpoint. Both
+// versions remain loadable. Plain Save still emits version 1 so model
+// files consumed by older tooling are byte-identical; SaveWithMeta emits
+// version 2.
 package store
 
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"clapf/internal/mf"
 )
@@ -31,12 +41,57 @@ import (
 var magic = [8]byte{'C', 'L', 'A', 'P', 'F', 'M', 'F', 0}
 
 // Version is the current format version.
-const Version uint32 = 1
+const Version uint32 = 2
 
 const flagBias uint32 = 1
 
-// Save writes the model to w.
+// maxMetaLen bounds the metadata trailer so a corrupt length field cannot
+// drive a huge allocation before the checksum is verified.
+const maxMetaLen = 1 << 20
+
+// Meta is the version-2 metadata trailer: everything beyond the raw
+// parameters that a resumable checkpoint needs. All fields are optional;
+// the zero value is a valid (empty) trailer.
+type Meta struct {
+	// Epoch and Step locate the checkpoint in the training schedule
+	// (Step counts SGD updates; Epoch is Step in epoch-equivalents).
+	Epoch int `json:"epoch,omitempty"`
+	Step  int `json:"step,omitempty"`
+	// TotalSteps is the configured step budget of the interrupted run.
+	TotalSteps int `json:"total_steps,omitempty"`
+	// RNG and SamplerRNG are xoshiro256** state words (4 each) of the
+	// trainer's and triple sampler's generators.
+	RNG        []uint64 `json:"rng,omitempty"`
+	SamplerRNG []uint64 `json:"sampler_rng,omitempty"`
+	// SamplerSteps preserves the sampler's refresh schedule position.
+	SamplerSteps int `json:"sampler_steps,omitempty"`
+	// LossEWMA and LossN restore the smoothed-loss accumulator so the
+	// telemetry curve is continuous across a resume.
+	LossEWMA float64 `json:"loss_ewma,omitempty"`
+	LossN    int     `json:"loss_n,omitempty"`
+	// DataFingerprint is dataset.Fingerprint() of the training split; a
+	// resume against different data is refused.
+	DataFingerprint uint64 `json:"data_fingerprint,omitempty"`
+	// Hyper records the run's hyper-parameters as printable strings so a
+	// resume can verify it continues the same optimization problem.
+	Hyper map[string]string `json:"hyper,omitempty"`
+}
+
+// Save writes the model to w in version-1 format (no metadata trailer).
 func Save(w io.Writer, m *mf.Model) error {
+	return save(w, m, nil)
+}
+
+// SaveWithMeta writes the model and metadata trailer to w in version-2
+// format.
+func SaveWithMeta(w io.Writer, m *mf.Model, meta *Meta) error {
+	if meta == nil {
+		meta = &Meta{}
+	}
+	return save(w, m, meta)
+}
+
+func save(w io.Writer, m *mf.Model, meta *Meta) error {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
 
@@ -47,7 +102,11 @@ func Save(w io.Writer, m *mf.Model) error {
 	if m.HasBias() {
 		flags |= flagBias
 	}
-	if err := writeU32(mw, Version); err != nil {
+	version := uint32(1)
+	if meta != nil {
+		version = 2
+	}
+	if err := writeU32(mw, version); err != nil {
 		return err
 	}
 	if err := writeU32(mw, flags); err != nil {
@@ -64,90 +123,156 @@ func Save(w io.Writer, m *mf.Model) error {
 			return err
 		}
 	}
+	if meta != nil {
+		buf, err := json.Marshal(meta)
+		if err != nil {
+			return fmt.Errorf("store: encode meta: %w", err)
+		}
+		if len(buf) > maxMetaLen {
+			return fmt.Errorf("store: meta trailer is %d bytes, limit %d", len(buf), maxMetaLen)
+		}
+		if err := writeU32(mw, uint32(len(buf))); err != nil {
+			return err
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("store: write meta: %w", err)
+		}
+	}
 	return writeU32(w, crc.Sum32())
 }
 
-// Load reads a model written by Save, verifying magic, version, and
-// checksum.
+// Load reads a model written by Save or SaveWithMeta, verifying magic,
+// version, and checksum. Any metadata trailer is discarded; use
+// LoadWithMeta to keep it.
 func Load(r io.Reader) (*mf.Model, error) {
+	m, _, err := LoadWithMeta(r)
+	return m, err
+}
+
+// LoadWithMeta reads a model and its metadata trailer. For version-1 files
+// the returned Meta is nil.
+func LoadWithMeta(r io.Reader) (*mf.Model, *Meta, error) {
 	crc := crc32.NewIEEE()
 	tr := io.TeeReader(r, crc)
 
 	var gotMagic [8]byte
 	if _, err := io.ReadFull(tr, gotMagic[:]); err != nil {
-		return nil, fmt.Errorf("store: read magic: %w", err)
+		return nil, nil, fmt.Errorf("store: read magic: %w", err)
 	}
 	if gotMagic != magic {
-		return nil, fmt.Errorf("store: bad magic %q", gotMagic[:])
+		return nil, nil, fmt.Errorf("store: bad magic %q", gotMagic[:])
 	}
 	version, err := readU32(tr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if version != Version {
-		return nil, fmt.Errorf("store: unsupported version %d (have %d)", version, Version)
+	if version < 1 || version > Version {
+		return nil, nil, fmt.Errorf("store: unsupported version %d (have %d)", version, Version)
 	}
 	flags, err := readU32(tr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dims := make([]uint64, 3)
 	for i := range dims {
 		if dims[i], err = readU64(tr); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	const maxDim = 1 << 31
 	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
 		dims[0] > maxDim || dims[1] > maxDim || dims[2] > 1<<20 {
-		return nil, fmt.Errorf("store: implausible dimensions %v", dims)
+		return nil, nil, fmt.Errorf("store: implausible dimensions %v", dims)
 	}
 	if dims[0]*dims[2] > 1<<34 || dims[1]*dims[2] > 1<<34 {
-		return nil, fmt.Errorf("store: parameter block too large: %v", dims)
+		return nil, nil, fmt.Errorf("store: parameter block too large: %v", dims)
 	}
 	numUsers, numItems, dim := int(dims[0]), int(dims[1]), int(dims[2])
 	useBias := flags&flagBias != 0
 
 	u, err := readFloats(tr, numUsers*dim)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	v, err := readFloats(tr, numItems*dim)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var b []float64
 	if useBias {
 		if b, err = readFloats(tr, numItems); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+	}
+	var metaRaw []byte
+	if version >= 2 {
+		metaLen, err := readU32(tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read meta length: %w", err)
+		}
+		if metaLen > maxMetaLen {
+			return nil, nil, fmt.Errorf("store: meta trailer length %d exceeds limit %d", metaLen, maxMetaLen)
+		}
+		metaRaw = make([]byte, metaLen)
+		if _, err := io.ReadFull(tr, metaRaw); err != nil {
+			return nil, nil, fmt.Errorf("store: read meta: %w", err)
 		}
 	}
 	wantSum := crc.Sum32()
 	gotSum, err := readU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("store: read checksum: %w", err)
+		return nil, nil, fmt.Errorf("store: read checksum: %w", err)
 	}
 	if gotSum != wantSum {
-		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
+		return nil, nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
 	}
-	return mf.FromRaw(mf.Config{
+	m, err := mf.FromRaw(mf.Config{
 		NumUsers: numUsers,
 		NumItems: numItems,
 		Dim:      dim,
 		UseBias:  useBias,
 	}, u, v, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta *Meta
+	if version >= 2 {
+		// Decode only after the checksum has vouched for the bytes, so a
+		// torn trailer surfaces as a checksum error, not a JSON one.
+		meta = &Meta{}
+		if err := json.Unmarshal(metaRaw, meta); err != nil {
+			return nil, nil, fmt.Errorf("store: decode meta: %w", err)
+		}
+	}
+	return m, meta, nil
 }
 
-// SaveFile writes the model to path atomically (write to a temp file in the
-// same directory, then rename).
+// SaveFile writes the model to path atomically and durably: the bytes go
+// to a temp file in the same directory, the temp file is fsynced before
+// the rename, and the parent directory is fsynced after it — so after
+// SaveFile returns, a power failure leaves either the old file or the
+// complete new one, never a torn or vanished model.
 func SaveFile(path string, m *mf.Model) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".clapf-model-*")
+	return saveFile(path, m, nil)
+}
+
+// SaveFileWithMeta is SaveFile for version-2 checkpoints.
+func SaveFileWithMeta(path string, m *mf.Model, meta *Meta) error {
+	if meta == nil {
+		meta = &Meta{}
+	}
+	return saveFile(path, m, meta)
+}
+
+func saveFile(path string, m *mf.Model, meta *Meta) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".clapf-model-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriter(tmp)
-	if err := Save(bw, m); err != nil {
+	if err := save(bw, m, meta); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -155,32 +280,48 @@ func SaveFile(path string, m *mf.Model) error {
 		tmp.Close()
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: fsync %s: %w", tmp.Name(), err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that do not support fsync on directories report that as a
+// non-error here: the rename itself already happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, err)
+	}
 	return nil
 }
 
 // LoadFile reads a model from path.
 func LoadFile(path string) (*mf.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	return Load(bufio.NewReader(f))
+	m, _, err := LoadFileWithMeta(path)
+	return m, err
 }
 
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
+// LoadFileWithMeta reads a model and its metadata trailer from path.
+func LoadFileWithMeta(path string) (*mf.Model, *Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	return "."
+	defer f.Close()
+	return LoadWithMeta(bufio.NewReader(f))
 }
 
 func writeU32(w io.Writer, v uint32) error {

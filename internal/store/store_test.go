@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -189,6 +190,126 @@ func TestSaveFileUnwritableDir(t *testing.T) {
 	m := sampleModel(7, false)
 	if err := SaveFile("/nonexistent-dir-xyz/m.clapf", m); err == nil {
 		t.Error("unwritable directory accepted")
+	}
+}
+
+func sampleMeta() *Meta {
+	return &Meta{
+		Epoch:           3,
+		Step:            1234,
+		TotalSteps:      9999,
+		RNG:             []uint64{1, 2, 3, 4},
+		SamplerRNG:      []uint64{5, 6, 7, 8},
+		SamplerSteps:    1234,
+		LossEWMA:        0.573125,
+		LossN:           1024,
+		DataFingerprint: 0xDEADBEEFCAFE,
+		Hyper:           map[string]string{"lambda": "0.4", "variant": "MAP"},
+	}
+}
+
+func metasEqual(a, b *Meta) bool {
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	return bytes.Equal(aj, bj)
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := sampleModel(9, true)
+	meta := sampleMeta()
+	var buf bytes.Buffer
+	if err := SaveWithMeta(&buf, m, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := LoadWithMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(m, got) {
+		t.Error("v2 round trip changed the model")
+	}
+	if gotMeta == nil || !metasEqual(meta, gotMeta) {
+		t.Errorf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+}
+
+func TestV1FilesStillLoad(t *testing.T) {
+	// Save emits version 1; Load and LoadWithMeta must both accept it,
+	// the latter reporting no metadata.
+	m := sampleModel(10, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	v1 := buf.Bytes()
+	if v1[8] != 1 {
+		t.Fatalf("Save wrote version %d, want 1", v1[8])
+	}
+	got, meta, err := LoadWithMeta(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Errorf("v1 file produced metadata %+v", meta)
+	}
+	if !modelsEqual(m, got) {
+		t.Error("v1 load changed the model")
+	}
+}
+
+func TestLoadDiscardsMetaButVerifies(t *testing.T) {
+	m := sampleModel(11, false)
+	var buf bytes.Buffer
+	if err := SaveWithMeta(&buf, m, sampleMeta()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	got, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(m, got) {
+		t.Error("Load of v2 file changed the model")
+	}
+	// Corrupting a byte inside the meta trailer must still fail Load:
+	// the checksum covers the trailer.
+	data[len(data)-10] ^= 0x01
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt meta trailer accepted")
+	}
+}
+
+func TestMetaFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.clapf")
+	m := sampleModel(12, true)
+	meta := sampleMeta()
+	if err := SaveFileWithMeta(path, m, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := LoadFileWithMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(m, got) || !metasEqual(meta, gotMeta) {
+		t.Error("file meta round trip mismatch")
+	}
+}
+
+func TestLoadRejectsHugeMetaLength(t *testing.T) {
+	m := sampleModel(13, false)
+	var buf bytes.Buffer
+	if err := SaveWithMeta(&buf, m, &Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The meta length field sits right before the trailer JSON + CRC.
+	metaLenOff := len(data) - 4 /*crc*/ - 2 /*"{}"*/ - 4 /*len*/
+	for i := 0; i < 4; i++ {
+		data[metaLenOff+i] = 0xFF
+	}
+	if _, _, err := LoadWithMeta(bytes.NewReader(data)); err == nil {
+		t.Error("huge meta length accepted")
 	}
 }
 

@@ -14,3 +14,8 @@ fi
 
 go vet ./...
 go test -race ./...
+
+# Short fuzz smoke over the model-file loader: a few seconds of random
+# inputs against the corrupt-file handling, on top of the seed corpus the
+# regular tests already replay.
+go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=5s ./internal/store
