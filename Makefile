@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt
+.PHONY: build test check fmt bench
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,8 @@ check:
 
 fmt:
 	gofmt -w .
+
+# bench measures Hogwild training and parallel-eval scaling across worker
+# counts and writes BENCH_parallel.json.
+bench:
+	sh scripts/bench.sh

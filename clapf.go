@@ -133,6 +133,9 @@ type Trainer = core.Trainer
 // magnitude, steps/sec) delivered to a Trainer.SetStatsHook callback.
 type TrainStats = core.TrainStats
 
+// StatsHook receives TrainStats snapshots during training.
+type StatsHook = core.StatsHook
+
 // NewTrainer validates cfg and prepares a trainer over the training split.
 func NewTrainer(cfg Config, train *Dataset) (*Trainer, error) {
 	return core.NewTrainer(cfg, train)
@@ -146,6 +149,29 @@ type TrainerState = core.TrainerState
 // SamplerState is the triple sampler's resumable state inside a
 // TrainerState.
 type SamplerState = sampling.SamplerState
+
+// ParallelTrainer learns a CLAPF model with lock-free Hogwild SGD across
+// several worker goroutines; see NewParallelTrainer.
+type ParallelTrainer = core.ParallelTrainer
+
+// ParallelTrainerState is a parallel trainer's resumable non-parameter
+// state — the multi-worker analogue of TrainerState.
+type ParallelTrainerState = core.ParallelTrainerState
+
+// ParallelWorkerState is one worker's RNG streams inside a
+// ParallelTrainerState.
+type ParallelWorkerState = core.ParallelWorkerState
+
+// WorkerStat reports one training worker's lifetime throughput.
+type WorkerStat = core.WorkerStat
+
+// NewParallelTrainer validates cfg and prepares a trainer that shards
+// users across numWorkers goroutines. Multi-worker runs are statistically
+// equivalent to serial training but not bit-reproducible; see the
+// internal/core package documentation.
+func NewParallelTrainer(cfg Config, train *Dataset, numWorkers int) (*ParallelTrainer, error) {
+	return core.NewParallelTrainer(cfg, train, numWorkers)
+}
 
 // Model is a learned matrix-factorization model: Score, ScoreAll, and the
 // factor accessors.

@@ -8,9 +8,13 @@
 //	clapf-bench -exp fig2   -dataset ML100K [-scale 0.25]
 //	clapf-bench -exp fig3   -dataset ML100K [-scale 0.25] [-csv]
 //	clapf-bench -exp fig4   -dataset ML100K [-scale 0.25] [-csv]
+//	clapf-bench -exp parallel -dataset ML100K [-workers 1,2,4] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
-// supported) matching the corresponding table/figure of the paper.
+// supported) matching the corresponding table/figure of the paper. The
+// parallel experiment measures Hogwild training and evaluation scaling
+// across worker counts; -json additionally writes the machine-readable
+// report consumed by scripts/bench.sh.
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"clapf/internal/datagen"
 	"clapf/internal/experiments"
@@ -26,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -34,16 +40,18 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		maxEval = flag.Int("evalusers", 500, "max users evaluated per replicate (0 = all)")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of a text table")
+		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp parallel")
+		jsonOut = flag.String("json", "", "also write the parallel report as JSON to this path (- = stdout)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -122,7 +130,58 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 		}
 		return experiments.RenderConvergence(out, setup.Profile.Name, traces)
 
+	case "parallel":
+		counts, err := parseWorkerCounts(workers)
+		if err != nil {
+			return err
+		}
+		bench, err := experiments.RunParallelBench(setup, counts, epochs)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderParallelBench(out, bench); err != nil {
+			return err
+		}
+		return writeParallelJSON(out, jsonOut, bench)
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel)", exp)
 	}
+}
+
+func parseWorkerCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-workers %q names no worker counts", spec)
+	}
+	return counts, nil
+}
+
+func writeParallelJSON(out io.Writer, path string, bench *experiments.ParallelBench) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return experiments.WriteParallelBenchJSON(out, bench)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteParallelBenchJSON(f, bench); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

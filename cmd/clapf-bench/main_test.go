@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"clapf/internal/experiments"
 )
 
 // The bench CLI's run function is exercised at miniature scale so every
@@ -13,7 +18,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			// scale 0.05, 1 rep, 2 epoch-equivalents: seconds, not minutes.
-			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false); err != nil {
+			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false, "", ""); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -22,17 +27,55 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 
 func TestRunCSVModes(t *testing.T) {
 	for _, exp := range []string{"table2", "fig2", "fig3", "fig4"} {
-		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true); err != nil {
+		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true, "", ""); err != nil {
 			t.Fatalf("%s csv: %v", exp, err)
 		}
 	}
 }
 
+func TestRunParallelExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "parallel.json")
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read json report: %v", err)
+	}
+	var bench experiments.ParallelBench
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("decode json report: %v", err)
+	}
+	if len(bench.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(bench.Rows))
+	}
+	if bench.Rows[0].Workers != 1 || bench.Rows[1].Workers != 2 {
+		t.Errorf("worker counts = %d,%d, want 1,2", bench.Rows[0].Workers, bench.Rows[1].Workers)
+	}
+	if bench.Rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", bench.Rows[0].Speedup)
+	}
+	for _, r := range bench.Rows {
+		if r.StepsPerSec <= 0 {
+			t.Errorf("workers=%d: steps/sec = %v, want > 0", r.Workers, r.StepsPerSec)
+		}
+	}
+	if bench.Cores < 1 {
+		t.Errorf("cores = %d, want >= 1", bench.Cores)
+	}
+}
+
 func TestRunUnknowns(t *testing.T) {
-	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false); err == nil {
+	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false, "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false); err == nil {
+	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false, "", ""); err == nil {
 		t.Error("unknown dataset accepted")
+	}
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, "0,2", ""); err == nil {
+		t.Error("zero worker count accepted")
+	}
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, " , ", ""); err == nil {
+		t.Error("empty worker list accepted")
 	}
 }

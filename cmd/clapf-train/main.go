@@ -6,6 +6,16 @@
 //	clapf-train -train train.tsv [-test test.tsv] [-variant map|mrr]
 //	            [-lambda 0.4] [-dss] [-epochs 30] [-out model.clapf]
 //	            [-log-every N] [-metrics-out telemetry.json]
+//	            [-workers N] [-prom-out metrics.prom]
+//
+// -workers N > 1 trains with lock-free Hogwild SGD: users are sharded
+// across N goroutines, item factors are updated with element-wise atomic
+// stores, and DSS refreshes, telemetry, and checkpoints run at
+// epoch-style barriers. Multi-worker training is statistically
+// equivalent to serial but not bit-reproducible; evaluation (also
+// parallelized across workers) stays bit-identical for any N. -prom-out
+// writes the final training metrics (including per-worker throughput) in
+// Prometheus text format.
 //
 // While training, one structured telemetry line is emitted per reporting
 // interval (default: one epoch-equivalent):
@@ -28,7 +38,8 @@
 // finishes, a final checkpoint is written, and the process exits cleanly.
 // -resume restarts from the newest valid generation, skipping truncated
 // or corrupt files, after verifying the checkpoint belongs to the same
-// dataset and hyper-parameters.
+// dataset and hyper-parameters. Parallel checkpoints record per-worker
+// RNG streams, so resuming requires the same -workers value.
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +78,8 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "steps between checkpoints (0 = one epoch-equivalent)")
 	flag.IntVar(&o.checkpointKeep, "checkpoint-keep", 3, "checkpoint generations to keep (0 = all)")
 	flag.BoolVar(&o.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
+	flag.IntVar(&o.workers, "workers", 1, "parallel training workers (1 = serial and bit-deterministic; >1 = lock-free Hogwild, statistically equivalent)")
+	flag.StringVar(&o.promOut, "prom-out", "", "write Prometheus-format training metrics here after training (optional)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -90,6 +104,8 @@ type options struct {
 	checkpointEvery     int
 	checkpointKeep      int
 	resume              bool
+	workers             int
+	promOut             string
 
 	// stopCh overrides the OS signal channel in tests; nil installs a real
 	// SIGINT/SIGTERM handler.
@@ -105,18 +121,39 @@ type intervalRecord struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
+// workerRecord is one Hogwild worker's throughput in the -metrics-out dump.
+type workerRecord struct {
+	ID          int     `json:"id"`
+	Steps       int     `json:"steps"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
 // telemetryDump is the -metrics-out payload.
 type telemetryDump struct {
 	Variant           string                `json:"variant"`
 	Lambda            float64               `json:"lambda"`
 	DSS               bool                  `json:"dss"`
+	Workers           int                   `json:"workers"`
 	Steps             int                   `json:"steps"`
 	WallSeconds       float64               `json:"wall_seconds"`
 	StepsPerSec       float64               `json:"steps_per_sec"`
 	FinalSmoothedLoss float64               `json:"final_smoothed_loss"`
 	Intervals         []intervalRecord      `json:"intervals"`
+	WorkerStats       []workerRecord        `json:"worker_stats,omitempty"`
 	PosDraws          obs.HistogramSnapshot `json:"pos_draws"`
 	NegDraws          obs.HistogramSnapshot `json:"neg_draws"`
+}
+
+// sgdTrainer is the surface shared by the serial and parallel trainers;
+// run is generic over it, while checkpointing type-switches to reach the
+// two Snapshot/Restore shapes.
+type sgdTrainer interface {
+	RunSteps(n int)
+	StepsDone() int
+	Model() *clapf.Model
+	SmoothedLoss() float64
+	SetStatsHook(every int, fn clapf.StatsHook) error
+	InstrumentSampler(pos, neg *obs.Histogram)
 }
 
 func run(w io.Writer, o options) error {
@@ -149,9 +186,34 @@ func run(w io.Writer, o options) error {
 		cfg.Sampler.Strategy = clapf.SamplerDSS
 	}
 
-	trainer, err := clapf.NewTrainer(cfg, train)
-	if err != nil {
-		return err
+	if o.workers < 1 {
+		return fmt.Errorf("-workers %d: want >= 1", o.workers)
+	}
+	var trainer sgdTrainer
+	var parallel *clapf.ParallelTrainer
+	if o.workers > 1 {
+		pt, err := clapf.NewParallelTrainer(cfg, train, o.workers)
+		if err != nil {
+			return err
+		}
+		trainer, parallel = pt, pt
+	} else {
+		tr, err := clapf.NewTrainer(cfg, train)
+		if err != nil {
+			return err
+		}
+		trainer = tr
+	}
+
+	// Prometheus export: register before training so the per-worker
+	// counters accumulate at every barrier.
+	registry := obs.NewRegistry()
+	if parallel != nil {
+		parallel.RegisterMetrics(registry)
+	} else {
+		registry.NewGaugeFunc("clapf_train_workers",
+			"Hogwild training workers in the current run.",
+			func() float64 { return 1 })
 	}
 
 	// Telemetry: one structured line per interval, accumulated for the
@@ -201,8 +263,8 @@ func run(w io.Writer, o options) error {
 		defer signal.Stop(stop)
 	}
 
-	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps\n",
-		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps)
+	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps, %d worker(s)\n",
+		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps, o.workers)
 	start := time.Now()
 	interrupted, err := trainLoop(w, trainer, train, o, cfg, stop)
 	if err != nil {
@@ -221,11 +283,36 @@ func run(w io.Writer, o options) error {
 			posDraws.Mean(), negDraws.Mean(), train.NumItems())
 	}
 
+	if parallel != nil {
+		for _, ws := range parallel.WorkerStats() {
+			fmt.Fprintf(w, "  worker %d: %d steps, %.0f steps/s\n", ws.ID, ws.Steps, ws.StepsPerSec)
+		}
+	}
+
+	if o.promOut != "" {
+		var sb strings.Builder
+		if err := registry.WritePrometheus(&sb); err != nil {
+			return fmt.Errorf("rendering metrics: %w", err)
+		}
+		if err := os.WriteFile(o.promOut, []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", o.promOut)
+	}
+
 	if o.metricsOut != "" {
+		var workerStats []workerRecord
+		if parallel != nil {
+			for _, ws := range parallel.WorkerStats() {
+				workerStats = append(workerStats, workerRecord{ID: ws.ID, Steps: ws.Steps, StepsPerSec: ws.StepsPerSec})
+			}
+		}
 		dump := telemetryDump{
 			Variant:           v.String(),
 			Lambda:            o.lambda,
 			DSS:               o.dss,
+			Workers:           o.workers,
+			WorkerStats:       workerStats,
 			Steps:             trainer.StepsDone(),
 			WallSeconds:       wall.Seconds(),
 			StepsPerSec:       sps,
@@ -263,7 +350,7 @@ func run(w io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		res := clapf.Evaluate(trainer.Model(), train, test, clapf.EvalOptions{})
+		res := clapf.Evaluate(trainer.Model(), train, test, clapf.EvalOptions{Workers: o.workers})
 		fmt.Fprintf(w, "evaluated %d users in %s:\n", res.Users, res.Timing)
 		for _, m := range res.AtK {
 			fmt.Fprintf(w, "  k=%-3d Prec %.4f  Recall %.4f  F1 %.4f  1-call %.4f  NDCG %.4f\n",
@@ -285,7 +372,7 @@ func run(w io.Writer, o options) error {
 // set, a durable checkpoint is written every checkpoint interval and at
 // the end of training. On a stop signal the current batch finishes, a
 // final checkpoint is written, and the loop reports interrupted=true.
-func trainLoop(w io.Writer, trainer *clapf.Trainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal) (interrupted bool, err error) {
+func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal) (interrupted bool, err error) {
 	ckptEvery := o.checkpointEvery
 	if ckptEvery <= 0 {
 		ckptEvery = train.NumPairs() // one epoch-equivalent
@@ -339,24 +426,47 @@ func hyperMap(o options) map[string]string {
 		"rate":    fmt.Sprintf("%g", o.rate),
 		"reg":     fmt.Sprintf("%g", o.reg),
 		"seed":    fmt.Sprintf("%d", o.seed),
+		"workers": fmt.Sprintf("%d", o.workers),
 	}
 }
 
 // writeCheckpoint snapshots the trainer into a durable v2 checkpoint
-// generation, pruning old generations beyond -checkpoint-keep.
-func writeCheckpoint(trainer *clapf.Trainer, train *clapf.Dataset, o options, cfg clapf.Config) (string, error) {
-	st := trainer.Snapshot()
+// generation, pruning old generations beyond -checkpoint-keep. Both
+// trainers are quiescent between RunSteps calls, so snapshotting here is
+// always safe — parallel workers included.
+func writeCheckpoint(trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config) (string, error) {
 	meta := &store.Meta{
-		Epoch:           st.Step / train.NumPairs(),
-		Step:            st.Step,
 		TotalSteps:      cfg.Steps,
-		RNG:             st.RNG[:],
-		SamplerRNG:      st.Sampler.RNG[:],
-		SamplerSteps:    st.Sampler.Steps,
-		LossEWMA:        st.LossEWMA,
-		LossN:           st.LossN,
 		DataFingerprint: train.Fingerprint(),
 		Hyper:           hyperMap(o),
+	}
+	switch tr := trainer.(type) {
+	case *clapf.Trainer:
+		st := tr.Snapshot()
+		meta.Epoch = st.Step / train.NumPairs()
+		meta.Step = st.Step
+		meta.RNG = st.RNG[:]
+		meta.SamplerRNG = st.Sampler.RNG[:]
+		meta.SamplerSteps = st.Sampler.Steps
+		meta.LossEWMA = st.LossEWMA
+		meta.LossN = st.LossN
+	case *clapf.ParallelTrainer:
+		st := tr.Snapshot()
+		meta.Epoch = st.Step / train.NumPairs()
+		meta.Step = st.Step
+		meta.LossEWMA = st.LossEWMA
+		meta.LossN = st.LossN
+		meta.SinceRefresh = st.SinceRefresh
+		meta.Workers = make([]store.WorkerMeta, len(st.Workers))
+		for i := range st.Workers {
+			meta.Workers[i] = store.WorkerMeta{
+				RNG:          st.Workers[i].RNG[:],
+				SamplerRNG:   st.Workers[i].Sampler.RNG[:],
+				SamplerSteps: st.Workers[i].Sampler.Steps,
+			}
+		}
+	default:
+		return "", fmt.Errorf("unknown trainer type %T", trainer)
 	}
 	return store.WriteCheckpoint(o.checkpointDir, trainer.Model(), meta, o.checkpointKeep)
 }
@@ -364,7 +474,7 @@ func writeCheckpoint(trainer *clapf.Trainer, train *clapf.Dataset, o options, cf
 // resumeFromCheckpoint restores the trainer from the newest valid
 // generation in -checkpoint-dir, refusing checkpoints from a different
 // dataset or hyper-parameter setting.
-func resumeFromCheckpoint(w io.Writer, trainer *clapf.Trainer, train *clapf.Dataset, o options) error {
+func resumeFromCheckpoint(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options) error {
 	model, meta, path, skipped, err := store.LatestCheckpoint(o.checkpointDir)
 	for _, s := range skipped {
 		fmt.Fprintf(w, "skipping invalid checkpoint %s\n", s)
@@ -379,23 +489,60 @@ func resumeFromCheckpoint(w io.Writer, trainer *clapf.Trainer, train *clapf.Data
 	if err := hyperCompatible(meta.Hyper, hyperMap(o)); err != nil {
 		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
 	}
-	rng, err := rngWords(meta.RNG, "rng")
-	if err != nil {
-		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-	}
-	samplerRNG, err := rngWords(meta.SamplerRNG, "sampler_rng")
-	if err != nil {
-		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-	}
-	st := clapf.TrainerState{
-		Step:     meta.Step,
-		RNG:      rng,
-		Sampler:  clapf.SamplerState{RNG: samplerRNG, Steps: meta.SamplerSteps},
-		LossEWMA: meta.LossEWMA,
-		LossN:    meta.LossN,
-	}
-	if err := trainer.Restore(st, model); err != nil {
-		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+	switch tr := trainer.(type) {
+	case *clapf.Trainer:
+		if len(meta.Workers) > 0 {
+			return fmt.Errorf("resume: checkpoint %s is from a %d-worker parallel run; pass -workers %d",
+				path, len(meta.Workers), len(meta.Workers))
+		}
+		rng, err := rngWords(meta.RNG, "rng")
+		if err != nil {
+			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+		}
+		samplerRNG, err := rngWords(meta.SamplerRNG, "sampler_rng")
+		if err != nil {
+			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+		}
+		st := clapf.TrainerState{
+			Step:     meta.Step,
+			RNG:      rng,
+			Sampler:  clapf.SamplerState{RNG: samplerRNG, Steps: meta.SamplerSteps},
+			LossEWMA: meta.LossEWMA,
+			LossN:    meta.LossN,
+		}
+		if err := tr.Restore(st, model); err != nil {
+			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+		}
+	case *clapf.ParallelTrainer:
+		if len(meta.Workers) == 0 {
+			return fmt.Errorf("resume: checkpoint %s is from a serial run; pass -workers 1", path)
+		}
+		st := clapf.ParallelTrainerState{
+			Step:         meta.Step,
+			SinceRefresh: meta.SinceRefresh,
+			LossEWMA:     meta.LossEWMA,
+			LossN:        meta.LossN,
+			Workers:      make([]clapf.ParallelWorkerState, len(meta.Workers)),
+		}
+		for i, wm := range meta.Workers {
+			rng, err := rngWords(wm.RNG, fmt.Sprintf("worker %d rng", i))
+			if err != nil {
+				return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+			}
+			samplerRNG, err := rngWords(wm.SamplerRNG, fmt.Sprintf("worker %d sampler_rng", i))
+			if err != nil {
+				return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+			}
+			st.Workers[i] = clapf.ParallelWorkerState{
+				RNG:     rng,
+				Sampler: clapf.SamplerState{RNG: samplerRNG, Steps: wm.SamplerSteps},
+			}
+		}
+		if err := tr.Restore(st, model); err != nil {
+			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
+		}
+	default:
+		return fmt.Errorf("resume: unknown trainer type %T", trainer)
 	}
 	fmt.Fprintf(w, "resumed from %s at step %d (epoch %d)\n", path, meta.Step, meta.Epoch)
 	return nil

@@ -46,6 +46,7 @@ func baseOptions(trainPath string) options {
 		rate:      0.05,
 		reg:       0.01,
 		seed:      3,
+		workers:   1,
 	}
 }
 
@@ -397,5 +398,106 @@ func TestTrainErrors(t *testing.T) {
 		if err := run(io.Discard, o); err == nil {
 			t.Errorf("%s accepted", c.name)
 		}
+	}
+}
+
+func TestParallelWorkersFlag(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	testPath := filepath.Join(dir, "test.tsv")
+	dumpPath := filepath.Join(dir, "telemetry.json")
+	promPath := filepath.Join(dir, "metrics.prom")
+	writeDataset(t, trainPath, 21)
+	writeDataset(t, testPath, 22)
+
+	o := baseOptions(trainPath)
+	o.testPath = testPath
+	o.workers = 4
+	o.metricsOut = dumpPath
+	o.promOut = promPath
+	var out strings.Builder
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4 worker(s)") {
+		t.Errorf("banner does not mention worker count:\n%s", out.String())
+	}
+
+	buf, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetryDump
+	if err := json.Unmarshal(buf, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Workers != 4 || len(dump.WorkerStats) != 4 {
+		t.Fatalf("dump has %d workers / %d worker stats, want 4/4", dump.Workers, len(dump.WorkerStats))
+	}
+	sum := 0
+	for _, ws := range dump.WorkerStats {
+		sum += ws.Steps
+	}
+	if sum != dump.Steps {
+		t.Errorf("worker steps sum to %d, total is %d", sum, dump.Steps)
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clapf_train_workers 4", `clapf_train_worker_steps_total{worker="0"}`, `clapf_train_worker_steps_per_sec{worker="3"}`} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prom output missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestParallelCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	ckptDir := filepath.Join(dir, "ckpt")
+	writeDataset(t, trainPath, 23)
+
+	o := baseOptions(trainPath)
+	o.workers = 2
+	o.epochs = 1
+	o.checkpointDir = ckptDir
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continue the run with more epochs and the same worker count.
+	res := baseOptions(trainPath)
+	res.workers = 2
+	res.epochs = 2
+	res.checkpointDir = ckptDir
+	res.resume = true
+	var out strings.Builder
+	if err := run(&out, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed from") {
+		t.Errorf("no resume line in output:\n%s", out.String())
+	}
+
+	// A parallel checkpoint must not resume into a serial trainer (the
+	// worker-count hyper check fires first, which is fine — both refuse).
+	serial := baseOptions(trainPath)
+	serial.epochs = 2
+	serial.checkpointDir = ckptDir
+	serial.resume = true
+	if err := run(io.Discard, serial); err == nil {
+		t.Error("serial resume of a parallel checkpoint succeeded")
+	}
+
+	// Nor into a different worker count.
+	three := baseOptions(trainPath)
+	three.workers = 3
+	three.epochs = 2
+	three.checkpointDir = ckptDir
+	three.resume = true
+	if err := run(io.Discard, three); err == nil {
+		t.Error("resume with a different worker count succeeded")
 	}
 }

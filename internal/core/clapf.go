@@ -223,20 +223,7 @@ func (t *Trainer) Step() {
 // ∂R/∂U_u = a·V_i + b·V_k + c·V_j, ∂R/∂V_t = coeff_t·U_u, ∂R/∂b_t = coeff_t,
 // and the minimization step is Θ += γ[(1−σ(R))·∂R/∂Θ − reg·Θ].
 func (t *Trainer) update(u int32, tr sampling.Triple) {
-	lam := t.cfg.Lambda
-	var a, b, c float64
-	if t.cfg.Variant == sampling.MRR {
-		a, b, c = 1, -lam, -(1 - lam)
-	} else {
-		a, b, c = 1-2*lam, lam, -(1 - lam)
-	}
-	if tr.K == tr.I {
-		// Single-positive user: the listwise pair vanishes (f_uk = f_ui),
-		// leaving R = (1−λ)(f_ui − f_uj). Fold b into a so the aliased
-		// item vector is updated once with the combined coefficient and
-		// regularized once.
-		a, b = a+b, 0
-	}
+	a, b, c := riskCoeffs(t.cfg.Variant, t.cfg.Lambda, tr.K == tr.I)
 
 	uf := t.model.UserFactors(u)
 	vi := t.model.ItemFactors(tr.I)
@@ -278,6 +265,25 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 		}
 		t.model.AddBias(tr.J, gamma*(g*c-regB*t.model.Bias(tr.J)))
 	}
+}
+
+// riskCoeffs returns the coefficient vector (a, b, c) of the linearized
+// risk R = a·f_ui + b·f_uk + c·f_uj for the given variant and λ (see the
+// update comment above). When k aliases i — a single-positive user, whose
+// listwise pair vanishes because f_uk = f_ui — b folds into a so the
+// aliased item vector is updated once with the combined coefficient and
+// regularized once, leaving R = (1−λ)(f_ui − f_uj). Shared by the serial
+// and Hogwild update paths so the math cannot drift between them.
+func riskCoeffs(variant sampling.Objective, lam float64, kIsI bool) (a, b, c float64) {
+	if variant == sampling.MRR {
+		a, b, c = 1, -lam, -(1 - lam)
+	} else {
+		a, b, c = 1-2*lam, lam, -(1 - lam)
+	}
+	if kIsI {
+		a, b = a+b, 0
+	}
+	return a, b, c
 }
 
 // TripleLoss returns the tentative objective f(u, S) of §4.3 for one triple

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/obs"
+	"clapf/internal/sampling"
+)
+
+// ParallelTrainer learns a CLAPF model with N lock-free Hogwild workers.
+//
+// Users are sharded across workers, so each user row U_u has exactly one
+// writer; item factors and biases are shared and updated through
+// element-wise atomic loads/stores (mf's atomic accessors), which keeps
+// the rare colliding update well-defined — last writer wins per element —
+// without any locking on the hot path. The structural argument is the one
+// BPR-style Hogwild trainers rely on: a step touches one user row and
+// three of m item rows, and on sparse implicit-feedback data two
+// concurrent steps almost never pick the same items, so lost updates are
+// vanishingly rare and SGD's noise tolerance absorbs them.
+//
+// Work proceeds in segments separated by barriers. Between barriers the
+// workers run free; at a barrier the coordinator merges telemetry,
+// rebuilds the DSS rank lists when the refresh cadence is due (workers
+// share the owner sampler's lists read-only via sampling.SharedView), and
+// fires the stats hook. Snapshot and Restore may only be called between
+// RunSteps calls, when every worker is quiescent by construction.
+//
+// Consequence of lock-free updates: with more than one worker the exact
+// parameter trajectory depends on the OS schedule, so two identically
+// seeded runs are statistically equivalent, not bit-identical (the
+// equivalence is enforced by the t-test suite in parallel_test.go).
+// Workers draw from deterministic per-worker RNG streams split from the
+// seed, so everything *except* the write interleaving is reproducible.
+type ParallelTrainer struct {
+	cfg     Config
+	data    *dataset.Dataset
+	model   *mf.Model
+	sampler *sampling.TripleSampler // owner; rebuilt only at barriers
+	workers []*parallelWorker
+
+	stepsDone    int
+	sinceRefresh int // aggregate steps since the last rank-list rebuild
+
+	// Merged telemetry, written only by the coordinating goroutine at
+	// barriers.
+	gradSum      float64
+	gradN        int
+	lossEWMA     float64
+	lossN        int
+	hook         StatsHook
+	hookEvery    int
+	trainStart   time.Time
+	lastHookTime time.Time
+	lastHookStep int
+
+	// Optional obs export (RegisterMetrics), updated at barriers.
+	stepsVec *obs.CounterVec
+	spsVec   *obs.GaugeVec
+}
+
+// parallelWorker is one Hogwild goroutine's state: a user shard, private
+// RNG and sampler view, scratch rows for atomic item updates, and
+// telemetry accumulators the coordinator merges at each barrier.
+type parallelWorker struct {
+	id      int
+	label   string // obs label, strconv.Itoa(id)
+	rng     *mathx.RNG
+	sampler *sampling.TripleSampler
+	pairs   []dataset.Interaction // this shard's (u, i) records
+
+	vi, vk, vj []float64 // scratch item rows
+
+	steps int           // lifetime SGD updates
+	busy  time.Duration // lifetime time spent inside segments
+
+	// Per-segment accumulators; reset by the coordinator after merging.
+	segGradSum float64
+	segGradN   int
+	segLossSum float64
+	segLossN   int
+}
+
+// NewParallelTrainer validates the configuration and prepares an
+// n-worker Hogwild trainer over the training split. Model initialization
+// and the owner sampler consume the seed exactly as NewTrainer does, so a
+// ParallelTrainer starts from the same parameters as a serial Trainer
+// with the same configuration.
+func NewParallelTrainer(cfg Config, train *dataset.Dataset, numWorkers int) (*ParallelTrainer, error) {
+	if numWorkers < 1 {
+		return nil, fmt.Errorf("core: %d workers, want >= 1", numWorkers)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if train == nil {
+		return nil, fmt.Errorf("core: nil training data")
+	}
+	// Same trainable-record rule as NewTrainer: every observed (u, i) of a
+	// user with at least one unobserved item.
+	perUser := make([][]dataset.Interaction, train.NumUsers())
+	total := 0
+	train.ForEach(func(u, i int32) {
+		if train.NumPositives(u) < train.NumItems() {
+			perUser[u] = append(perUser[u], dataset.Interaction{User: u, Item: i})
+			total++
+		}
+	})
+	if total == 0 {
+		return nil, fmt.Errorf("core: no trainable records (every user observed every item)")
+	}
+	if numWorkers > total {
+		numWorkers = total // more workers than records would idle anyway
+	}
+
+	rng := mathx.NewRNG(cfg.Seed)
+	model, err := mf.New(mf.Config{
+		NumUsers: train.NumUsers(),
+		NumItems: train.NumItems(),
+		Dim:      cfg.Dim,
+		UseBias:  cfg.UseBias,
+		InitStd:  cfg.InitStd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model.InitGaussian(rng.Split(), cfg.InitStd)
+
+	samplerCfg := cfg.Sampler
+	samplerCfg.Objective = cfg.Variant
+	sampler, err := sampling.NewTripleSampler(samplerCfg, train, model, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &ParallelTrainer{cfg: cfg, data: train, model: model, sampler: sampler}
+	pt.workers = make([]*parallelWorker, numWorkers)
+	for w := range pt.workers {
+		pt.workers[w] = &parallelWorker{
+			id:    w,
+			label: strconv.Itoa(w),
+			vi:    make([]float64, cfg.Dim),
+			vk:    make([]float64, cfg.Dim),
+			vj:    make([]float64, cfg.Dim),
+		}
+	}
+	// Shard users deterministically: walk users in id order, placing each
+	// on the worker with the lightest record load so far (ties break to
+	// the lowest id). Record-count balance keeps barrier idle time low even
+	// under heavy-tailed user activity.
+	for u := range perUser {
+		if len(perUser[u]) == 0 {
+			continue
+		}
+		best := 0
+		for w := 1; w < numWorkers; w++ {
+			if len(pt.workers[w].pairs) < len(pt.workers[best].pairs) {
+				best = w
+			}
+		}
+		pt.workers[best].pairs = append(pt.workers[best].pairs, perUser[u]...)
+	}
+	// Per-worker RNG streams and sampler views, split in worker order so
+	// the draw sequences are functions of (seed, worker id) alone.
+	for _, w := range pt.workers {
+		w.rng = rng.Split()
+		w.sampler = sampler.SharedView(rng.Split())
+	}
+	return pt, nil
+}
+
+// Model returns the live model; it satisfies eval.Scorer.
+func (pt *ParallelTrainer) Model() *mf.Model { return pt.model }
+
+// StepsDone returns the aggregate number of SGD updates applied so far.
+func (pt *ParallelTrainer) StepsDone() int { return pt.stepsDone }
+
+// Workers returns the worker count (which may be lower than requested on
+// degenerate datasets with fewer trainable records than workers).
+func (pt *ParallelTrainer) Workers() int { return len(pt.workers) }
+
+// SmoothedLoss returns the barrier-merged loss average (0 until a hook is
+// installed and at least one segment has run; as with Trainer, loss
+// tracking is only maintained while a hook is installed).
+func (pt *ParallelTrainer) SmoothedLoss() float64 { return pt.lossEWMA }
+
+// GradMagnitude returns the mean Eq. 23 gradient scalar 1−σ(R) merged
+// since the last call, and resets the accumulator.
+func (pt *ParallelTrainer) GradMagnitude() float64 {
+	if pt.gradN == 0 {
+		return 0
+	}
+	m := pt.gradSum / float64(pt.gradN)
+	pt.gradSum, pt.gradN = 0, 0
+	return m
+}
+
+// SetStatsHook installs fn to fire at the first barrier at or after every
+// `every` aggregate steps. The hook runs on the coordinating goroutine
+// while all workers are quiescent.
+func (pt *ParallelTrainer) SetStatsHook(every int, fn StatsHook) error {
+	if fn != nil && every <= 0 {
+		return fmt.Errorf("core: stats interval = %d, want > 0", every)
+	}
+	pt.hook = fn
+	pt.hookEvery = every
+	pt.trainStart = time.Time{}
+	return nil
+}
+
+// InstrumentSampler attaches draw-position histograms to every worker's
+// sampler view (histograms are atomic, so concurrent observation is
+// safe); see sampling.TripleSampler.SetDrawHists.
+func (pt *ParallelTrainer) InstrumentSampler(pos, neg *obs.Histogram) {
+	pt.sampler.SetDrawHists(pos, neg)
+	for _, w := range pt.workers {
+		w.sampler.SetDrawHists(pos, neg)
+	}
+}
+
+// RegisterMetrics exports the trainer to reg: clapf_train_workers, and
+// per-worker lifetime step counts and throughput
+// (clapf_train_worker_steps_total / clapf_train_worker_steps_per_sec,
+// labeled by worker id). Values update at each barrier.
+func (pt *ParallelTrainer) RegisterMetrics(reg *obs.Registry) {
+	n := len(pt.workers)
+	reg.NewGaugeFunc("clapf_train_workers",
+		"Hogwild training workers in the current run.",
+		func() float64 { return float64(n) })
+	pt.stepsVec = reg.NewCounterVec("clapf_train_worker_steps_total",
+		"SGD updates applied, per worker.", "worker")
+	pt.spsVec = reg.NewGaugeVec("clapf_train_worker_steps_per_sec",
+		"Lifetime SGD throughput, per worker.", "worker")
+}
+
+// WorkerStat reports one worker's lifetime throughput.
+type WorkerStat struct {
+	ID          int
+	Pairs       int           // records in this worker's user shard
+	Steps       int           // SGD updates applied
+	Busy        time.Duration // time spent inside training segments
+	StepsPerSec float64       // Steps / Busy
+}
+
+// WorkerStats returns per-worker lifetime counters; safe to call between
+// RunSteps calls.
+func (pt *ParallelTrainer) WorkerStats() []WorkerStat {
+	out := make([]WorkerStat, len(pt.workers))
+	for i, w := range pt.workers {
+		sps := 0.0
+		if secs := w.busy.Seconds(); secs > 0 {
+			sps = float64(w.steps) / secs
+		}
+		out[i] = WorkerStat{ID: w.id, Pairs: len(w.pairs), Steps: w.steps, Busy: w.busy, StepsPerSec: sps}
+	}
+	return out
+}
+
+// Run performs all remaining configured steps.
+func (pt *ParallelTrainer) Run() {
+	pt.RunSteps(pt.cfg.Steps - pt.stepsDone)
+}
+
+// RunSteps performs n aggregate SGD updates across the workers and
+// returns once all of them have been applied (so the caller always
+// observes a quiescent model). Steps are divided among workers in
+// proportion to their shard's record count, preserving the serial
+// trainer's record-uniform sampling in expectation.
+func (pt *ParallelTrainer) RunSteps(n int) {
+	if n <= 0 {
+		return
+	}
+	if pt.hook != nil && pt.trainStart.IsZero() {
+		now := time.Now()
+		pt.trainStart, pt.lastHookTime, pt.lastHookStep = now, now, pt.stepsDone
+	}
+	rankAware := pt.cfg.Sampler.Strategy != sampling.Uniform
+	refreshEvery := pt.sampler.RefreshEvery()
+	for n > 0 {
+		seg := n
+		if rankAware && refreshEvery > 0 && refreshEvery-pt.sinceRefresh < seg {
+			seg = refreshEvery - pt.sinceRefresh
+		}
+		if pt.hook != nil {
+			if due := pt.hookEvery - (pt.stepsDone - pt.lastHookStep); due < seg {
+				seg = due
+			}
+		}
+		if seg <= 0 { // boundary already due; settle it before running more
+			seg = 1
+		}
+		pt.runSegment(seg)
+		n -= seg
+
+		if rankAware && refreshEvery > 0 && pt.sinceRefresh >= refreshEvery {
+			pt.sampler.Refresh() // workers are quiescent: safe to rebuild
+			pt.sinceRefresh = 0
+		}
+		if pt.hook != nil && pt.stepsDone-pt.lastHookStep >= pt.hookEvery {
+			pt.fireHook()
+		}
+	}
+}
+
+// runSegment fans seg steps out to the workers and merges telemetry after
+// the join barrier.
+func (pt *ParallelTrainer) runSegment(seg int) {
+	quotas := proportionalShares(seg, pt.workers)
+	var wg sync.WaitGroup
+	for i, w := range pt.workers {
+		if quotas[i] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *parallelWorker, quota int) {
+			defer wg.Done()
+			start := time.Now()
+			for s := 0; s < quota; s++ {
+				rec := w.pairs[w.rng.Intn(len(w.pairs))]
+				tr := w.sampler.SampleWithI(rec.User, rec.Item)
+				pt.updateHogwild(w, rec.User, tr)
+			}
+			w.busy += time.Since(start)
+			w.steps += quota
+		}(w, quotas[i])
+	}
+	wg.Wait()
+
+	pt.stepsDone += seg
+	pt.sinceRefresh += seg
+	// Merge per-worker accumulators in worker order (deterministic
+	// reduction) and refresh the exported metrics.
+	for _, w := range pt.workers {
+		pt.gradSum += w.segGradSum
+		pt.gradN += w.segGradN
+		pt.observeLossBatch(w.segLossSum, w.segLossN)
+		w.segGradSum, w.segGradN = 0, 0
+		w.segLossSum, w.segLossN = 0, 0
+	}
+	if pt.stepsVec != nil {
+		for i, w := range pt.workers {
+			pt.stepsVec.With(w.label).Add(uint64(quotas[i]))
+			if secs := w.busy.Seconds(); secs > 0 {
+				pt.spsVec.With(w.label).Set(float64(w.steps) / secs)
+			}
+		}
+	}
+}
+
+// updateHogwild applies the Eq. 22 update for one sampled triple with
+// atomic item access: load the three item rows, compute the same update
+// Trainer.update applies, and publish the new rows element-wise. The user
+// row is this worker's exclusive property (users are sharded) and is
+// touched with plain loads and stores.
+func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling.Triple) {
+	skipK := tr.K == tr.I
+	a, b, c := riskCoeffs(pt.cfg.Variant, pt.cfg.Lambda, skipK)
+
+	m := pt.model
+	uf := m.UserFactors(u)
+	m.LoadItemFactors(tr.I, w.vi)
+	if skipK {
+		copy(w.vk, w.vi) // aliased row; b = 0 so it only feeds the dot
+	} else {
+		m.LoadItemFactors(tr.K, w.vk)
+	}
+	m.LoadItemFactors(tr.J, w.vj)
+	bi, bk, bj := m.LoadBias(tr.I), m.LoadBias(tr.K), m.LoadBias(tr.J)
+
+	r := a*(mathx.Dot(uf, w.vi)+bi) +
+		b*(mathx.Dot(uf, w.vk)+bk) +
+		c*(mathx.Dot(uf, w.vj)+bj)
+
+	g := 1 - mathx.Sigmoid(r)
+	w.segGradSum += g
+	w.segGradN++
+	if pt.hook != nil {
+		w.segLossSum += -mathx.LogSigmoid(r)
+		w.segLossN++
+	}
+
+	gamma := pt.cfg.LearnRate
+	regU, regV, regB := pt.cfg.RegUser, pt.cfg.RegItem, pt.cfg.RegBias
+	for q := range uf {
+		du := g*(a*w.vi[q]+b*w.vk[q]+c*w.vj[q]) - regU*uf[q]
+		di := g*a*uf[q] - regV*w.vi[q]
+		dk := g*b*uf[q] - regV*w.vk[q]
+		dj := g*c*uf[q] - regV*w.vj[q]
+		uf[q] += gamma * du
+		w.vi[q] += gamma * di
+		if !skipK {
+			w.vk[q] += gamma * dk
+		}
+		w.vj[q] += gamma * dj
+	}
+	m.StoreItemFactors(tr.I, w.vi)
+	if !skipK {
+		m.StoreItemFactors(tr.K, w.vk)
+	}
+	m.StoreItemFactors(tr.J, w.vj)
+	if m.HasBias() {
+		m.StoreBias(tr.I, bi+gamma*(g*a-regB*bi))
+		if !skipK {
+			m.StoreBias(tr.K, bk+gamma*(g*b-regB*bk))
+		}
+		m.StoreBias(tr.J, bj+gamma*(g*c-regB*bj))
+	}
+}
+
+// observeLossBatch folds one worker segment's loss sum into the smoothed
+// loss. During warm-up (fewer than lossEWMAWindow observations) this is
+// the exact running mean, matching the serial trainer; afterwards each
+// batch folds with weight batch/window — the batched analogue of the
+// per-step EWMA.
+func (pt *ParallelTrainer) observeLossBatch(sum float64, n int) {
+	if n == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	pt.lossN += n
+	if pt.lossN <= lossEWMAWindow {
+		pt.lossEWMA += float64(n) / float64(pt.lossN) * (mean - pt.lossEWMA)
+		return
+	}
+	alpha := float64(n) / float64(lossEWMAWindow)
+	if alpha > 1 {
+		alpha = 1
+	}
+	pt.lossEWMA += alpha * (mean - pt.lossEWMA)
+}
+
+// fireHook emits one aggregated TrainStats snapshot.
+func (pt *ParallelTrainer) fireHook() {
+	now := time.Now()
+	steps := pt.stepsDone - pt.lastHookStep
+	secs := now.Sub(pt.lastHookTime).Seconds()
+	sps := 0.0
+	if secs > 0 {
+		sps = float64(steps) / secs
+	}
+	stats := TrainStats{
+		Step:         pt.stepsDone,
+		TotalSteps:   pt.cfg.Steps,
+		SmoothedLoss: pt.lossEWMA,
+		GradMag:      pt.gradMagPeek(),
+		StepsPerSec:  sps,
+		Elapsed:      now.Sub(pt.trainStart),
+	}
+	pt.gradSum, pt.gradN = 0, 0 // the interval owns the accumulator
+	pt.lastHookTime = now
+	pt.lastHookStep = pt.stepsDone
+	pt.hook(stats)
+}
+
+func (pt *ParallelTrainer) gradMagPeek() float64 {
+	if pt.gradN == 0 {
+		return 0
+	}
+	return pt.gradSum / float64(pt.gradN)
+}
+
+// proportionalShares splits seg among the workers in proportion to their
+// record counts (largest-remainder rounding, ties to the lowest id), so
+// aggregate sampling stays record-uniform and the allocation is a pure
+// function of (seg, shard sizes) — reproducible across runs and resumes.
+func proportionalShares(seg int, workers []*parallelWorker) []int {
+	total := 0
+	for _, w := range workers {
+		total += len(w.pairs)
+	}
+	shares := make([]int, len(workers))
+	rems := make([]int64, len(workers))
+	assigned := 0
+	for i, w := range workers {
+		num := int64(seg) * int64(len(w.pairs))
+		shares[i] = int(num / int64(total))
+		rems[i] = num % int64(total)
+		assigned += shares[i]
+	}
+	for assigned < seg {
+		best := -1
+		for i := range workers {
+			if rems[i] >= 0 && (best < 0 || rems[i] > rems[best]) {
+				best = i
+			}
+		}
+		shares[best]++
+		rems[best] = -1 // one top-up per worker per round
+		assigned++
+	}
+	return shares
+}
+
+// ParallelWorkerState is one worker's resumable state inside a
+// ParallelTrainerState.
+type ParallelWorkerState struct {
+	// RNG is the worker's record-selection RNG state.
+	RNG [4]uint64
+	// Sampler is the worker's sampler-view state (its private RNG and
+	// step count; rank lists are derived state rebuilt on restore).
+	Sampler sampling.SamplerState
+}
+
+// ParallelTrainerState is the resumable non-parameter state of a
+// ParallelTrainer: the schedule position, every worker's RNG streams, the
+// loss accumulator, and the refresh-cadence position. As with
+// TrainerState, model parameters travel separately (store.Meta carries
+// this state, the store payload the parameters).
+//
+// A workers=1 restore resumes bit-identically under the Uniform sampler;
+// with more workers the continuation is statistically equivalent (the
+// write interleaving is not part of any state).
+type ParallelTrainerState struct {
+	Step         int
+	SinceRefresh int
+	Workers      []ParallelWorkerState
+	LossEWMA     float64
+	LossN        int
+}
+
+// Snapshot captures the trainer's resumable state. Call only between
+// RunSteps calls (workers quiescent).
+func (pt *ParallelTrainer) Snapshot() ParallelTrainerState {
+	st := ParallelTrainerState{
+		Step:         pt.stepsDone,
+		SinceRefresh: pt.sinceRefresh,
+		Workers:      make([]ParallelWorkerState, len(pt.workers)),
+		LossEWMA:     pt.lossEWMA,
+		LossN:        pt.lossN,
+	}
+	for i, w := range pt.workers {
+		st.Workers[i] = ParallelWorkerState{RNG: w.rng.State(), Sampler: w.sampler.State()}
+	}
+	return st
+}
+
+// Restore rewinds the trainer to a previously captured state: model
+// parameters are copied from m, every worker's RNG streams are
+// repositioned, and the rank lists are rebuilt from the restored
+// parameters. The trainer must have been constructed with the same
+// configuration, data, and worker count as the one that produced the
+// snapshot.
+func (pt *ParallelTrainer) Restore(st ParallelTrainerState, m *mf.Model) error {
+	if st.Step < 0 {
+		return fmt.Errorf("core: restore step %d < 0", st.Step)
+	}
+	if len(st.Workers) != len(pt.workers) {
+		return fmt.Errorf("core: restore has %d worker states, trainer has %d workers (worker count must match)",
+			len(st.Workers), len(pt.workers))
+	}
+	if err := pt.model.SetFrom(m); err != nil {
+		return err
+	}
+	for i, w := range pt.workers {
+		w.rng.SetState(st.Workers[i].RNG)
+		w.sampler.Restore(st.Workers[i].Sampler) // view: no refresh
+	}
+	if pt.cfg.Sampler.Strategy != sampling.Uniform {
+		pt.sampler.Refresh() // rebuild shared rank lists from restored params
+	}
+	pt.stepsDone = st.Step
+	pt.sinceRefresh = st.SinceRefresh
+	pt.lossEWMA = st.LossEWMA
+	pt.lossN = st.LossN
+	pt.gradSum, pt.gradN = 0, 0
+	pt.trainStart = time.Time{}
+	pt.lastHookStep = st.Step
+	return nil
+}

@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"clapf/internal/dataset"
@@ -28,6 +30,12 @@ type Options struct {
 	MaxUsers int
 	// RNG drives the user sampling; required when MaxUsers > 0.
 	RNG *mathx.RNG
+	// Workers, when > 1, ranks users on that many goroutines. Per-user
+	// results are reduced sequentially in user order afterwards, so the
+	// metrics are bit-identical for every worker count (only Timing
+	// varies); Scorer.ScoreAll must be safe for concurrent calls, which
+	// holds for mf.Model and every baseline in this repository.
+	Workers int
 }
 
 // DefaultKs is the paper's top-k sweep.
@@ -46,7 +54,9 @@ type Result struct {
 // Timing breaks the evaluation wall-clock into its phases, accumulated
 // across users: model scoring (ScoreAll), candidate ranking (building
 // and sorting the unobserved-item list), and metric computation. Total
-// covers the whole Evaluate call, including user selection.
+// covers the whole Evaluate call, including user selection. With
+// Workers > 1 the phase fields are summed across goroutines and exceed
+// Total when the speedup is real.
 type Timing struct {
 	Score   time.Duration
 	Rank    time.Duration
@@ -80,13 +90,39 @@ func (r Result) MustAt(k int) KMetrics {
 	return m
 }
 
+// userRow is one user's finished contribution, computed independently
+// (possibly concurrently) and folded into the Result sequentially.
+type userRow struct {
+	evaluated bool
+	atK       []KMetrics // parallel to ks
+	ap, rr    float64
+	auc       float64
+	timing    Timing
+}
+
+// evalScratch is one goroutine's reusable buffers.
+type evalScratch struct {
+	scores []float64
+	cands  []int32
+}
+
+func newEvalScratch(numItems int) *evalScratch {
+	return &evalScratch{
+		scores: make([]float64, numItems),
+		cands:  make([]int32, 0, numItems),
+	}
+}
+
 // Evaluate runs the full-ranking protocol: each user with test positives
 // has every training-unobserved item ranked by s, and per-user metrics are
 // averaged. Training positives are excluded from the candidate set (they
 // are not recommendable); test positives are the relevance labels.
+//
+// Per-user work is embarrassingly parallel, so Options.Workers fans it
+// out; the reduction always walks users in id order, making the returned
+// metrics independent of the worker count down to the last bit.
 func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 	total := obs.StartSpan("eval")
-	var timing Timing
 	ks := opts.Ks
 	if len(ks) == 0 {
 		ks = DefaultKs
@@ -94,62 +130,67 @@ func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 	numItems := train.NumItems()
 	users := testUsers(test, opts)
 
-	scores := make([]float64, numItems)
-	cands := make([]int32, 0, numItems)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
 
+	rows := make([]userRow, len(users))
+	if workers <= 1 {
+		scratch := newEvalScratch(numItems)
+		for idx, u := range users {
+			rows[idx] = evalUser(s, train, test, u, ks, scratch)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch := newEvalScratch(numItems)
+				for {
+					idx := int(atomic.AddInt64(&next, 1)) - 1
+					if idx >= len(users) {
+						return
+					}
+					rows[idx] = evalUser(s, train, test, users[idx], ks, scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Sequential reduce in user order: the float additions happen in the
+	// same sequence as a serial pass, for any worker count.
 	sums := make([]KMetrics, len(ks))
 	for i, k := range ks {
 		sums[i].K = k
 	}
+	var timing Timing
 	var mapSum, mrrSum, aucSum float64
 	evaluated := 0
-
-	for _, u := range users {
-		rel := test.Positives(u)
-		if len(rel) == 0 {
+	for i := range rows {
+		r := &rows[i]
+		timing.Score += r.timing.Score
+		timing.Rank += r.timing.Rank
+		timing.Metrics += r.timing.Metrics
+		if !r.evaluated {
 			continue
 		}
-		sp := obs.StartSpan("eval.score")
-		s.ScoreAll(u, scores)
-		timing.Score += sp.End()
-
-		// Candidate set: all items unobserved in training.
-		sp = obs.StartSpan("eval.rank")
-		cands = cands[:0]
-		trainPos := train.Positives(u)
-		tp := 0
-		for i := int32(0); i < int32(numItems); i++ {
-			for tp < len(trainPos) && trainPos[tp] < i {
-				tp++
-			}
-			if tp < len(trainPos) && trainPos[tp] == i {
-				continue
-			}
-			cands = append(cands, i)
+		for j := range ks {
+			sums[j].Prec += r.atK[j].Prec
+			sums[j].Recall += r.atK[j].Recall
+			sums[j].F1 += r.atK[j].F1
+			sums[j].OneCall += r.atK[j].OneCall
+			sums[j].NDCG += r.atK[j].NDCG
 		}
-		sort.SliceStable(cands, func(a, b int) bool {
-			ia, ib := cands[a], cands[b]
-			if scores[ia] != scores[ib] {
-				return scores[ia] > scores[ib]
-			}
-			return ia < ib
-		})
-		timing.Rank += sp.End()
-
-		sp = obs.StartSpan("eval.metrics")
-		le := NewListEval(cands, func(i int32) bool { return test.IsPositive(u, i) }, len(rel))
-		for i, k := range ks {
-			m := le.AtK(k)
-			sums[i].Prec += m.Prec
-			sums[i].Recall += m.Recall
-			sums[i].F1 += m.F1
-			sums[i].OneCall += m.OneCall
-			sums[i].NDCG += m.NDCG
-		}
-		mapSum += le.AP()
-		mrrSum += le.RR()
-		aucSum += le.AUC()
-		timing.Metrics += sp.End()
+		mapSum += r.ap
+		mrrSum += r.rr
+		aucSum += r.auc
 		evaluated++
 	}
 
@@ -171,6 +212,57 @@ func Evaluate(s Scorer, train, test *dataset.Dataset, opts Options) Result {
 	res.MRR = mrrSum / n
 	res.AUC = aucSum / n
 	return res
+}
+
+// evalUser ranks one user's candidates and computes their metric row.
+func evalUser(s Scorer, train, test *dataset.Dataset, u int32, ks []int, sc *evalScratch) userRow {
+	var row userRow
+	rel := test.Positives(u)
+	if len(rel) == 0 {
+		return row
+	}
+	sp := obs.StartSpan("eval.score")
+	s.ScoreAll(u, sc.scores)
+	row.timing.Score = sp.End()
+
+	// Candidate set: all items unobserved in training.
+	sp = obs.StartSpan("eval.rank")
+	numItems := len(sc.scores)
+	cands := sc.cands[:0]
+	trainPos := train.Positives(u)
+	tp := 0
+	for i := int32(0); i < int32(numItems); i++ {
+		for tp < len(trainPos) && trainPos[tp] < i {
+			tp++
+		}
+		if tp < len(trainPos) && trainPos[tp] == i {
+			continue
+		}
+		cands = append(cands, i)
+	}
+	scores := sc.scores
+	sort.SliceStable(cands, func(a, b int) bool {
+		ia, ib := cands[a], cands[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	sc.cands = cands
+	row.timing.Rank = sp.End()
+
+	sp = obs.StartSpan("eval.metrics")
+	le := NewListEval(cands, func(i int32) bool { return test.IsPositive(u, i) }, len(rel))
+	row.atK = make([]KMetrics, len(ks))
+	for i, k := range ks {
+		row.atK[i] = le.AtK(k)
+	}
+	row.ap = le.AP()
+	row.rr = le.RR()
+	row.auc = le.AUC()
+	row.timing.Metrics = sp.End()
+	row.evaluated = true
+	return row
 }
 
 // testUsers returns the users to evaluate, applying the optional sampling

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -194,5 +195,42 @@ func TestEvaluateTiming(t *testing.T) {
 	}
 	if s := tm.String(); !strings.Contains(s, "score") || !strings.Contains(s, "rank") || !strings.Contains(s, "metrics") {
 		t.Errorf("Timing.String() = %q", s)
+	}
+}
+
+// TestEvaluateParallelBitIdentical is the determinism contract for
+// Options.Workers: per-user rows are reduced sequentially in user order,
+// so every worker count must produce the exact same Result — not merely
+// close, but identical down to the last float bit (Timing excluded; it
+// genuinely differs).
+func TestEvaluateParallelBitIdentical(t *testing.T) {
+	train, test := buildSplit(t)
+	for _, scorer := range []Scorer{oracleScorer{test}, randomScorer{seed: 31}} {
+		base := Evaluate(scorer, train, test, Options{})
+		base.Timing = Timing{}
+		for _, workers := range []int{1, 2, 3, 4, 7, 64} {
+			got := Evaluate(scorer, train, test, Options{Workers: workers})
+			got.Timing = Timing{}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("workers=%d diverges from serial:\n got  %+v\n want %+v",
+					workers, got, base)
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelWithSampling checks that the MaxUsers cap and the
+// worker fan-out compose: the sampled user set is chosen before the
+// fan-out, so results stay worker-count independent.
+func TestEvaluateParallelWithSampling(t *testing.T) {
+	train, test := buildSplit(t)
+	mk := func(workers int) Result {
+		r := Evaluate(oracleScorer{test}, train, test,
+			Options{Ks: []int{5}, MaxUsers: 10, RNG: mathx.NewRNG(4), Workers: workers})
+		r.Timing = Timing{}
+		return r
+	}
+	if a, b := mk(1), mk(5); !reflect.DeepEqual(a, b) {
+		t.Errorf("sampled eval differs across worker counts:\n %+v\n %+v", a, b)
 	}
 }

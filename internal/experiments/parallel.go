@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"clapf/internal/core"
+	"clapf/internal/eval"
+	"clapf/internal/sampling"
+)
+
+// ParallelBenchRow is one worker count's measured training throughput and
+// post-training ranking quality.
+type ParallelBenchRow struct {
+	Workers      int     `json:"workers"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	Speedup      float64 `json:"speedup_vs_1"`
+	TrainSeconds float64 `json:"train_seconds"`
+	EvalSeconds  float64 `json:"eval_seconds"`
+	EvalSpeedup  float64 `json:"eval_speedup_vs_1"`
+	Prec5        float64 `json:"prec5"`
+	NDCG5        float64 `json:"ndcg5"`
+}
+
+// ParallelBench is the full parallel-scaling report. Cores records the
+// machine the numbers came from: speedups are bounded by it, so a ~1×
+// result on a 1-core runner is expected, not a regression.
+type ParallelBench struct {
+	Dataset string             `json:"dataset"`
+	Users   int                `json:"users"`
+	Items   int                `json:"items"`
+	Pairs   int                `json:"pairs"`
+	Steps   int                `json:"steps"`
+	Cores   int                `json:"cores"`
+	Rows    []ParallelBenchRow `json:"rows"`
+}
+
+// RunParallelBench trains the same CLAPF configuration at each worker
+// count on one replicate split and measures SGD throughput and parallel
+// evaluation wall-time. Quality columns (Prec@5/NDCG@5) let the caller
+// confirm the Hogwild runs stay statistically equivalent while speeding
+// up.
+func RunParallelBench(s Setup, workerCounts []int, epochs int) (*ParallelBench, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		return nil, err
+	}
+	train, test := reps[0].Train, reps[0].Test
+
+	cfg := core.DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Lambda = LambdaFor(s.Profile.Name, sampling.MAP)
+	cfg.Steps = epochs * train.NumPairs()
+	cfg.Seed = s.Seed
+
+	out := &ParallelBench{
+		Dataset: s.Profile.Name,
+		Users:   train.NumUsers(),
+		Items:   train.NumItems(),
+		Pairs:   train.NumPairs(),
+		Steps:   cfg.Steps,
+		Cores:   runtime.NumCPU(),
+	}
+	var baseSPS, baseEval float64
+	for _, w := range workerCounts {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: worker count %d < 1", w)
+		}
+		pt, err := core.NewParallelTrainer(cfg, train, w)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		pt.Run()
+		trainWall := time.Since(start)
+
+		start = time.Now()
+		res := eval.Evaluate(pt.Model(), train, test, eval.Options{
+			Ks:       []int{5},
+			MaxUsers: s.EvalMaxUsers,
+			Workers:  w,
+		})
+		evalWall := time.Since(start)
+
+		row := ParallelBenchRow{
+			Workers:      w,
+			StepsPerSec:  float64(cfg.Steps) / trainWall.Seconds(),
+			TrainSeconds: trainWall.Seconds(),
+			EvalSeconds:  evalWall.Seconds(),
+			Prec5:        res.MustAt(5).Prec,
+			NDCG5:        res.MustAt(5).NDCG,
+		}
+		if baseSPS == 0 {
+			baseSPS, baseEval = row.StepsPerSec, row.EvalSeconds
+		}
+		row.Speedup = row.StepsPerSec / baseSPS
+		if row.EvalSeconds > 0 {
+			row.EvalSpeedup = baseEval / row.EvalSeconds
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RenderParallelBench prints the scaling report as an aligned text table.
+func RenderParallelBench(w io.Writer, b *ParallelBench) error {
+	if _, err := fmt.Fprintf(w,
+		"parallel scaling on %s (%d users, %d items, %d pairs; %d steps; %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Pairs, b.Steps, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %12s %9s %10s %10s %8s %8s\n",
+		"workers", "steps/s", "speedup", "eval(s)", "evalx", "Prec@5", "NDCG@5"); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		if _, err := fmt.Fprintf(w, "%-8d %12.0f %8.2fx %10.3f %9.2fx %8.4f %8.4f\n",
+			r.Workers, r.StepsPerSec, r.Speedup, r.EvalSeconds, r.EvalSpeedup, r.Prec5, r.NDCG5); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteParallelBenchJSON emits the report as indented JSON (the
+// BENCH_parallel.json payload of scripts/bench.sh).
+func WriteParallelBenchJSON(w io.Writer, b *ParallelBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,27 @@
+package mathx
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic float64 access for lock-free (Hogwild-style) SGD. Concurrent
+// workers read and write shared parameter slices without locks; making
+// each element access atomic keeps the races benign in the memory-model
+// sense (no torn reads, no undefined behavior, race-detector clean) while
+// preserving Hogwild's last-writer-wins semantics on the rare colliding
+// update. On amd64/arm64 an atomic 8-byte load/store compiles to a plain
+// MOV plus a compiler barrier, so the hot path pays essentially nothing.
+//
+// The pointer must be 8-byte aligned; every element of a []float64 is.
+
+// AtomicLoadFloat64 atomically reads *p.
+func AtomicLoadFloat64(p *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
+// AtomicStoreFloat64 atomically writes v to *p.
+func AtomicStoreFloat64(p *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
+}

@@ -1,0 +1,55 @@
+package mathx
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAtomicFloat64RoundTrip(t *testing.T) {
+	t.Parallel()
+	xs := []float64{0, 1.5, -2.25, math.Inf(1), math.SmallestNonzeroFloat64}
+	buf := make([]float64, len(xs))
+	for i, x := range xs {
+		AtomicStoreFloat64(&buf[i], x)
+		if got := AtomicLoadFloat64(&buf[i]); got != x {
+			t.Errorf("round-trip of %v read back %v", x, got)
+		}
+	}
+	// NaN survives the bits round-trip too.
+	AtomicStoreFloat64(&buf[0], math.NaN())
+	if !math.IsNaN(AtomicLoadFloat64(&buf[0])) {
+		t.Error("NaN did not round-trip")
+	}
+}
+
+// TestAtomicFloat64Concurrent hammers one cell from several goroutines;
+// under -race this proves the accessors establish no-race semantics, and
+// the final value must be one of the written values (no torn writes).
+func TestAtomicFloat64Concurrent(t *testing.T) {
+	t.Parallel()
+	var cell float64
+	vals := []float64{1.0, 2.0, 4.0, 8.0}
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				AtomicStoreFloat64(&cell, v)
+				_ = AtomicLoadFloat64(&cell)
+			}
+		}(v)
+	}
+	wg.Wait()
+	got := AtomicLoadFloat64(&cell)
+	ok := false
+	for _, v := range vals {
+		if got == v {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("final value %v is not one of the written values (torn write?)", got)
+	}
+}

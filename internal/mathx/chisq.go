@@ -1,0 +1,121 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chi-square goodness-of-fit support for the sampler property tests,
+// built on a hand-rolled regularized lower incomplete gamma function
+// (stdlib-only constraint, as with the incomplete beta in ttest.go).
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x ≥ 0, via the series expansion for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes §6.2).
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// gammaSeries evaluates P(a, x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+// gammaCF evaluates Q(a, x) = 1 − P(a, x) by the continued fraction
+// (modified Lentz algorithm).
+func gammaCF(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGamma(a)) * h
+}
+
+// ChiSquareCDF returns P(X ≤ x) for a chi-square distribution with df
+// degrees of freedom.
+func ChiSquareCDF(x, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(df/2, x/2)
+}
+
+// ChiSquareResult summarizes a goodness-of-fit test.
+type ChiSquareResult struct {
+	Stat float64 // Pearson's X² statistic
+	DF   float64 // degrees of freedom (bins − 1)
+	P    float64 // upper-tail p-value
+}
+
+// ChiSquareGOF runs Pearson's goodness-of-fit test of observed counts
+// against expected counts (same length, expected all positive, sums should
+// agree up to rounding). A small p-value rejects the hypothesis that the
+// observations were drawn from the expected distribution.
+func ChiSquareGOF(observed, expected []float64) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("mathx: chi-square needs equal lengths, got %d and %d", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("mathx: chi-square needs >= 2 bins, got %d", len(observed))
+	}
+	var stat float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("mathx: chi-square expected count %v at bin %d, want > 0", expected[i], i)
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	df := float64(len(observed) - 1)
+	return ChiSquareResult{Stat: stat, DF: df, P: 1 - ChiSquareCDF(stat, df)}, nil
+}

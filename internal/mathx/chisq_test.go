@@ -1,0 +1,117 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaPReferenceValues(t *testing.T) {
+	t.Parallel()
+	// Reference values for P(a, x). P(1, x) = 1 − e^{−x}; P(1/2, x) relates
+	// to erf: P(1/2, x) = erf(√x); half-integer a from chi-square tables.
+	cases := []struct{ a, x, want float64 }{
+		{1, 0, 0},
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 5, 1 - math.Exp(-5)},
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		{2.5, 2.5, 0.5841198130044481}, // chi-square df=5 at x=5
+		{10, 10, 0.5420702855281478},
+	}
+	for _, c := range cases {
+		if got := GammaP(c.a, c.x); !AlmostEqual(got, c.want, 1e-10) {
+			t.Errorf("GammaP(%v, %v) = %.15f, want %.15f", c.a, c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaP(1, -1)) {
+		t.Error("invalid arguments should yield NaN")
+	}
+}
+
+func TestChiSquareCDFKnownQuantiles(t *testing.T) {
+	t.Parallel()
+	// Standard critical values: P(X ≤ x) for the tabulated 95th percentiles.
+	cases := []struct{ x, df float64 }{
+		{3.841, 1},
+		{5.991, 2},
+		{11.070, 5},
+		{18.307, 10},
+	}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.x, c.df)
+		if math.Abs(got-0.95) > 5e-4 {
+			t.Errorf("ChiSquareCDF(%v, df=%v) = %.5f, want ≈ 0.95", c.x, c.df, got)
+		}
+	}
+}
+
+func TestChiSquareGOF(t *testing.T) {
+	t.Parallel()
+	// Perfect fit: statistic 0, p-value 1.
+	res, err := ChiSquareGOF([]float64{25, 25, 25, 25}, []float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stat != 0 || res.P != 1 {
+		t.Errorf("perfect fit: stat=%v p=%v", res.Stat, res.P)
+	}
+	// Gross mismatch must be rejected decisively.
+	res, err = ChiSquareGOF([]float64{90, 10, 0, 0}, []float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("gross mismatch: p = %v, want ~0", res.P)
+	}
+	// Error cases.
+	if _, err := ChiSquareGOF([]float64{1}, []float64{1}); err == nil {
+		t.Error("single bin accepted")
+	}
+	if _, err := ChiSquareGOF([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquareGOF([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("zero expected count accepted")
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	t.Parallel()
+	// Fixed two-sample case, statistic and df verified against an
+	// independent implementation of the Welch formulas; the p-value is the
+	// matching two-sided Student-t tail (≈0.0082 at |t|=2.847, df≈27.9).
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.3}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(res.T, -2.84720, 1e-4) {
+		t.Errorf("T = %v, want ≈ -2.84720", res.T)
+	}
+	if !AlmostEqual(res.DF, 27.8847, 1e-3) {
+		t.Errorf("DF = %v, want ≈ 27.8847", res.DF)
+	}
+	if !AlmostEqual(res.P, 0.008186, 1e-4) {
+		t.Errorf("P = %v, want ≈ 0.008186", res.P)
+	}
+	// Equal zero-variance samples: no evidence of difference.
+	res, err = WelchTTest([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constant samples: p = %v, want 1", res.P)
+	}
+	// Distinct zero-variance samples: certain difference.
+	res, err = WelchTTest([]float64{5, 5}, []float64{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("distinct constant samples: p = %v, want 0", res.P)
+	}
+	if _, err := WelchTTest([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("undersized sample accepted")
+	}
+}

@@ -146,3 +146,37 @@ func sign(x float64) int {
 	}
 	return 1
 }
+
+// WelchTTest tests whether two independent samples share a mean, without
+// assuming equal variances (Welch's unequal-variance t-test, with the
+// Welch–Satterthwaite degrees of freedom). The parallel-training
+// equivalence suite uses it to compare replicate metric distributions of
+// the serial and Hogwild trainers, whose runs are independent (different
+// RNG streams), so the paired test does not apply. Each sample needs at
+// least two observations; two identical zero-variance samples report
+// p = 1, distinct ones p = 0.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("mathx: Welch t-test needs >= 2 observations per sample, got %d and %d", len(a), len(b))
+	}
+	var sa, sb OnlineStats
+	for _, x := range a {
+		sa.Add(x)
+	}
+	for _, x := range b {
+		sb.Add(x)
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	va, vb := sa.Variance()/na, sb.Variance()/nb
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		if sa.Mean() == sb.Mean() {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(sa.Mean() - sb.Mean())), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (sa.Mean() - sb.Mean()) / se
+	df := (va + vb) * (va + vb) / (va*va/(na-1) + vb*vb/(nb-1))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	return TTestResult{T: t, DF: df, P: p}, nil
+}

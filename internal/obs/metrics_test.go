@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -104,6 +105,41 @@ func TestCounterVec(t *testing.T) {
 		}
 	}()
 	v.With("/a")
+}
+
+func TestGaugeVec(t *testing.T) {
+	v := NewGaugeVec("worker")
+	v.With("0").Set(1.5)
+	v.With("1").Set(-2)
+	v.With("0").Add(0.5)
+	if got := v.With("0").Value(); got != 2 {
+		t.Errorf("worker 0 = %v, want 2", got)
+	}
+	if got := v.With("1").Value(); got != -2 {
+		t.Errorf("worker 1 = %v, want -2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	v.With("0", "1")
+}
+
+func TestGaugeVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewGaugeVec("train_worker_steps_per_sec", "", "worker")
+	v.With("1").Set(1000)
+	v.With("0").Set(500)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := ParseExposition(t, sb.String())
+	if samples[`train_worker_steps_per_sec{worker="0"}`] != 500 ||
+		samples[`train_worker_steps_per_sec{worker="1"}`] != 1000 {
+		t.Errorf("unexpected samples: %v", samples)
+	}
 }
 
 func TestHistogramVecSharedLayout(t *testing.T) {

@@ -80,6 +80,20 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return g
 }
 
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := NewGaugeVec(labels...)
+	r.register(name, help, "gauge", func(w io.Writer, name string) error {
+		for _, ch := range v.children() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(v.labels, ch.values, "", ""), formatFloat(ch.g.Value())); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return v
+}
+
 // NewGaugeFunc registers a gauge whose value is computed at scrape time —
 // uptime, model dimensions, queue depths read from elsewhere.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {

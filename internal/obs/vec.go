@@ -90,6 +90,67 @@ func (v *CounterVec) children() []*counterChild {
 	return out
 }
 
+// GaugeVec is a family of Gauges distinguished by label values — e.g.
+// per-worker training throughput partitioned by worker id. Children are
+// created on first use and live forever.
+type GaugeVec struct {
+	labels []string
+
+	mu   sync.RWMutex
+	kids map[string]*gaugeChild
+}
+
+type gaugeChild struct {
+	values []string
+	g      Gauge
+}
+
+// NewGaugeVec builds an unregistered family; prefer Registry.NewGaugeVec,
+// which also exports it.
+func NewGaugeVec(labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{labels: append([]string(nil), labels...), kids: make(map[string]*gaugeChild)}
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use. It panics if the number of values does not match the
+// declared labels.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: GaugeVec got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	ch := v.kids[key]
+	v.mu.RUnlock()
+	if ch == nil {
+		v.mu.Lock()
+		if ch = v.kids[key]; ch == nil {
+			ch = &gaugeChild{values: append([]string(nil), values...)}
+			v.kids[key] = ch
+		}
+		v.mu.Unlock()
+	}
+	return &ch.g
+}
+
+func (v *GaugeVec) children() []*gaugeChild {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*gaugeChild, len(keys))
+	for i, k := range keys {
+		out[i] = v.kids[k]
+	}
+	return out
+}
+
 // HistogramVec is a family of Histograms sharing one bucket layout,
 // distinguished by label values — e.g. latency partitioned by path.
 type HistogramVec struct {

@@ -1,0 +1,202 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// Distributional property tests: rather than spot-checking a few draws,
+// these compare large empirical samples against the exact target
+// distribution with a chi-square goodness-of-fit test. Seeds are fixed,
+// so each test is deterministic; the α = 0.001 rejection level means a
+// correct sampler at a different seed would flake one run in a thousand,
+// while a broken one fails with p ≈ 0.
+
+const gofAlpha = 1e-3
+
+// TestAliasChiSquareGOF draws from a Walker alias table over a skewed
+// weight vector and requires the empirical counts to fit the weights.
+func TestAliasChiSquareGOF(t *testing.T) {
+	t.Parallel()
+	weights := []float64{8, 5, 3, 2, 1, 1, 0.5, 0.25}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	const n = 200000
+	rng := mathx.NewRNG(17)
+	observed := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		observed[a.Sample(rng)]++
+	}
+	expected := make([]float64, len(weights))
+	for i, w := range weights {
+		expected[i] = n * w / sum
+	}
+	res, err := mathx.ChiSquareGOF(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("alias GOF: chi2 = %.2f, df = %.0f, p = %.4f", res.Stat, res.DF, res.P)
+	if res.P < gofAlpha {
+		t.Errorf("alias draws do not fit weights: chi2 = %.2f, p = %.2e", res.Stat, res.P)
+	}
+}
+
+// TestDSSNegativeRankGeometric verifies the §5.2 claim directly: the
+// unobserved item j is drawn from a geometric distribution over ranking
+// positions, truncated to the list and conditioned on skipping the
+// user's observed items. With the fixture's fixed item scores the
+// ranking list is known, so the exact target pmf over ranks is
+// computable and chi-square testable.
+func TestDSSNegativeRankGeometric(t *testing.T) {
+	t.Parallel()
+	d, m := fixture(t)
+	s, err := NewTripleSampler(TripleConfig{Strategy: DSS, Objective: MAP}, d, m, mathx.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const u = int32(0)
+	order := s.orders[0] // items by descending factor-0 value
+	nItems := len(order)
+	p := s.geomP
+
+	// Exact target: rank r gets geometric mass p(1−p)^r if the item at r
+	// is unobserved for u, zero otherwise; renormalized (the rejection
+	// loop resamples i.i.d. on hitting a positive, and the 64-try uniform
+	// fallbacks have probability ~1e-149 here).
+	mass := make([]float64, nItems)
+	var total float64
+	for r, item := range order {
+		if !d.IsPositive(u, item) {
+			mass[r] = p * math.Pow(1-p, float64(r))
+			total += mass[r]
+		}
+	}
+
+	const n = 100000
+	counts := make([]float64, nItems)
+	for i := 0; i < n; i++ {
+		j := s.rankedJ(u, 0, true)
+		if d.IsPositive(u, j) {
+			t.Fatalf("rankedJ returned observed item %d", j)
+		}
+		counts[s.pos[0][j]]++
+	}
+
+	// Bin head ranks individually and merge the geometric tail so every
+	// expected count stays well above the chi-square approximation's
+	// comfort zone (≥ ~8 here).
+	var observed, expected []float64
+	var tailObs, tailExp float64
+	for r := 0; r < nItems; r++ {
+		if mass[r] == 0 {
+			if counts[r] != 0 {
+				t.Fatalf("rank %d is observed for user %d yet drawn %v times", r, u, counts[r])
+			}
+			continue
+		}
+		exp := n * mass[r] / total
+		if exp >= 8 && tailExp == 0 {
+			observed = append(observed, counts[r])
+			expected = append(expected, exp)
+		} else {
+			tailObs += counts[r]
+			tailExp += exp
+		}
+	}
+	if tailExp >= 8 {
+		observed = append(observed, tailObs)
+		expected = append(expected, tailExp)
+	} else if tailExp > 0 {
+		// Too thin for its own bin: fold into the last head bin.
+		observed[len(observed)-1] += tailObs
+		expected[len(expected)-1] += tailExp
+	}
+
+	res, err := mathx.ChiSquareGOF(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DSS rank GOF: %d bins, chi2 = %.2f, p = %.4f", len(observed), res.Stat, res.P)
+	if res.P < gofAlpha {
+		t.Errorf("negative draws do not fit the truncated geometric: chi2 = %.2f, df = %.0f, p = %.2e",
+			res.Stat, res.DF, res.P)
+	}
+}
+
+// TestGeometricCappedGOF pins the primitive underneath DSS: the capped
+// geometric must match the truncated geometric pmf.
+func TestGeometricCappedGOF(t *testing.T) {
+	t.Parallel()
+	const p, cap_, n = 0.2, 12, 150000
+	rng := mathx.NewRNG(29)
+	observed := make([]float64, cap_)
+	for i := 0; i < n; i++ {
+		observed[rng.GeometricCapped(p, cap_)]++
+	}
+	norm := 1 - math.Pow(1-p, cap_)
+	expected := make([]float64, cap_)
+	for g := 0; g < cap_; g++ {
+		expected[g] = n * p * math.Pow(1-p, float64(g)) / norm
+	}
+	res, err := mathx.ChiSquareGOF(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < gofAlpha {
+		t.Errorf("GeometricCapped does not fit truncated geometric: chi2 = %.2f, p = %.2e", res.Stat, res.P)
+	}
+}
+
+// TestNoPositiveAsNegativeProperty is the randomized-dataset version of
+// the triple invariants: across several generated corpora, every
+// strategy × objective, and both sampling entry points, a drawn j must
+// never be an observed item, and i/k always must be.
+func TestNoPositiveAsNegativeProperty(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := mathx.NewRNG(seed)
+		const nu, ni = 30, 50
+		var pairs []dataset.Interaction
+		for u := int32(0); u < nu; u++ {
+			for c, deg := 0, 2+rng.Intn(12); c < deg; c++ {
+				pairs = append(pairs, dataset.Interaction{User: u, Item: int32(rng.Intn(ni))})
+			}
+		}
+		d, err := dataset.FromInteractions("prop", nu, ni, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mf.MustNew(mf.Config{NumUsers: nu, NumItems: ni, Dim: 3, UseBias: false})
+		m.InitGaussian(mathx.NewRNG(seed+100), 0.5)
+		users := d.UsersWithAtLeast(1)
+		for _, strat := range []Strategy{Uniform, DSS, PositiveOnly, NegativeOnly} {
+			for _, obj := range []Objective{MAP, MRR} {
+				s, err := NewTripleSampler(TripleConfig{Strategy: strat, Objective: obj}, d, m, mathx.NewRNG(seed+200))
+				if err != nil {
+					t.Fatalf("%v/%v: %v", strat, obj, err)
+				}
+				for n := 0; n < 3000; n++ {
+					u := users[n%len(users)]
+					checkTriple(t, d, u, s.Sample(u))
+					obs := d.Positives(u)
+					i := obs[n%len(obs)]
+					tr := s.SampleWithI(u, i)
+					if tr.I != i {
+						t.Fatalf("SampleWithI ignored i: got %d, want %d", tr.I, i)
+					}
+					checkTriple(t, d, u, tr)
+				}
+			}
+		}
+	}
+}

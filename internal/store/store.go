@@ -75,6 +75,24 @@ type Meta struct {
 	// Hyper records the run's hyper-parameters as printable strings so a
 	// resume can verify it continues the same optimization problem.
 	Hyper map[string]string `json:"hyper,omitempty"`
+	// Workers holds per-worker RNG streams for parallel (Hogwild) training
+	// checkpoints; empty for serial runs. A resume must be configured with
+	// the same worker count.
+	Workers []WorkerMeta `json:"workers,omitempty"`
+	// SinceRefresh preserves the parallel trainer's position in the
+	// rank-list rebuild cadence.
+	SinceRefresh int `json:"since_refresh,omitempty"`
+}
+
+// WorkerMeta is one Hogwild worker's resumable state inside a parallel
+// training checkpoint.
+type WorkerMeta struct {
+	// RNG is the worker's record-selection generator (4 xoshiro256**
+	// state words).
+	RNG []uint64 `json:"rng"`
+	// SamplerRNG and SamplerSteps are the worker's sampler-view state.
+	SamplerRNG   []uint64 `json:"sampler_rng"`
+	SamplerSteps int      `json:"sampler_steps"`
 }
 
 // Save writes the model to w in version-1 format (no metadata trailer).

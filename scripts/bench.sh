@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench.sh — parallel-scaling benchmark harness. Trains the same CLAPF
+# configuration at several worker counts and writes the machine-readable
+# report to BENCH_parallel.json (steps/sec, speedup vs one worker, and
+# parallel-eval wall-time per worker count). The report's "cores" field
+# records the machine it ran on: speedup is bounded by physical cores, so
+# interpret the ratios against that number, not in the abstract.
+#
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORKERS="${1:-1,2,4}"
+SCALE="${2:-0.25}"
+EPOCHS="${3:-30}"
+OUT="${4:-BENCH_parallel.json}"
+
+go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
+	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
+	-workers "$WORKERS" -json "$OUT"
+
+echo "wrote $OUT"

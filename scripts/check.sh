@@ -13,7 +13,7 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go test -race ./...
+go test -race -shuffle=on ./...
 
 # Short fuzz smoke over the model-file loader: a few seconds of random
 # inputs against the corrupt-file handling, on top of the seed corpus the
