@@ -18,6 +18,7 @@ fmt:
 	gofmt -w .
 
 # bench measures Hogwild training and parallel-eval scaling across worker
-# counts and writes BENCH_parallel.json.
+# counts (BENCH_parallel.json), then serve-path throughput for the
+# single, batch, and cached request paths (BENCH_serve.json).
 bench:
 	sh scripts/bench.sh

@@ -9,11 +9,14 @@
 //	clapf-bench -exp fig3   -dataset ML100K [-scale 0.25] [-csv]
 //	clapf-bench -exp fig4   -dataset ML100K [-scale 0.25] [-csv]
 //	clapf-bench -exp parallel -dataset ML100K [-workers 1,2,4] [-json out.json]
+//	clapf-bench -exp serve    -dataset ML100K [-requests 2000] [-batch 64] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
 // parallel experiment measures Hogwild training and evaluation scaling
-// across worker counts; -json additionally writes the machine-readable
+// across worker counts; the serve experiment drives the recommendation
+// HTTP stack in-process and compares single, batch, and cached serving
+// throughput. For both, -json additionally writes the machine-readable
 // report consumed by scripts/bench.sh.
 package main
 
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -41,17 +44,19 @@ func main() {
 		maxEval = flag.Int("evalusers", 500, "max users evaluated per replicate (0 = all)")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of a text table")
 		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp parallel")
-		jsonOut = flag.String("json", "", "also write the parallel report as JSON to this path (- = stdout)")
+		jsonOut = flag.String("json", "", "also write the parallel/serve report as JSON to this path (- = stdout)")
+		reqs    = flag.Int("requests", 2000, "recommendation lists to serve per phase for -exp serve")
+		batch   = flag.Int("batch", 64, "entries per /recommend/batch request for -exp serve")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -144,8 +149,20 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 		}
 		return writeParallelJSON(out, jsonOut, bench)
 
+	case "serve":
+		bench, err := experiments.RunServeBench(setup, requests, batch)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderServeBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteServeBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve)", exp)
 	}
 }
 
@@ -169,17 +186,23 @@ func parseWorkerCounts(spec string) ([]int, error) {
 }
 
 func writeParallelJSON(out io.Writer, path string, bench *experiments.ParallelBench) error {
+	return writeJSONReport(out, path, func(w io.Writer) error {
+		return experiments.WriteParallelBenchJSON(w, bench)
+	})
+}
+
+func writeJSONReport(out io.Writer, path string, write func(io.Writer) error) error {
 	switch path {
 	case "":
 		return nil
 	case "-":
-		return experiments.WriteParallelBenchJSON(out, bench)
+		return write(out)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := experiments.WriteParallelBenchJSON(f, bench); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -7,10 +7,16 @@
 // Endpoints (JSON): GET /healthz (liveness, model dims, uptime, request
 // totals), GET /readyz (readiness — 503 while draining), GET
 // /recommend?user=U&k=K, GET /recommend?items=1,2,3&k=K (cold-start
-// fold-in), and GET /similar?item=I&k=K. GET /metrics serves Prometheus
-// text exposition (per-endpoint request counts, status codes, latency
-// histograms, model gauges). -pprof additionally mounts net/http/pprof
-// under /debug/pprof/ for live profiling.
+// fold-in), POST /recommend/batch (up to -max-batch requests per call),
+// and GET /similar?item=I&k=K. GET /metrics serves Prometheus text
+// exposition (per-endpoint request counts, status codes, latency
+// histograms, cache hit/eviction counters, model gauges). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ for live
+// profiling.
+//
+// Known-user top-K responses are cached (-cache-size entries, LRU); the
+// cache is invalidated atomically whenever the model is swapped, so a
+// reload can never serve stale rankings.
 //
 // The process is hardened for unattended operation: handler panics are
 // recovered into 500s, load beyond -max-inflight is shed with 503 +
@@ -48,6 +54,8 @@ type options struct {
 	addr                 string
 	pprofOn              bool
 	maxInFlight          int
+	maxBatch             int
+	cacheSize            int
 	requestTimeout       time.Duration
 	readTimeout          time.Duration
 	writeTimeout         time.Duration
@@ -66,6 +74,8 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.IntVar(&o.maxInFlight, "max-inflight", 256, "in-flight request cap before shedding with 503 (0 disables)")
+	flag.IntVar(&o.maxBatch, "max-batch", serve.DefaultMaxBatch, "entry cap per /recommend/batch request")
+	flag.IntVar(&o.cacheSize, "cache-size", serve.DefaultCacheSize, "top-K result cache entries (0 disables caching)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 10*time.Second, "per-request context deadline (0 disables)")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 10*time.Second, "http.Server ReadTimeout")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "http.Server WriteTimeout")
@@ -128,6 +138,10 @@ func run(o options) error {
 	server.SetLogger(logger)
 	server.MaxInFlight = o.maxInFlight
 	server.RequestTimeout = o.requestTimeout
+	if o.maxBatch > 0 {
+		server.MaxBatch = o.maxBatch
+	}
+	server.SetCacheSize(o.cacheSize)
 	model := server.Model()
 
 	ln, err := net.Listen("tcp", o.addr)

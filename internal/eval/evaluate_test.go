@@ -7,6 +7,8 @@ import (
 
 	"clapf/internal/dataset"
 	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/score"
 )
 
 // oracleScorer scores exactly the test positives highest.
@@ -215,6 +217,32 @@ func TestEvaluateParallelBitIdentical(t *testing.T) {
 				t.Fatalf("workers=%d diverges from serial:\n got  %+v\n want %+v",
 					workers, got, base)
 			}
+		}
+	}
+}
+
+// TestEvaluateBatchScorerBitIdentical pins down the chunked fast path:
+// evaluating through score.Engine (which implements BatchScorer) must
+// produce the exact same Result as evaluating the model directly through
+// ScoreAll — for the serial path and every worker count. If the blocked
+// kernel or the chunked claiming reordered a single float operation,
+// this would catch it.
+func TestEvaluateBatchScorerBitIdentical(t *testing.T) {
+	train, test := buildSplit(t)
+	m := mf.MustNew(mf.Config{
+		NumUsers: train.NumUsers(), NumItems: train.NumItems(),
+		Dim: 6, UseBias: true, InitStd: 0.1,
+	})
+	m.InitGaussian(mathx.NewRNG(9), 0.1)
+
+	base := Evaluate(m, train, test, Options{})
+	base.Timing = Timing{}
+	for _, workers := range []int{1, 2, 4, 64} {
+		got := Evaluate(score.NewEngine(m), train, test, Options{Workers: workers})
+		got.Timing = Timing{}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("engine eval (workers=%d) diverges from direct model eval:\n got  %+v\n want %+v",
+				workers, got, base)
 		}
 	}
 }

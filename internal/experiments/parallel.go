@@ -10,6 +10,7 @@ import (
 	"clapf/internal/core"
 	"clapf/internal/eval"
 	"clapf/internal/sampling"
+	"clapf/internal/score"
 )
 
 // ParallelBenchRow is one worker count's measured training throughput and
@@ -80,7 +81,10 @@ func RunParallelBench(s Setup, workerCounts []int, epochs int) (*ParallelBench, 
 		trainWall := time.Since(start)
 
 		start = time.Now()
-		res := eval.Evaluate(pt.Model(), train, test, eval.Options{
+		// Evaluate through the scoring engine so the eval sweep exercises
+		// the same blocked batch kernel the serve path uses; eval detects
+		// the BatchScorer interface and chunks users through it.
+		res := eval.Evaluate(score.NewEngine(pt.Model()), train, test, eval.Options{
 			Ks:       []int{5},
 			MaxUsers: s.EvalMaxUsers,
 			Workers:  w,

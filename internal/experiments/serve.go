@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"clapf/internal/datagen"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/serve"
+)
+
+// ServeBenchRow is one serving path's measured throughput and latency
+// distribution. Requests counts HTTP round trips; Recs counts
+// recommendation lists produced (for the batch path one request carries
+// many). Latency percentiles are per HTTP request.
+type ServeBenchRow struct {
+	Path        string  `json:"path"`
+	Requests    int     `json:"requests"`
+	Recs        int     `json:"recommendations"`
+	WallSeconds float64 `json:"wall_seconds"`
+	RecsPerSec  float64 `json:"users_per_sec"`
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+}
+
+// ServeBench is the serve-path load report: the same recommendation work
+// pushed through the single-request path, the batch endpoint, and the
+// warmed result cache, through the full production handler chain.
+type ServeBench struct {
+	Dataset       string          `json:"dataset"`
+	Users         int             `json:"users"`
+	Items         int             `json:"items"`
+	Dim           int             `json:"dim"`
+	K             int             `json:"k"`
+	BatchSize     int             `json:"batch_size"`
+	Cores         int             `json:"cores"`
+	Rows          []ServeBenchRow `json:"rows"`
+	BatchSpeedup  float64         `json:"batch_speedup_vs_single"`
+	CachedSpeedup float64         `json:"cached_speedup_vs_single"`
+}
+
+// serveBenchK is the top-k size every benchmark request asks for.
+const serveBenchK = 10
+
+// RunServeBench measures recommendation serving throughput with an
+// in-process load generator: a sequential keep-alive client drives the
+// real serve.Handler() stack — mux, hardening middleware, JSON codec —
+// over a loopback HTTP connection, so every request pays the transport
+// cost a production caller pays. Three phases serve the same number of
+// recommendation lists: one GET per user with the cache off, the batch
+// endpoint with batchSize entries per POST, and single GETs against a
+// warmed cache. The model is Gaussian-initialized rather than trained —
+// serving cost does not depend on parameter values.
+func RunServeBench(s Setup, requests, batchSize int) (*ServeBench, error) {
+	if requests < 1 {
+		return nil, fmt.Errorf("experiments: serve bench needs requests >= 1, got %d", requests)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("experiments: serve bench needs batch size >= 1, got %d", batchSize)
+	}
+	profile := s.Profile.Scaled(s.Scale)
+	world, err := datagen.Generate(profile, mathx.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	train := world.Data
+	const dim = 16
+	m := mf.MustNew(mf.Config{
+		NumUsers: train.NumUsers(), NumItems: train.NumItems(),
+		Dim: dim, UseBias: true, InitStd: 0.1,
+	})
+	m.InitGaussian(mathx.NewRNG(s.Seed+1), 0.1)
+	srv, err := serve.New(m, train)
+	if err != nil {
+		return nil, err
+	}
+	if batchSize > srv.MaxBatch {
+		srv.MaxBatch = batchSize
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	numUsers := train.NumUsers()
+
+	out := &ServeBench{
+		Dataset: s.Profile.Name, Users: numUsers, Items: train.NumItems(),
+		Dim: dim, K: serveBenchK, BatchSize: batchSize, Cores: runtime.NumCPU(),
+	}
+
+	// Phase 1: the sequential single-request path, cache off so every
+	// request pays the full score-and-rank cost.
+	srv.SetCacheSize(0)
+	single, err := driveSingle(client, ts.URL, numUsers, requests)
+	if err != nil {
+		return nil, err
+	}
+	single.Path = "single"
+	out.Rows = append(out.Rows, single)
+
+	// Phase 2: the same users through /recommend/batch, batchSize lists
+	// per POST. Still uncached — the speedup here is amortized transport
+	// and JSON overhead plus the blocked scoring kernel.
+	batch, err := driveBatch(client, ts.URL, numUsers, requests, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	batch.Path = "batch"
+	out.Rows = append(out.Rows, batch)
+
+	// Phase 3: single requests against a warmed cache — every request is
+	// a top-k lookup.
+	srv.SetCacheSize(serve.DefaultCacheSize)
+	if _, err := driveSingle(client, ts.URL, numUsers, numUsers); err != nil { // prime
+		return nil, err
+	}
+	cached, err := driveSingle(client, ts.URL, numUsers, requests)
+	if err != nil {
+		return nil, err
+	}
+	cached.Path = "cached"
+	out.Rows = append(out.Rows, cached)
+
+	if single.RecsPerSec > 0 {
+		out.BatchSpeedup = batch.RecsPerSec / single.RecsPerSec
+		out.CachedSpeedup = cached.RecsPerSec / single.RecsPerSec
+	}
+	return out, nil
+}
+
+// doTimed issues one request through the keep-alive client and returns
+// the client-observed latency: status line to fully drained body, the
+// cost a production caller pays per round trip.
+func doTimed(client *http.Client, method, url string, body []byte) (time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d := time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("experiments: %s %s returned %d", method, url, resp.StatusCode)
+	}
+	return d, nil
+}
+
+// driveSingle times n GET /recommend requests cycling through the user
+// base. Whether the run measures full score-and-rank cost or pure
+// cache-hit serving depends on the server's cache state when called.
+func driveSingle(client *http.Client, base string, numUsers, n int) (ServeBenchRow, error) {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%s/recommend?user=%d&k=%d", base, i%numUsers, serveBenchK)
+	}
+	for warm := 0; warm < 16; warm++ {
+		if _, err := doTimed(client, http.MethodGet, urls[warm%n], nil); err != nil {
+			return ServeBenchRow{}, err
+		}
+	}
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := doTimed(client, http.MethodGet, urls[i], nil)
+		if err != nil {
+			return ServeBenchRow{}, err
+		}
+		lat = append(lat, d)
+	}
+	return benchRow(lat, n), nil
+}
+
+// driveBatch times ceil(n/batchSize) POST /recommend/batch requests that
+// together serve n recommendation lists. Bodies are marshaled up front:
+// building the request is the client's cost, not the server's.
+func driveBatch(client *http.Client, base string, numUsers, n, batchSize int) (ServeBenchRow, error) {
+	url := base + "/recommend/batch"
+	var bodies [][]byte
+	for served := 0; served < n; {
+		count := batchSize
+		if n-served < count {
+			count = n - served
+		}
+		req := serve.BatchRequest{Requests: make([]serve.BatchEntry, count)}
+		for j := 0; j < count; j++ {
+			u := int32((served + j) % numUsers)
+			req.Requests[j] = serve.BatchEntry{User: &u, K: serveBenchK}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return ServeBenchRow{}, err
+		}
+		bodies = append(bodies, body)
+		served += count
+	}
+	for warm := 0; warm < 2; warm++ {
+		if _, err := doTimed(client, http.MethodPost, url, bodies[0]); err != nil {
+			return ServeBenchRow{}, err
+		}
+	}
+	lat := make([]time.Duration, 0, len(bodies))
+	for _, body := range bodies {
+		d, err := doTimed(client, http.MethodPost, url, body)
+		if err != nil {
+			return ServeBenchRow{}, err
+		}
+		lat = append(lat, d)
+	}
+	return benchRow(lat, n), nil
+}
+
+// benchRow folds per-request latencies into a report row serving recs
+// recommendation lists. Wall-clock is the sum of handler time, so the
+// in-process client's own bookkeeping does not dilute the measurement.
+func benchRow(lat []time.Duration, recs int) ServeBenchRow {
+	var wall time.Duration
+	for _, d := range lat {
+		wall += d
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	row := ServeBenchRow{
+		Requests:    len(lat),
+		Recs:        recs,
+		WallSeconds: wall.Seconds(),
+		P50ms:       percentileMs(lat, 50),
+		P95ms:       percentileMs(lat, 95),
+		P99ms:       percentileMs(lat, 99),
+	}
+	if wall > 0 {
+		row.RecsPerSec = float64(recs) / wall.Seconds()
+	}
+	return row
+}
+
+// percentileMs returns the nearest-rank p-th percentile of sorted
+// latencies, in milliseconds.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
+}
+
+// RenderServeBench prints the serving report as an aligned text table.
+func RenderServeBench(w io.Writer, b *ServeBench) error {
+	if _, err := fmt.Fprintf(w,
+		"serve bench on %s (%d users, %d items, dim %d, k=%d, batch=%d, %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Dim, b.K, b.BatchSize, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %9s %8s %12s %10s %10s %10s\n",
+		"path", "requests", "recs", "recs/s", "p50(ms)", "p95(ms)", "p99(ms)"); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		if _, err := fmt.Fprintf(w, "%-8s %9d %8d %12.0f %10.4f %10.4f %10.4f\n",
+			r.Path, r.Requests, r.Recs, r.RecsPerSec, r.P50ms, r.P95ms, r.P99ms); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "batch speedup vs single: %.2fx, cached: %.2fx\n",
+		b.BatchSpeedup, b.CachedSpeedup)
+	return err
+}
+
+// WriteServeBenchJSON emits the report as indented JSON (the
+// BENCH_serve.json payload of scripts/bench.sh).
+func WriteServeBenchJSON(w io.Writer, b *ServeBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

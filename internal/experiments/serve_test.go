@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The serve bench at toy scale: all three phases run through a live
+// loopback server, serve the requested number of lists, and produce
+// positive throughput and latency numbers. Speedup magnitudes are
+// hardware-dependent and asserted only by the committed BENCH_serve.json,
+// not here.
+func TestRunServeBenchSmoke(t *testing.T) {
+	setup, err := DefaultSetup("ML100K", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServeBench(setup, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(b.Rows))
+	}
+	wantPaths := []string{"single", "batch", "cached"}
+	for i, r := range b.Rows {
+		if r.Path != wantPaths[i] {
+			t.Errorf("row %d path = %q, want %q", i, r.Path, wantPaths[i])
+		}
+		if r.Recs != 40 {
+			t.Errorf("%s served %d lists, want 40", r.Path, r.Recs)
+		}
+		if r.RecsPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s has non-positive throughput: %+v", r.Path, r)
+		}
+		if r.P50ms <= 0 || r.P99ms < r.P50ms {
+			t.Errorf("%s percentiles implausible: p50=%v p99=%v", r.Path, r.P50ms, r.P99ms)
+		}
+	}
+	if b.Rows[1].Requests != 5 { // ceil(40/8)
+		t.Errorf("batch used %d requests, want 5", b.Rows[1].Requests)
+	}
+	if b.BatchSpeedup <= 0 || b.CachedSpeedup <= 0 {
+		t.Errorf("speedups not computed: batch=%v cached=%v", b.BatchSpeedup, b.CachedSpeedup)
+	}
+
+	var sb strings.Builder
+	if err := RenderServeBench(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"single", "batch", "cached", "speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+	var js strings.Builder
+	if err := WriteServeBenchJSON(&js, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"batch_speedup_vs_single"`, `"p99_ms"`, `"users_per_sec"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON report missing %s", want)
+		}
+	}
+}

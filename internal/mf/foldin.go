@@ -18,6 +18,13 @@ import (
 // over the *frozen* item factors, which is exactly one user half-step of
 // WMF's alternating least squares. The returned vector can be scored
 // against the model with ScoreFoldIn.
+//
+// Duplicate item ids in the history are collapsed before the solve: an
+// implicit-feedback history carries at most one observation per item, and
+// a repeated id would otherwise contribute its rank-one update twice —
+// silently double-weighting that item in the normal equations. Every
+// caller gets the deduped semantics, not just ones that sanitize their
+// input first.
 func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("mf: fold-in needs at least one interaction")
@@ -28,10 +35,15 @@ func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
 	d := m.Dim()
 	a := linalg.NewMatrix(d)
 	b := make([]float64, d)
+	seen := make(map[int32]bool, len(items))
 	for _, it := range items {
 		if it < 0 || int(it) >= m.NumItems() {
 			return nil, fmt.Errorf("mf: fold-in item %d out of range [0,%d)", it, m.NumItems())
 		}
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
 		vf := m.ItemFactors(it)
 		a.SymRankOne(1, vf)
 		mathx.AXPY(1-m.Bias(it), vf, b)

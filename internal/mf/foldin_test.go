@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"clapf/internal/linalg"
 	"clapf/internal/mathx"
 )
 
@@ -63,6 +64,52 @@ func TestFoldInFitsObservations(t *testing.T) {
 		if s := m.ScoreFoldIn(uf, it); math.Abs(s-1) > 0.5 {
 			t.Errorf("observed item %d scores %.3f, want ≈ 1", it, s)
 		}
+	}
+}
+
+// A history with duplicated ids must solve the same normal equations as
+// its deduped form: a repeated id may not double its rank-one update. The
+// round-trip is exact (identical accumulation order), so compare bitwise.
+func TestFoldInDedupesHistory(t *testing.T) {
+	m := trainedLikeModel(t)
+	unique := []int32{0, 5, 9}
+	withDups := []int32{0, 5, 0, 9, 5, 5, 0}
+	want, err := FoldInUser(m, unique, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FoldInUser(m, withDups, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range want {
+		if got[q] != want[q] {
+			t.Fatalf("factor %d: dup history solves to %v, unique to %v", q, got[q], want[q])
+		}
+	}
+	// The equality is not vacuous: actually double-weighting an item (two
+	// distinct rank-one updates of the same factors, as the old code did
+	// for a repeated id) moves the solution.
+	a := linalg.NewMatrix(m.Dim())
+	b := make([]float64, m.Dim())
+	for _, it := range []int32{0, 0, 5, 9} { // item 0 weighted twice
+		vf := m.ItemFactors(it)
+		a.SymRankOne(1, vf)
+		mathx.AXPY(1-m.Bias(it), vf, b)
+	}
+	a.AddDiagonal(0.1)
+	doubled, err := linalg.SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for q := range want {
+		if doubled[q] != want[q] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("sanity: double-weighting an item did not move the solve; the dedupe test proves nothing")
 	}
 }
 

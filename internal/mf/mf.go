@@ -155,6 +155,28 @@ func (m *Model) ScoreAll(u int32, out []float64) {
 	}
 }
 
+// ScoreRange fills out[lo:hi] with f_ui for items in [lo, hi). It computes
+// exactly the values ScoreAll would — same dot-product order, bit for bit —
+// so blocked callers (internal/score) can tile the item scan for cache
+// locality without perturbing any ranking downstream.
+func (m *Model) ScoreRange(u int32, lo, hi int, out []float64) {
+	if lo < 0 || hi > m.numItems || lo > hi {
+		panic(fmt.Sprintf("mf: ScoreRange [%d,%d) out of range [0,%d)", lo, hi, m.numItems))
+	}
+	if len(out) != m.numItems {
+		panic(fmt.Sprintf("mf: ScoreRange buffer has length %d, want %d", len(out), m.numItems))
+	}
+	uf := m.UserFactors(u)
+	for i := lo; i < hi; i++ {
+		off := i * m.dim
+		s := mathx.Dot(uf, m.v[off:off+m.dim])
+		if m.b != nil {
+			s += m.b[i]
+		}
+		out[i] = s
+	}
+}
+
 // FactorColumn copies latent factor q of every item into out (length
 // NumItems). The DSS and AoBPR samplers rank items by a single factor's
 // value; gathering the column once keeps their refresh pass linear.

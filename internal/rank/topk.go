@@ -4,7 +4,10 @@
 // samplers.
 package rank
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Entry pairs an item index with its score.
 type Entry struct {
@@ -14,14 +17,32 @@ type Entry struct {
 
 // TopK returns the k highest-scoring item indices, best first, skipping
 // items for which exclude returns true. Ties break toward the smaller item
-// id so results are deterministic. exclude may be nil.
+// id so results are deterministic. exclude may be nil; it is called at
+// most once per item, in increasing item order — callers filtering
+// against a sorted id list can use a stateful merge pointer instead of a
+// per-item binary search.
+//
+// Non-finite scores (NaN, ±Inf) are dropped: NaN violates the strict weak
+// ordering the heap relies on — one poisoned comparison can silently
+// corrupt the whole result — and an Inf score is always a diverged or
+// bit-flipped parameter, never a ranking signal. Callers that need to
+// observe how many were dropped use TopKDropped.
 //
 // It maintains a size-k min-heap over the scores, costing O(m log k) — the
 // difference between feasible and infeasible when the protocol ranks every
 // unobserved item for every test user.
 func TopK(scores []float64, k int, exclude func(item int32) bool) []Entry {
+	top, _ := TopKDropped(scores, k, exclude)
+	return top
+}
+
+// TopKDropped is TopK plus the number of non-excluded items whose scores
+// were dropped for being non-finite — the serve path counts and logs these
+// (clapf_nonfinite_scores_total) so a corrupted model is visible instead
+// of silently mis-ranking.
+func TopKDropped(scores []float64, k int, exclude func(item int32) bool) ([]Entry, int) {
 	if k <= 0 {
-		return nil
+		return nil, 0
 	}
 	h := make([]Entry, 0, k)
 	less := func(a, b Entry) bool {
@@ -59,9 +80,14 @@ func TopK(scores []float64, k int, exclude func(item int32) bool) []Entry {
 			i = s
 		}
 	}
+	dropped := 0
 	for i, sc := range scores {
 		it := int32(i)
 		if exclude != nil && exclude(it) {
+			continue
+		}
+		if math.IsNaN(sc) || math.IsInf(sc, 0) {
+			dropped++
 			continue
 		}
 		e := Entry{Item: it, Score: sc}
@@ -81,7 +107,7 @@ func TopK(scores []float64, k int, exclude func(item int32) bool) []Entry {
 		}
 		return h[i].Item < h[j].Item
 	})
-	return h
+	return h, dropped
 }
 
 // Ranks returns, for each requested item, its 1-based rank within the score

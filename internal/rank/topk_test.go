@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -80,6 +81,103 @@ func TestTopKMatchesFullSort(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TopK must survive models with non-finite parameters: NaN breaks the
+// heap's strict weak ordering and ±Inf is never a real ranking signal, so
+// both are dropped and counted rather than returned.
+func TestTopKNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name        string
+		scores      []float64
+		k           int
+		exclude     func(int32) bool
+		wantItems   []int32
+		wantDropped int
+	}{
+		{
+			name:        "nan-in-the-middle",
+			scores:      []float64{0.1, nan, 0.9, 0.5},
+			k:           3,
+			wantItems:   []int32{2, 3, 0},
+			wantDropped: 1,
+		},
+		{
+			name:        "nan-first-would-poison-heap-seed",
+			scores:      []float64{nan, 0.2, 0.8},
+			k:           2,
+			wantItems:   []int32{2, 1},
+			wantDropped: 1,
+		},
+		{
+			name:        "plus-inf-dropped-not-ranked-first",
+			scores:      []float64{inf, 0.3, 0.6},
+			k:           2,
+			wantItems:   []int32{2, 1},
+			wantDropped: 1,
+		},
+		{
+			name:        "minus-inf-dropped-not-padding-tail",
+			scores:      []float64{-inf, 0.3, 0.6},
+			k:           3,
+			wantItems:   []int32{2, 1},
+			wantDropped: 1,
+		},
+		{
+			name:        "all-non-finite",
+			scores:      []float64{nan, inf, -inf, nan},
+			k:           2,
+			wantItems:   nil,
+			wantDropped: 4,
+		},
+		{
+			name:        "excluded-non-finite-not-double-counted",
+			scores:      []float64{nan, 0.5, nan, 0.7},
+			k:           2,
+			exclude:     func(i int32) bool { return i == 0 },
+			wantItems:   []int32{3, 1},
+			wantDropped: 1, // item 0 is excluded before the finiteness check
+		},
+		{
+			name:        "all-tied-finite",
+			scores:      []float64{0.4, 0.4, 0.4, 0.4, 0.4},
+			k:           3,
+			wantItems:   []int32{0, 1, 2},
+			wantDropped: 0,
+		},
+		{
+			name:        "tied-with-nan-neighbors",
+			scores:      []float64{0.4, nan, 0.4, nan, 0.4},
+			k:           2,
+			wantItems:   []int32{0, 2},
+			wantDropped: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, dropped := TopKDropped(tc.scores, tc.k, tc.exclude)
+			if dropped != tc.wantDropped {
+				t.Errorf("dropped = %d, want %d", dropped, tc.wantDropped)
+			}
+			if len(got) != len(tc.wantItems) {
+				t.Fatalf("got %d entries (%v), want %d", len(got), got, len(tc.wantItems))
+			}
+			for i, e := range got {
+				if e.Item != tc.wantItems[i] {
+					t.Errorf("entry %d = item %d, want %d", i, e.Item, tc.wantItems[i])
+				}
+				if math.IsNaN(e.Score) || math.IsInf(e.Score, 0) {
+					t.Errorf("entry %d has non-finite score %v", i, e.Score)
+				}
+			}
+			// The plain TopK wrapper agrees with the counting variant.
+			plain := TopK(tc.scores, tc.k, tc.exclude)
+			if len(plain) != len(got) {
+				t.Errorf("TopK returned %d entries, TopKDropped %d", len(plain), len(got))
+			}
+		})
 	}
 }
 

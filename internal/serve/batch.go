@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"clapf/internal/score"
+)
+
+// maxBatchBody bounds the /recommend/batch request body. A full batch of
+// MaxBatch entries, each with a MaxHistory-item history of multi-digit
+// ids, fits comfortably; anything larger is hostile or misconfigured.
+const maxBatchBody = 8 << 20
+
+// BatchEntry is one recommendation request inside a batch: either a known
+// user id or a cold-start history, plus an optional per-entry k (0 means
+// the default of 10, values above MaxK are clamped, like the GET path).
+type BatchEntry struct {
+	User  *int32  `json:"user,omitempty"`
+	Items []int32 `json:"items,omitempty"`
+	K     int     `json:"k,omitempty"`
+}
+
+// BatchRequest is the /recommend/batch payload.
+type BatchRequest struct {
+	Requests []BatchEntry `json:"requests"`
+}
+
+// BatchResult is one entry's outcome. Exactly one of Items or Error is
+// meaningful: a malformed entry reports its error in place so the rest of
+// the batch still gets answers.
+type BatchResult struct {
+	User  *int32 `json:"user,omitempty"`
+	Items []Item `json:"items,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the /recommend/batch response; Results is parallel to
+// the request's Requests.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// handleRecommendBatch serves many recommendations from one request. The
+// whole batch runs against a single liveState snapshot, so every entry
+// sees the same model generation. Known-user entries are answered from
+// the cache where possible; the remaining users are scored together
+// through the engine's blocked batch kernel, which reads each tile of the
+// item-factor matrix once for the whole batch instead of once per user.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("malformed batch request: %v", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.MaxBatch {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d entries, limit %d", len(req.Requests), s.MaxBatch))
+		return
+	}
+
+	st := s.live.Load()
+	results := make([]BatchResult, len(req.Requests))
+
+	// Pass 1: validate every entry, answer cache hits, and collect the
+	// known users that still need scoring (deduped across entries — two
+	// entries for the same user share one score row).
+	type pendingKnown struct {
+		idx int
+		u   int32
+		k   int
+	}
+	var pending []pendingKnown
+	rowOf := make(map[int32]int) // user -> index into the score batch
+	var missUsers []int32
+	for idx, e := range req.Requests {
+		res := &results[idx]
+		k, err := clampBatchK(e.K, s.MaxK)
+		if err != nil {
+			res.Error = err.Error()
+			continue
+		}
+		switch {
+		case e.User != nil && len(e.Items) > 0:
+			res.Error = "pass either user or items, not both"
+		case e.User != nil:
+			u := *e.User
+			if u < 0 || int(u) >= st.model.NumUsers() {
+				res.Error = fmt.Sprintf("invalid user %d", u)
+				continue
+			}
+			res.User = e.User
+			if items, ok := st.cache.get(cacheKey{user: u, k: k}); ok {
+				s.cacheHits.Inc()
+				res.Items = items
+				continue
+			}
+			if st.cache != nil {
+				s.cacheMisses.Inc()
+			}
+			if _, ok := rowOf[u]; !ok {
+				rowOf[u] = len(missUsers)
+				missUsers = append(missUsers, u)
+			}
+			pending = append(pending, pendingKnown{idx: idx, u: u, k: k})
+		case len(e.Items) > 0:
+			history, err := dedupeIDs(e.Items, st.model.NumItems(), s.MaxHistory)
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			items, err := s.topKColdStart(st, history, k)
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			res.Items = items
+		default:
+			res.Error = "entry needs a user or a non-empty items history"
+		}
+	}
+
+	// Pass 2: one blocked, parallel scoring sweep over the cache misses.
+	if len(missUsers) > 0 {
+		rows := score.NewScoreRows(len(missUsers), st.model.NumItems())
+		st.eng.ScoreUsersParallel(missUsers, rows)
+		for _, p := range pending {
+			u := p.u
+			items := s.rankTopK(rows[rowOf[u]], p.k, excludeSorted(s.train.Positives(u)))
+			s.cacheEvictions.Add(uint64(st.cache.put(cacheKey{user: u, k: p.k}, items)))
+			results[p.idx].Items = items
+		}
+	}
+
+	s.writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// clampBatchK normalizes a batch entry's k exactly like parseK does for
+// the GET path: absent (0) means 10, above maxK clamps, negative is an
+// error.
+func clampBatchK(k, maxK int) (int, error) {
+	if k == 0 {
+		return 10, nil
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("invalid k %d", k)
+	}
+	if k > maxK {
+		k = maxK
+	}
+	return k, nil
+}

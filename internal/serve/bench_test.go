@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// benchServer builds a ML100K-quarter-scale server with a Gaussian model:
+// serving cost is independent of parameter values, so no training needed.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "bench", Users: 235, Items: 420, Pairs: 8000,
+		ZipfExp: 0.6, Dim: 4, Affinity: 6,
+	}, mathx.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mf.MustNew(mf.Config{NumUsers: 235, NumItems: 420, Dim: 16, UseBias: true, InitStd: 0.1})
+	m.InitGaussian(mathx.NewRNG(4), 0.1)
+	s, err := New(m, w.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSingleGet is the uncached single-request handler cost —
+// compare per-entry against BenchmarkBatchPost64/64 to see the
+// amortization the batch endpoint buys before transport is even counted.
+func BenchmarkSingleGet(b *testing.B) {
+	s := benchServer(b)
+	s.SetCacheSize(0)
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/recommend?user=3&k=10", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkCachedGet is the same request against a warmed result cache.
+func BenchmarkCachedGet(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/recommend?user=3&k=10", nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/recommend?user=3&k=10", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkBatchPost64 serves 64 uncached recommendation lists per
+// operation through /recommend/batch.
+func BenchmarkBatchPost64(b *testing.B) {
+	s := benchServer(b)
+	s.SetCacheSize(0)
+	h := s.Handler()
+	req := BatchRequest{Requests: make([]BatchEntry, 64)}
+	for j := range req.Requests {
+		u := int32(j % 200)
+		req.Requests[j] = BatchEntry{User: &u, K: 10}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/recommend/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of finished top-K responses keyed on
+// (user id, k). It holds no generation field on purpose: invalidation is
+// structural. Each liveState owns exactly one cache, created empty when
+// the model is installed, and a model swap replaces the whole liveState
+// pointer atomically — so a request that loaded the old state keeps
+// reading (and even writing) the old cache, which is then garbage, while
+// no request holding the new state can ever observe a pre-swap entry.
+//
+// Only known-user requests are cached: cold-start histories are free-form
+// and would make the key space unbounded.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	user int32
+	k    int
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	items []Item
+}
+
+// newResultCache returns a cache bounded to capacity entries, or nil when
+// capacity <= 0 (caching disabled; all lookups miss).
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached items for key, marking it most-recently used.
+// The returned slice is shared and must be treated as immutable.
+func (c *resultCache) get(key cacheKey) ([]Item, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).items, true
+}
+
+// put stores items under key and reports how many entries were evicted to
+// stay within capacity (0 or 1). Re-putting an existing key refreshes it.
+func (c *resultCache) put(key cacheKey, items []Item) (evicted int) {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).items = items
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, items: items})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// size returns the current entry count.
+func (c *resultCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

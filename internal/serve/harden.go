@@ -56,6 +56,7 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 		return next
 	}
 	sem := make(chan struct{}, s.MaxInFlight)
+	s.shedSem = sem // exposed so tests can saturate the full handler chain
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if exemptFromHardening(r.URL.Path) {
 			next.ServeHTTP(w, r)

@@ -225,12 +225,19 @@ func TestHistoryBoundAndDedupe(t *testing.T) {
 	s, _ := testServer(t)
 	h := s.Handler()
 
-	// A history over the cap is a 400, cheaply.
+	// The cap applies to *distinct* items: five distinct ids over a cap of
+	// four is a 400 ...
 	s.MaxHistory = 4
-	long := "/recommend?items=" + strings.Repeat("1,", 4) + "2"
-	rec, _ := get(t, h, long)
+	rec, _ := get(t, h, "/recommend?items=1,2,3,4,5")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("over-limit history: status = %d, want 400", rec.Code)
+	}
+	// ... but a long list that dedupes to within the cap is accepted: a
+	// re-view-padded history must not be rejected for its raw length.
+	long := "/recommend?items=" + strings.Repeat("1,", 10) + "2"
+	rec, _ = get(t, h, long)
+	if rec.Code != http.StatusOK {
+		t.Errorf("dedupes-under-cap history: status = %d, want 200", rec.Code)
 	}
 
 	// Duplicates collapse: 1,1,2,1 is the history {1,2}.

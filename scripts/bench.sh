@@ -1,12 +1,20 @@
 #!/bin/sh
-# bench.sh — parallel-scaling benchmark harness. Trains the same CLAPF
-# configuration at several worker counts and writes the machine-readable
-# report to BENCH_parallel.json (steps/sec, speedup vs one worker, and
-# parallel-eval wall-time per worker count). The report's "cores" field
-# records the machine it ran on: speedup is bounded by physical cores, so
-# interpret the ratios against that number, not in the abstract.
+# bench.sh — benchmark harness. Runs two machine-readable benchmarks:
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json]
+#   BENCH_parallel.json — trains the same CLAPF configuration at several
+#   worker counts (steps/sec, speedup vs one worker, parallel-eval
+#   wall-time per worker count).
+#
+#   BENCH_serve.json — drives the recommendation HTTP stack over a
+#   loopback connection and compares the sequential single-request path
+#   against the /recommend/batch endpoint and the warmed top-K cache
+#   (QPS plus p50/p95/p99 per path).
+#
+# Both reports carry a "cores" field recording the machine they ran on:
+# speedup is bounded by physical cores, so interpret the ratios against
+# that number, not in the abstract.
+#
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,9 +23,15 @@ WORKERS="${1:-1,2,4}"
 SCALE="${2:-0.25}"
 EPOCHS="${3:-30}"
 OUT="${4:-BENCH_parallel.json}"
+SERVE_OUT="${5:-BENCH_serve.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
 	-workers "$WORKERS" -json "$OUT"
 
 echo "wrote $OUT"
+
+go run ./cmd/clapf-bench -exp serve -dataset ML100K \
+	-scale "$SCALE" -requests 1500 -batch 64 -json "$SERVE_OUT"
+
+echo "wrote $SERVE_OUT"

@@ -19,3 +19,10 @@ go test -race -shuffle=on ./...
 # inputs against the corrupt-file handling, on top of the seed corpus the
 # regular tests already replay.
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=5s ./internal/store
+
+# Serve load-test smoke: a tiny single/batch/cached sweep through a live
+# loopback server, so a serving regression fails the gate before the full
+# scripts/bench.sh run would catch it.
+go run ./cmd/clapf-bench -exp serve -dataset ML100K -scale 0.05 \
+	-requests 60 -batch 16 >/dev/null
+echo "serve smoke ok"
