@@ -10,14 +10,18 @@
 //	clapf-bench -exp fig4   -dataset ML100K [-scale 0.25] [-csv]
 //	clapf-bench -exp parallel -dataset ML100K [-workers 1,2,4] [-json out.json]
 //	clapf-bench -exp serve    -dataset ML100K [-requests 2000] [-batch 64] [-json out.json]
+//	clapf-bench -exp guard    -dataset ML100K [-workers 1,2,4] [-clip-norm 10] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
 // parallel experiment measures Hogwild training and evaluation scaling
 // across worker counts; the serve experiment drives the recommendation
 // HTTP stack in-process and compares single, batch, and cached serving
-// throughput. For both, -json additionally writes the machine-readable
-// report consumed by scripts/bench.sh.
+// throughput; the guard experiment reruns the parallel workload with the
+// training guardrails armed (loss watchdog, non-finite sentinels, gradient
+// clipping) and reports the throughput overhead. For these, -json
+// additionally writes the machine-readable report consumed by
+// scripts/bench.sh.
 package main
 
 import (
@@ -35,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -47,16 +51,17 @@ func main() {
 		jsonOut = flag.String("json", "", "also write the parallel/serve report as JSON to this path (- = stdout)")
 		reqs    = flag.Int("requests", 2000, "recommendation lists to serve per phase for -exp serve")
 		batch   = flag.Int("batch", 64, "entries per /recommend/batch request for -exp serve")
+		clip    = flag.Float64("clip-norm", 10, "gradient clip threshold for the guarded arm of -exp guard")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -161,8 +166,24 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 			return experiments.WriteServeBenchJSON(w, bench)
 		})
 
+	case "guard":
+		counts, err := parseWorkerCounts(workers)
+		if err != nil {
+			return err
+		}
+		bench, err := experiments.RunGuardBench(setup, counts, epochs, clipNorm)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderGuardBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteGuardBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard)", exp)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	            [-lambda 0.4] [-dss] [-epochs 30] [-out model.clapf]
 //	            [-log-every N] [-metrics-out telemetry.json]
 //	            [-workers N] [-prom-out metrics.prom]
+//	            [-clip-norm C] [-watchdog] [-max-rollbacks N]
 //
 // -workers N > 1 trains with lock-free Hogwild SGD: users are sharded
 // across N goroutines, item factors are updated with element-wise atomic
@@ -40,6 +41,17 @@
 // or corrupt files, after verifying the checkpoint belongs to the same
 // dataset and hyper-parameters. Parallel checkpoints record per-worker
 // RNG streams, so resuming requires the same -workers value.
+//
+// Training guardrails: -clip-norm C bounds the L2 norm of each update's
+// data-term gradient (0 disables; clipped updates are counted in
+// clapf_grad_clip_total). -watchdog arms divergence detection — per-step
+// non-finite risk sentinels, sampled parameter health scans, and a
+// smoothed-loss rise watchdog — and requires -checkpoint-dir: when a
+// guard trips, training rolls back to the newest good checkpoint, halves
+// the learning rate, and resumes, at most -max-rollbacks times before the
+// run fails with a diagnostic report. Every checkpoint write is gated on
+// a full parameter scan, so checkpoints are clean rollback targets by
+// construction.
 package main
 
 import (
@@ -55,6 +67,7 @@ import (
 	"time"
 
 	"clapf"
+	"clapf/internal/guard"
 	"clapf/internal/obs"
 	"clapf/internal/store"
 )
@@ -80,6 +93,9 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	flag.IntVar(&o.workers, "workers", 1, "parallel training workers (1 = serial and bit-deterministic; >1 = lock-free Hogwild, statistically equivalent)")
 	flag.StringVar(&o.promOut, "prom-out", "", "write Prometheus-format training metrics here after training (optional)")
+	flag.Float64Var(&o.clipNorm, "clip-norm", 0, "L2 bound on each update's data-term gradient (0 = no clipping)")
+	flag.BoolVar(&o.watchdog, "watchdog", false, "arm divergence detection with automatic checkpoint rollback (requires -checkpoint-dir)")
+	flag.IntVar(&o.maxRollbacks, "max-rollbacks", 3, "automatic rollbacks before a tripped run fails")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -106,6 +122,9 @@ type options struct {
 	resume              bool
 	workers             int
 	promOut             string
+	clipNorm            float64
+	watchdog            bool
+	maxRollbacks        int
 
 	// stopCh overrides the OS signal channel in tests; nil installs a real
 	// SIGINT/SIGTERM handler.
@@ -145,15 +164,15 @@ type telemetryDump struct {
 }
 
 // sgdTrainer is the surface shared by the serial and parallel trainers;
-// run is generic over it, while checkpointing type-switches to reach the
-// two Snapshot/Restore shapes.
+// run, checkpointing, and the guard supervisor are all generic over it
+// (it subsumes guard.Trainee).
 type sgdTrainer interface {
-	RunSteps(n int)
-	StepsDone() int
-	Model() *clapf.Model
+	guard.Trainee
 	SmoothedLoss() float64
 	SetStatsHook(every int, fn clapf.StatsHook) error
 	InstrumentSampler(pos, neg *obs.Histogram)
+	SetGuard(cfg guard.Config, m *guard.Metrics) error
+	MetaSnapshot() *store.Meta
 }
 
 func run(w io.Writer, o options) error {
@@ -182,12 +201,19 @@ func run(w io.Writer, o options) error {
 	cfg.LearnRate = o.rate
 	cfg.RegUser, cfg.RegItem, cfg.RegBias = o.reg, o.reg, o.reg
 	cfg.Seed = o.seed
+	cfg.ClipNorm = o.clipNorm
 	if o.dss {
 		cfg.Sampler.Strategy = clapf.SamplerDSS
 	}
 
 	if o.workers < 1 {
 		return fmt.Errorf("-workers %d: want >= 1", o.workers)
+	}
+	if o.watchdog && o.checkpointDir == "" {
+		return fmt.Errorf("-watchdog needs a rollback target: pass -checkpoint-dir")
+	}
+	if o.maxRollbacks < 0 {
+		return fmt.Errorf("-max-rollbacks %d: want >= 0", o.maxRollbacks)
 	}
 	var trainer sgdTrainer
 	var parallel *clapf.ParallelTrainer
@@ -214,6 +240,34 @@ func run(w io.Writer, o options) error {
 		registry.NewGaugeFunc("clapf_train_workers",
 			"Hogwild training workers in the current run.",
 			func() float64 { return 1 })
+	}
+
+	// Guardrails: a guard is installed whenever clipping or the watchdog is
+	// on (clipping alone still wants its counter flushed); the supervisor
+	// only exists when the watchdog can roll back to checkpoints.
+	var sup *guard.Supervisor
+	if o.watchdog || o.clipNorm > 0 {
+		gm := guard.NewMetrics(registry)
+		// The library default cadence (16384 steps) is tuned for
+		// million-step runs; on a short run its 2×CheckEvery warmup would
+		// suppress loss-rise detection entirely. The total step count is
+		// known here, so clamp the cadence to 1/16 of the run — long runs
+		// keep the cheap default, short runs still get several checks.
+		gcfg := guard.Config{Watchdog: o.watchdog}
+		if clamp := cfg.Steps / 16; clamp > 0 && clamp < guard.DefaultCheckEvery {
+			gcfg.CheckEvery = clamp
+		}
+		if err := trainer.SetGuard(gcfg, gm); err != nil {
+			return err
+		}
+		if o.watchdog {
+			sup = &guard.Supervisor{
+				Dir:          o.checkpointDir,
+				MaxRollbacks: o.maxRollbacks,
+				Metrics:      gm,
+				Log:          obs.NewTextLogger(w, slog.LevelInfo),
+			}
+		}
 	}
 
 	// Telemetry: one structured line per interval, accumulated for the
@@ -266,11 +320,17 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps, %d worker(s)\n",
 		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps, o.workers)
 	start := time.Now()
-	interrupted, err := trainLoop(w, trainer, train, o, cfg, stop)
+	interrupted, err := trainLoop(w, trainer, train, o, cfg, stop, sup)
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
+	if sup != nil {
+		if rb := sup.Report().Rollbacks; len(rb) > 0 {
+			fmt.Fprintf(w, "guard: recovered from %d rollback(s); final learning rate %g\n",
+				len(rb), rb[len(rb)-1].LearnRate)
+		}
+	}
 
 	sps := 0.0
 	if secs := wall.Seconds(); secs > 0 {
@@ -372,7 +432,9 @@ func run(w io.Writer, o options) error {
 // set, a durable checkpoint is written every checkpoint interval and at
 // the end of training. On a stop signal the current batch finishes, a
 // final checkpoint is written, and the loop reports interrupted=true.
-func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal) (interrupted bool, err error) {
+// With a guard supervisor, trips are recovered at batch boundaries and
+// every checkpoint write is gated on a full parameter scan.
+func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal, sup *guard.Supervisor) (interrupted bool, err error) {
 	ckptEvery := o.checkpointEvery
 	if ckptEvery <= 0 {
 		ckptEvery = train.NumPairs() // one epoch-equivalent
@@ -385,6 +447,38 @@ func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options,
 		batch = maxBatch
 	}
 	lastCkpt := trainer.StepsDone()
+	// writeGated persists a generation, refusing (and recovering from) a
+	// poisoned model when supervised. report=true echoes the path.
+	writeGated := func(report bool) error {
+		if sup != nil {
+			ok, gateErr := sup.GateCheckpoint(trainer)
+			if gateErr != nil {
+				return gateErr
+			}
+			if !ok {
+				fmt.Fprintf(w, "guard: poisoned parameters caught at the checkpoint gate; rolled back to step %d\n",
+					trainer.StepsDone())
+				lastCkpt = trainer.StepsDone()
+				return nil
+			}
+		}
+		path, ckptErr := writeCheckpoint(trainer, train, o, cfg)
+		if ckptErr != nil {
+			return ckptErr
+		}
+		lastCkpt = trainer.StepsDone()
+		if report {
+			fmt.Fprintf(w, "checkpoint written to %s\n", path)
+		}
+		return nil
+	}
+	// An armed watchdog needs a rollback target before the first trip can
+	// land; resumed runs already have one, fresh runs get one up front.
+	if sup != nil && lastCkpt == 0 {
+		if err := writeGated(false); err != nil {
+			return false, err
+		}
+	}
 	for trainer.StepsDone() < cfg.Steps {
 		n := cfg.Steps - trainer.StepsDone()
 		if n > batch {
@@ -397,15 +491,26 @@ func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options,
 			fmt.Fprintf(w, "caught %s at step %d\n", sig, trainer.StepsDone())
 		default:
 		}
-		done := trainer.StepsDone() >= cfg.Steps
-		if o.checkpointDir != "" && (interrupted || done || trainer.StepsDone()-lastCkpt >= ckptEvery) {
-			path, err := writeCheckpoint(trainer, train, o, cfg)
+		if sup != nil {
+			recovered, err := sup.HandleTrip(trainer)
 			if err != nil {
 				return interrupted, err
 			}
-			lastCkpt = trainer.StepsDone()
-			if interrupted || done {
-				fmt.Fprintf(w, "checkpoint written to %s\n", path)
+			if recovered {
+				rb := sup.Report().Rollbacks
+				ev := rb[len(rb)-1]
+				fmt.Fprintf(w, "guard: %s; rolled back to step %d, learning rate now %g\n",
+					ev.Trip.String(), ev.CheckpointStep, ev.LearnRate)
+				lastCkpt = trainer.StepsDone()
+				if !interrupted {
+					continue
+				}
+			}
+		}
+		done := trainer.StepsDone() >= cfg.Steps
+		if o.checkpointDir != "" && (interrupted || done || trainer.StepsDone()-lastCkpt >= ckptEvery) {
+			if err := writeGated(interrupted || done); err != nil {
+				return interrupted, err
 			}
 		}
 		if interrupted || done {
@@ -427,6 +532,9 @@ func hyperMap(o options) map[string]string {
 		"reg":     fmt.Sprintf("%g", o.reg),
 		"seed":    fmt.Sprintf("%d", o.seed),
 		"workers": fmt.Sprintf("%d", o.workers),
+		// Clipping alters the trajectory, so a resume must match it; old
+		// checkpoints without the key resume freely.
+		"clip_norm": fmt.Sprintf("%g", o.clipNorm),
 	}
 }
 
@@ -435,39 +543,11 @@ func hyperMap(o options) map[string]string {
 // trainers are quiescent between RunSteps calls, so snapshotting here is
 // always safe — parallel workers included.
 func writeCheckpoint(trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config) (string, error) {
-	meta := &store.Meta{
-		TotalSteps:      cfg.Steps,
-		DataFingerprint: train.Fingerprint(),
-		Hyper:           hyperMap(o),
-	}
-	switch tr := trainer.(type) {
-	case *clapf.Trainer:
-		st := tr.Snapshot()
-		meta.Epoch = st.Step / train.NumPairs()
-		meta.Step = st.Step
-		meta.RNG = st.RNG[:]
-		meta.SamplerRNG = st.Sampler.RNG[:]
-		meta.SamplerSteps = st.Sampler.Steps
-		meta.LossEWMA = st.LossEWMA
-		meta.LossN = st.LossN
-	case *clapf.ParallelTrainer:
-		st := tr.Snapshot()
-		meta.Epoch = st.Step / train.NumPairs()
-		meta.Step = st.Step
-		meta.LossEWMA = st.LossEWMA
-		meta.LossN = st.LossN
-		meta.SinceRefresh = st.SinceRefresh
-		meta.Workers = make([]store.WorkerMeta, len(st.Workers))
-		for i := range st.Workers {
-			meta.Workers[i] = store.WorkerMeta{
-				RNG:          st.Workers[i].RNG[:],
-				SamplerRNG:   st.Workers[i].Sampler.RNG[:],
-				SamplerSteps: st.Workers[i].Sampler.Steps,
-			}
-		}
-	default:
-		return "", fmt.Errorf("unknown trainer type %T", trainer)
-	}
+	meta := trainer.MetaSnapshot()
+	meta.Epoch = meta.Step / train.NumPairs()
+	meta.TotalSteps = cfg.Steps
+	meta.DataFingerprint = train.Fingerprint()
+	meta.Hyper = hyperMap(o)
 	return store.WriteCheckpoint(o.checkpointDir, trainer.Model(), meta, o.checkpointKeep)
 }
 
@@ -489,60 +569,15 @@ func resumeFromCheckpoint(w io.Writer, trainer sgdTrainer, train *clapf.Dataset,
 	if err := hyperCompatible(meta.Hyper, hyperMap(o)); err != nil {
 		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
 	}
-	switch tr := trainer.(type) {
-	case *clapf.Trainer:
-		if len(meta.Workers) > 0 {
-			return fmt.Errorf("resume: checkpoint %s is from a %d-worker parallel run; pass -workers %d",
-				path, len(meta.Workers), len(meta.Workers))
-		}
-		rng, err := rngWords(meta.RNG, "rng")
-		if err != nil {
-			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-		}
-		samplerRNG, err := rngWords(meta.SamplerRNG, "sampler_rng")
-		if err != nil {
-			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-		}
-		st := clapf.TrainerState{
-			Step:     meta.Step,
-			RNG:      rng,
-			Sampler:  clapf.SamplerState{RNG: samplerRNG, Steps: meta.SamplerSteps},
-			LossEWMA: meta.LossEWMA,
-			LossN:    meta.LossN,
-		}
-		if err := tr.Restore(st, model); err != nil {
-			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-		}
-	case *clapf.ParallelTrainer:
-		if len(meta.Workers) == 0 {
-			return fmt.Errorf("resume: checkpoint %s is from a serial run; pass -workers 1", path)
-		}
-		st := clapf.ParallelTrainerState{
-			Step:         meta.Step,
-			SinceRefresh: meta.SinceRefresh,
-			LossEWMA:     meta.LossEWMA,
-			LossN:        meta.LossN,
-			Workers:      make([]clapf.ParallelWorkerState, len(meta.Workers)),
-		}
-		for i, wm := range meta.Workers {
-			rng, err := rngWords(wm.RNG, fmt.Sprintf("worker %d rng", i))
-			if err != nil {
-				return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-			}
-			samplerRNG, err := rngWords(wm.SamplerRNG, fmt.Sprintf("worker %d sampler_rng", i))
-			if err != nil {
-				return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-			}
-			st.Workers[i] = clapf.ParallelWorkerState{
-				RNG:     rng,
-				Sampler: clapf.SamplerState{RNG: samplerRNG, Steps: wm.SamplerSteps},
-			}
-		}
-		if err := tr.Restore(st, model); err != nil {
-			return fmt.Errorf("resume: checkpoint %s: %w", path, err)
-		}
-	default:
-		return fmt.Errorf("resume: unknown trainer type %T", trainer)
+	// Topology mismatches get actionable guidance before the restore would
+	// reject them with the same diagnosis.
+	if n := len(meta.Workers); n > 0 && o.workers == 1 {
+		return fmt.Errorf("resume: checkpoint %s is from a %d-worker parallel run; pass -workers %d", path, n, n)
+	} else if n == 0 && o.workers > 1 {
+		return fmt.Errorf("resume: checkpoint %s is from a serial run; pass -workers 1", path)
+	}
+	if err := trainer.RestoreFromMeta(model, meta); err != nil {
+		return fmt.Errorf("resume: checkpoint %s: %w", path, err)
 	}
 	fmt.Fprintf(w, "resumed from %s at step %d (epoch %d)\n", path, meta.Step, meta.Epoch)
 	return nil
@@ -557,16 +592,6 @@ func hyperCompatible(ckpt, now map[string]string) error {
 		}
 	}
 	return nil
-}
-
-// rngWords converts a checkpoint's RNG word list into generator state.
-func rngWords(words []uint64, field string) ([4]uint64, error) {
-	var s [4]uint64
-	if len(words) != 4 {
-		return s, fmt.Errorf("%s has %d state words, want 4", field, len(words))
-	}
-	copy(s[:], words)
-	return s, nil
 }
 
 func loadTSV(path string) (*clapf.Dataset, error) {

@@ -501,3 +501,105 @@ func TestParallelCheckpointResume(t *testing.T) {
 		t.Error("resume with a different worker count succeeded")
 	}
 }
+
+func TestWatchdogFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	writeDataset(t, trainPath, 40)
+
+	o := baseOptions(trainPath)
+	o.watchdog = true
+	err := run(io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Errorf("-watchdog without -checkpoint-dir: err = %v", err)
+	}
+
+	o = baseOptions(trainPath)
+	o.watchdog = true
+	o.checkpointDir = filepath.Join(dir, "ckpt")
+	o.maxRollbacks = -1
+	if err := run(io.Discard, o); err == nil {
+		t.Error("-max-rollbacks -1 accepted")
+	}
+}
+
+func TestClipNormCountsClips(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	promPath := filepath.Join(dir, "m.prom")
+	writeDataset(t, trainPath, 41)
+
+	o := baseOptions(trainPath)
+	o.epochs = 3
+	o.clipNorm = 0.001
+	o.promOut = promPath
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^clapf_grad_clip_total (\d+)$`).FindSubmatch(prom)
+	if m == nil {
+		t.Fatalf("clapf_grad_clip_total missing from:\n%s", prom)
+	}
+	if string(m[1]) == "0" {
+		t.Error("tight -clip-norm never clipped an update")
+	}
+}
+
+func TestWatchdogCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	promPath := filepath.Join(dir, "m.prom")
+	writeDataset(t, trainPath, 42)
+
+	var out bytes.Buffer
+	o := baseOptions(trainPath)
+	o.watchdog = true
+	o.checkpointDir = filepath.Join(dir, "ckpt")
+	o.promOut = promPath
+	if err := run(&out, o); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "rolled back") {
+		t.Errorf("healthy run rolled back:\n%s", out.String())
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clapf_train_rollbacks_total 0", "clapf_train_health 1"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics lack %q:\n%s", want, prom)
+		}
+	}
+	// The up-front gated checkpoint plus the per-epoch cadence must all be
+	// resumable generations.
+	if _, _, _, _, err := store.LatestCheckpoint(o.checkpointDir); err != nil {
+		t.Errorf("no usable checkpoint after a watchdog run: %v", err)
+	}
+}
+
+func TestResumeRefusesClipNormChange(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.tsv")
+	writeDataset(t, trainPath, 43)
+
+	o := baseOptions(trainPath)
+	o.checkpointDir = filepath.Join(dir, "ckpt")
+	o.epochs = 2
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	// Clipping changes the trajectory: resuming an unclipped checkpoint
+	// under -clip-norm must be refused like any other hyper change.
+	o.resume = true
+	o.epochs = 4
+	o.clipNorm = 0.5
+	err := run(io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "clip_norm") {
+		t.Errorf("clip-norm change resumed: %v", err)
+	}
+}

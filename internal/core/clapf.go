@@ -17,9 +17,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"clapf/internal/dataset"
+	"clapf/internal/guard"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
 	"clapf/internal/sampling"
@@ -43,6 +45,12 @@ type Config struct {
 	Dim int
 	// InitStd is the factor initialization scale.
 	InitStd float64
+	// ClipNorm, when positive, bounds the L2 norm of each update's
+	// data-term gradient: the Eq. 23 multiplier g is scaled down whenever
+	// ‖(1−σ(R))·∂R/∂Θ‖ would exceed ClipNorm, leaving update directions
+	// untouched. The regularization term is excluded — it contracts
+	// toward zero and cannot diverge. 0 disables clipping.
+	ClipNorm float64
 	// UseBias enables the per-item bias b_i of the predictor.
 	UseBias bool
 	// Steps is the total number of SGD updates.
@@ -74,6 +82,26 @@ func DefaultConfig(variant sampling.Objective, trainPairs int) Config {
 
 // Validate reports the first problem with the configuration.
 func (c Config) Validate() error {
+	// NaN fails every ordered comparison, so the range checks below would
+	// wave a NaN hyper-parameter straight through to the update loop (and
+	// ±Inf passes a one-sided bound outright). Reject non-finite values
+	// explicitly first.
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"Lambda", c.Lambda},
+		{"LearnRate", c.LearnRate},
+		{"RegUser", c.RegUser},
+		{"RegItem", c.RegItem},
+		{"RegBias", c.RegBias},
+		{"InitStd", c.InitStd},
+		{"ClipNorm", c.ClipNorm},
+	} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Errorf("core: %s = %v, want finite", f.name, f.value)
+		}
+	}
 	switch {
 	case c.Lambda < 0 || c.Lambda > 1:
 		return fmt.Errorf("core: Lambda = %v, want [0,1]", c.Lambda)
@@ -81,6 +109,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: LearnRate = %v, want > 0", c.LearnRate)
 	case c.RegUser < 0 || c.RegItem < 0 || c.RegBias < 0:
 		return fmt.Errorf("core: negative regularization")
+	case c.ClipNorm < 0:
+		return fmt.Errorf("core: ClipNorm = %v, want >= 0", c.ClipNorm)
 	case c.Dim <= 0:
 		return fmt.Errorf("core: Dim = %d, want > 0", c.Dim)
 	case c.InitStd < 0:
@@ -102,6 +132,11 @@ type Trainer struct {
 
 	stepsDone int
 	gradMag   mathx.OnlineStats // running mean of 1−σ(R), Eq. 23's scalar
+	wv        []float64         // scratch a·V_i+b·V_k+c·V_j, shared by clip and update
+
+	// Guardrails (see guarded.go); nil until SetGuard installs them.
+	gd    *guardState
+	clips uint64 // lifetime norm-clipped updates (counted whenever ClipNorm > 0)
 
 	// Telemetry (see stats.go); inactive until SetStatsHook installs a
 	// hook, so the bare training loop pays nothing.
@@ -165,6 +200,7 @@ func NewTrainer(cfg Config, train *dataset.Dataset) (*Trainer, error) {
 		sampler: sampler,
 		rng:     rng,
 		pairs:   pairs,
+		wv:      make([]float64, cfg.Dim),
 	}, nil
 }
 
@@ -190,10 +226,17 @@ func (t *Trainer) Run() {
 }
 
 // RunSteps performs n SGD updates (useful for convergence traces that
-// evaluate between chunks).
+// evaluate between chunks). A tripped guard stops the loop early; the
+// caller observes the trip via GuardTrip.
 func (t *Trainer) RunSteps(n int) {
 	for s := 0; s < n; s++ {
+		if t.gd != nil && t.gd.trip != nil {
+			break
+		}
 		t.Step()
+	}
+	if t.gd != nil {
+		t.gd.flushClips(t.clips)
 	}
 }
 
@@ -209,6 +252,9 @@ func (t *Trainer) Step() {
 	t.stepsDone++
 	if t.hook != nil {
 		t.maybeFireHook()
+	}
+	if t.gd != nil {
+		t.gd.maybeCheck(t.stepsDone, t.lossEWMA, t.lossN, t.clips, t.model)
 	}
 }
 
@@ -230,13 +276,39 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 	vk := t.model.ItemFactors(tr.K)
 	vj := t.model.ItemFactors(tr.J)
 
-	r := a*(mathx.Dot(uf, vi)+t.model.Bias(tr.I)) +
-		b*(mathx.Dot(uf, vk)+t.model.Bias(tr.K)) +
-		c*(mathx.Dot(uf, vj)+t.model.Bias(tr.J))
+	// With clipping armed, one fused sweep yields the risk dot products
+	// (bit-identical to mathx.Dot) plus the clip norm terms and the w
+	// buffer; without it, the three plain dots.
+	cn := t.cfg.ClipNorm
+	var r, wsq, usq float64
+	if cn > 0 {
+		var di, dk, dj float64
+		di, dk, dj, wsq, usq = riskAndClipTerms(a, b, c, uf, vi, vk, vj, t.wv)
+		r = a*(di+t.model.Bias(tr.I)) +
+			b*(dk+t.model.Bias(tr.K)) +
+			c*(dj+t.model.Bias(tr.J))
+	} else {
+		r = a*(mathx.Dot(uf, vi)+t.model.Bias(tr.I)) +
+			b*(mathx.Dot(uf, vk)+t.model.Bias(tr.K)) +
+			c*(mathx.Dot(uf, vj)+t.model.Bias(tr.J))
+	}
+
+	if t.gd != nil && t.gd.watching() && !isFinite(r) {
+		// Applying this update would spread the poison to three more item
+		// rows; record the trip and leave the parameters as they are.
+		t.gd.trip = &guard.Trip{Step: t.stepsDone, Reason: guard.ReasonNonFiniteRisk,
+			Detail: fmt.Sprintf("risk R = %v for user %d", r, u)}
+		return
+	}
 
 	g := 1 - mathx.Sigmoid(r) // Eq. 23's multiplicative scalar
 	t.gradMag.Add(g)
 	if t.hook != nil {
+		t.observeLoss(-mathx.LogSigmoid(r))
+	} else if t.gd != nil && t.gd.watching() && t.gd.tickLoss() {
+		// The watchdog needs the loss curve but not per-step resolution:
+		// a 1-in-8 sample keeps the EWMA faithful while sparing the
+		// unhooked hot path most of the LogSigmoid cost.
 		t.observeLoss(-mathx.LogSigmoid(r))
 	}
 
@@ -246,17 +318,37 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 	// U_u += γ[g·(a·V_i + b·V_k + c·V_j) − α_u·U_u]; item updates must use
 	// the *pre-update* user factors, so compute the user gradient first.
 	skipK := tr.K == tr.I // vk aliases vi; its update is folded into a
-	for q := range uf {
-		du := g*(a*vi[q]+b*vk[q]+c*vj[q]) - regU*uf[q]
-		di := g*a*uf[q] - regV*vi[q]
-		dk := g*b*uf[q] - regV*vk[q]
-		dj := g*c*uf[q] - regV*vj[q]
-		uf[q] += gamma * du
-		vi[q] += gamma * di
-		if !skipK {
-			vk[q] += gamma * dk
+	if cn > 0 {
+		var clipped bool
+		if g, clipped = clipG(g, cn, a, b, c, wsq, usq, t.model.HasBias()); clipped {
+			t.clips++
 		}
-		vj[q] += gamma * dj
+		// The fused sweep captured w = a·V_i + b·V_k + c·V_j; reuse it.
+		for q := range uf {
+			du := g*t.wv[q] - regU*uf[q]
+			di := g*a*uf[q] - regV*vi[q]
+			dk := g*b*uf[q] - regV*vk[q]
+			dj := g*c*uf[q] - regV*vj[q]
+			uf[q] += gamma * du
+			vi[q] += gamma * di
+			if !skipK {
+				vk[q] += gamma * dk
+			}
+			vj[q] += gamma * dj
+		}
+	} else {
+		for q := range uf {
+			du := g*(a*vi[q]+b*vk[q]+c*vj[q]) - regU*uf[q]
+			di := g*a*uf[q] - regV*vi[q]
+			dk := g*b*uf[q] - regV*vk[q]
+			dj := g*c*uf[q] - regV*vj[q]
+			uf[q] += gamma * du
+			vi[q] += gamma * di
+			if !skipK {
+				vk[q] += gamma * dk
+			}
+			vj[q] += gamma * dj
+		}
 	}
 	if t.model.HasBias() {
 		t.model.AddBias(tr.I, gamma*(g*a-regB*t.model.Bias(tr.I)))

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"clapf/internal/mf"
+	"clapf/internal/sampling"
+	"clapf/internal/store"
+)
+
+// This file maps trainer snapshots to and from store.Meta checkpoint
+// trailers, so every checkpoint producer/consumer (clapf-train, the
+// guard supervisor, tests) shares one encoding. MetaSnapshot fills only
+// the trainer-owned fields; contextual fields — Epoch, TotalSteps,
+// DataFingerprint, Hyper — belong to the caller.
+
+// MetaSnapshot captures the trainer's resumable state as a checkpoint
+// trailer. Call between RunSteps calls.
+func (t *Trainer) MetaSnapshot() *store.Meta {
+	st := t.Snapshot()
+	return &store.Meta{
+		Step:         st.Step,
+		RNG:          append([]uint64(nil), st.RNG[:]...),
+		SamplerRNG:   append([]uint64(nil), st.Sampler.RNG[:]...),
+		SamplerSteps: st.Sampler.Steps,
+		LossEWMA:     st.LossEWMA,
+		LossN:        st.LossN,
+	}
+}
+
+// RestoreFromMeta rewinds the trainer to a checkpoint: parameters from m,
+// schedule/RNG/loss state from meta. It validates the trailer's shape
+// (serial vs parallel, RNG word counts); dataset and hyper-parameter
+// compatibility are the caller's concern — the trailer carries them, the
+// trainer cannot judge them.
+func (t *Trainer) RestoreFromMeta(m *mf.Model, meta *store.Meta) error {
+	if meta == nil {
+		return fmt.Errorf("core: nil checkpoint metadata")
+	}
+	if len(meta.Workers) > 0 {
+		return fmt.Errorf("core: checkpoint is from a %d-worker parallel run, trainer is serial", len(meta.Workers))
+	}
+	rng, err := rngWords(meta.RNG, "rng")
+	if err != nil {
+		return err
+	}
+	samplerRNG, err := rngWords(meta.SamplerRNG, "sampler_rng")
+	if err != nil {
+		return err
+	}
+	return t.Restore(TrainerState{
+		Step:     meta.Step,
+		RNG:      rng,
+		Sampler:  sampling.SamplerState{RNG: samplerRNG, Steps: meta.SamplerSteps},
+		LossEWMA: meta.LossEWMA,
+		LossN:    meta.LossN,
+	}, m)
+}
+
+// MetaSnapshot captures the parallel trainer's resumable state — the
+// schedule position, refresh cadence, and every worker's RNG streams —
+// as a checkpoint trailer. Call between RunSteps calls.
+func (pt *ParallelTrainer) MetaSnapshot() *store.Meta {
+	st := pt.Snapshot()
+	meta := &store.Meta{
+		Step:         st.Step,
+		LossEWMA:     st.LossEWMA,
+		LossN:        st.LossN,
+		SinceRefresh: st.SinceRefresh,
+		Workers:      make([]store.WorkerMeta, len(st.Workers)),
+	}
+	for i := range st.Workers {
+		meta.Workers[i] = store.WorkerMeta{
+			RNG:          append([]uint64(nil), st.Workers[i].RNG[:]...),
+			SamplerRNG:   append([]uint64(nil), st.Workers[i].Sampler.RNG[:]...),
+			SamplerSteps: st.Workers[i].Sampler.Steps,
+		}
+	}
+	return meta
+}
+
+// RestoreFromMeta rewinds the parallel trainer to a checkpoint. The
+// trailer must come from a parallel run with the same worker count.
+func (pt *ParallelTrainer) RestoreFromMeta(m *mf.Model, meta *store.Meta) error {
+	if meta == nil {
+		return fmt.Errorf("core: nil checkpoint metadata")
+	}
+	if len(meta.Workers) == 0 {
+		return fmt.Errorf("core: checkpoint is from a serial run, trainer has %d workers", len(pt.workers))
+	}
+	st := ParallelTrainerState{
+		Step:         meta.Step,
+		SinceRefresh: meta.SinceRefresh,
+		LossEWMA:     meta.LossEWMA,
+		LossN:        meta.LossN,
+		Workers:      make([]ParallelWorkerState, len(meta.Workers)),
+	}
+	for i, wm := range meta.Workers {
+		rng, err := rngWords(wm.RNG, fmt.Sprintf("worker %d rng", i))
+		if err != nil {
+			return err
+		}
+		samplerRNG, err := rngWords(wm.SamplerRNG, fmt.Sprintf("worker %d sampler_rng", i))
+		if err != nil {
+			return err
+		}
+		st.Workers[i] = ParallelWorkerState{
+			RNG:     rng,
+			Sampler: sampling.SamplerState{RNG: samplerRNG, Steps: wm.SamplerSteps},
+		}
+	}
+	return pt.Restore(st, m)
+}
+
+// rngWords converts a checkpoint's RNG word list into generator state.
+func rngWords(words []uint64, field string) ([4]uint64, error) {
+	var s [4]uint64
+	if len(words) != 4 {
+		return s, fmt.Errorf("core: %s has %d state words, want 4", field, len(words))
+	}
+	copy(s[:], words)
+	return s, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clapf/internal/dataset"
+	"clapf/internal/guard"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
 	"clapf/internal/obs"
@@ -48,6 +49,12 @@ type ParallelTrainer struct {
 	stepsDone    int
 	sinceRefresh int // aggregate steps since the last rank-list rebuild
 
+	// Guardrails (see guarded.go); nil until SetGuard installs them.
+	// Workers never touch gd directly — they record trips and clip counts
+	// locally and the coordinator merges them at barriers.
+	gd    *guardState
+	clips uint64 // lifetime norm-clipped updates, merged at barriers
+
 	// Merged telemetry, written only by the coordinating goroutine at
 	// barriers.
 	gradSum      float64
@@ -76,6 +83,7 @@ type parallelWorker struct {
 	pairs   []dataset.Interaction // this shard's (u, i) records
 
 	vi, vk, vj []float64 // scratch item rows
+	wv         []float64 // scratch a·vi+b·vk+c·vj, shared by clip and update
 
 	steps int           // lifetime SGD updates
 	busy  time.Duration // lifetime time spent inside segments
@@ -85,6 +93,13 @@ type parallelWorker struct {
 	segGradN   int
 	segLossSum float64
 	segLossN   int
+
+	// Guard state, local to the worker between barriers. A set trip makes
+	// the worker stop applying updates for the rest of its segment; the
+	// coordinator promotes it at the barrier (mergeWorkerTrips).
+	trip     *guard.Trip
+	segClips int
+	lossTick uint64
 }
 
 // NewParallelTrainer validates the configuration and prepares an
@@ -148,6 +163,7 @@ func NewParallelTrainer(cfg Config, train *dataset.Dataset, numWorkers int) (*Pa
 			vi:    make([]float64, cfg.Dim),
 			vk:    make([]float64, cfg.Dim),
 			vj:    make([]float64, cfg.Dim),
+			wv:    make([]float64, cfg.Dim),
 		}
 	}
 	// Shard users deterministically: walk users in id order, placing each
@@ -283,12 +299,22 @@ func (pt *ParallelTrainer) RunSteps(n int) {
 	rankAware := pt.cfg.Sampler.Strategy != sampling.Uniform
 	refreshEvery := pt.sampler.RefreshEvery()
 	for n > 0 {
+		if pt.gd != nil && pt.gd.trip != nil {
+			break // tripped guard: stop at this quiescent point
+		}
 		seg := n
 		if rankAware && refreshEvery > 0 && refreshEvery-pt.sinceRefresh < seg {
 			seg = refreshEvery - pt.sinceRefresh
 		}
 		if pt.hook != nil {
 			if due := pt.hookEvery - (pt.stepsDone - pt.lastHookStep); due < seg {
+				seg = due
+			}
+		}
+		if pt.gd != nil {
+			// Cap segments at the guard cadence so every check lands on a
+			// quiescent barrier.
+			if due := pt.gd.cfg.CheckEvery - (pt.stepsDone - pt.gd.lastCheck); due < seg {
 				seg = due
 			}
 		}
@@ -305,6 +331,12 @@ func (pt *ParallelTrainer) RunSteps(n int) {
 		if pt.hook != nil && pt.stepsDone-pt.lastHookStep >= pt.hookEvery {
 			pt.fireHook()
 		}
+		if pt.gd != nil && pt.gd.trip == nil {
+			pt.gd.maybeCheck(pt.stepsDone, pt.lossEWMA, pt.lossN, pt.clips, pt.model)
+		}
+	}
+	if pt.gd != nil {
+		pt.gd.flushClips(pt.clips)
 	}
 }
 
@@ -342,6 +374,11 @@ func (pt *ParallelTrainer) runSegment(seg int) {
 		pt.observeLossBatch(w.segLossSum, w.segLossN)
 		w.segGradSum, w.segGradN = 0, 0
 		w.segLossSum, w.segLossN = 0, 0
+		pt.clips += uint64(w.segClips)
+		w.segClips = 0
+	}
+	if pt.gd != nil {
+		pt.mergeWorkerTrips()
 	}
 	if pt.stepsVec != nil {
 		for i, w := range pt.workers {
@@ -359,6 +396,9 @@ func (pt *ParallelTrainer) runSegment(seg int) {
 // row is this worker's exclusive property (users are sharded) and is
 // touched with plain loads and stores.
 func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling.Triple) {
+	if pt.gd != nil && w.trip != nil {
+		return // tripped worker: stop writing and wait for the barrier
+	}
 	skipK := tr.K == tr.I
 	a, b, c := riskCoeffs(pt.cfg.Variant, pt.cfg.Lambda, skipK)
 
@@ -373,9 +413,28 @@ func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling
 	m.LoadItemFactors(tr.J, w.vj)
 	bi, bk, bj := m.LoadBias(tr.I), m.LoadBias(tr.K), m.LoadBias(tr.J)
 
-	r := a*(mathx.Dot(uf, w.vi)+bi) +
-		b*(mathx.Dot(uf, w.vk)+bk) +
-		c*(mathx.Dot(uf, w.vj)+bj)
+	// With clipping armed, one fused sweep yields the risk dot products
+	// (bit-identical to mathx.Dot) plus the clip norm terms and the w
+	// buffer; without it, the three plain dots.
+	cn := pt.cfg.ClipNorm
+	var r, wsq, usq float64
+	if cn > 0 {
+		var di, dk, dj float64
+		di, dk, dj, wsq, usq = riskAndClipTerms(a, b, c, uf, w.vi, w.vk, w.vj, w.wv)
+		r = a*(di+bi) + b*(dk+bk) + c*(dj+bj)
+	} else {
+		r = a*(mathx.Dot(uf, w.vi)+bi) +
+			b*(mathx.Dot(uf, w.vk)+bk) +
+			c*(mathx.Dot(uf, w.vj)+bj)
+	}
+
+	if pt.gd != nil && pt.gd.cfg.Watchdog && !isFinite(r) {
+		// Worker-local trip: no step stamp (the global count lives with
+		// the coordinator), promoted at the next barrier.
+		w.trip = &guard.Trip{Reason: guard.ReasonNonFiniteRisk,
+			Detail: fmt.Sprintf("risk R = %v for user %d on worker %d", r, u, w.id)}
+		return
+	}
 
 	g := 1 - mathx.Sigmoid(r)
 	w.segGradSum += g
@@ -383,21 +442,49 @@ func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling
 	if pt.hook != nil {
 		w.segLossSum += -mathx.LogSigmoid(r)
 		w.segLossN++
+	} else if pt.gd != nil && pt.gd.cfg.Watchdog {
+		// Watchdog-only loss tracking samples 1-in-8 steps (see the serial
+		// trainer); segment means stay unbiased under sampling.
+		if w.lossTick++; w.lossTick&7 == 0 {
+			w.segLossSum += -mathx.LogSigmoid(r)
+			w.segLossN++
+		}
 	}
 
 	gamma := pt.cfg.LearnRate
 	regU, regV, regB := pt.cfg.RegUser, pt.cfg.RegItem, pt.cfg.RegBias
-	for q := range uf {
-		du := g*(a*w.vi[q]+b*w.vk[q]+c*w.vj[q]) - regU*uf[q]
-		di := g*a*uf[q] - regV*w.vi[q]
-		dk := g*b*uf[q] - regV*w.vk[q]
-		dj := g*c*uf[q] - regV*w.vj[q]
-		uf[q] += gamma * du
-		w.vi[q] += gamma * di
-		if !skipK {
-			w.vk[q] += gamma * dk
+
+	if cn > 0 {
+		var clipped bool
+		if g, clipped = clipG(g, cn, a, b, c, wsq, usq, m.HasBias()); clipped {
+			w.segClips++
 		}
-		w.vj[q] += gamma * dj
+		// The fused sweep captured w = a·V_i + b·V_k + c·V_j; reuse it.
+		for q := range uf {
+			du := g*w.wv[q] - regU*uf[q]
+			di := g*a*uf[q] - regV*w.vi[q]
+			dk := g*b*uf[q] - regV*w.vk[q]
+			dj := g*c*uf[q] - regV*w.vj[q]
+			uf[q] += gamma * du
+			w.vi[q] += gamma * di
+			if !skipK {
+				w.vk[q] += gamma * dk
+			}
+			w.vj[q] += gamma * dj
+		}
+	} else {
+		for q := range uf {
+			du := g*(a*w.vi[q]+b*w.vk[q]+c*w.vj[q]) - regU*uf[q]
+			di := g*a*uf[q] - regV*w.vi[q]
+			dk := g*b*uf[q] - regV*w.vk[q]
+			dj := g*c*uf[q] - regV*w.vj[q]
+			uf[q] += gamma * du
+			w.vi[q] += gamma * di
+			if !skipK {
+				w.vk[q] += gamma * dk
+			}
+			w.vj[q] += gamma * dj
+		}
 	}
 	m.StoreItemFactors(tr.I, w.vi)
 	if !skipK {
@@ -571,5 +658,8 @@ func (pt *ParallelTrainer) Restore(st ParallelTrainerState, m *mf.Model) error {
 	pt.gradSum, pt.gradN = 0, 0
 	pt.trainStart = time.Time{}
 	pt.lastHookStep = st.Step
+	if pt.gd != nil {
+		pt.gd.lastCheck = st.Step // restart the guard cadence from here
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"clapf/internal/datagen"
 	"clapf/internal/dataset"
 	"clapf/internal/eval"
+	"clapf/internal/guard"
 	"clapf/internal/mathx"
 	"clapf/internal/obs"
 	"clapf/internal/sampling"
@@ -430,6 +431,43 @@ func BenchmarkParallelTrain(b *testing.B) {
 			b.ResetTimer()
 			pt.RunSteps(b.N)
 			b.StopTimer()
+			b.ReportMetric(float64(pt.StepsDone()-1000)/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}
+
+// BenchmarkParallelTrainGuarded is BenchmarkParallelTrain with the full
+// guardrail stack armed: loss watchdog, non-finite sentinels, and gradient
+// clipping with live counter flushes. Comparing steps/s against the
+// unguarded benchmark prices the guard's hot-path overhead (the acceptance
+// bar is < 3%).
+func BenchmarkParallelTrainGuarded(b *testing.B) {
+	profile := datagen.Table1Profiles[0].Scaled(0.25)
+	w, err := datagen.Generate(profile, mathx.NewRNG(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
+			cfg := DefaultConfig(sampling.MAP, w.Data.NumPairs())
+			cfg.Dim = 16
+			cfg.Steps = 1 << 62 // never self-terminate; the loop drives it
+			cfg.ClipNorm = 10   // loose enough to rarely fire, so only the norm check is priced
+			pt, err := NewParallelTrainer(cfg, w.Data, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gm := guard.NewMetrics(obs.NewRegistry())
+			if err := pt.SetGuard(guard.Config{Watchdog: true}, gm); err != nil {
+				b.Fatal(err)
+			}
+			pt.RunSteps(1000) // warm-up outside the timer
+			b.ResetTimer()
+			pt.RunSteps(b.N)
+			b.StopTimer()
+			if trip := pt.GuardTrip(); trip != nil {
+				b.Fatalf("guard tripped during benchmark: %v", trip)
+			}
 			b.ReportMetric(float64(pt.StepsDone()-1000)/b.Elapsed().Seconds(), "steps/s")
 		})
 	}

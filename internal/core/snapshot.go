@@ -71,5 +71,8 @@ func (t *Trainer) Restore(st TrainerState, m *mf.Model) error {
 	// resume point instead of spanning the outage.
 	t.trainStart = time.Time{}
 	t.lastHookStep = st.Step
+	if t.gd != nil {
+		t.gd.lastCheck = st.Step // restart the guard cadence from here
+	}
 	return nil
 }

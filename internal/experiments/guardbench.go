@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"clapf/internal/core"
+	"clapf/internal/guard"
+	"clapf/internal/obs"
+	"clapf/internal/sampling"
+)
+
+// GuardBenchRow is one worker count's guardrail-overhead measurement: the
+// same training run with and without an armed guard (watchdog + gradient
+// clipping), on the same data and seed.
+type GuardBenchRow struct {
+	Workers            int     `json:"workers"`
+	BaseStepsPerSec    float64 `json:"base_steps_per_sec"`
+	GuardedStepsPerSec float64 `json:"guarded_steps_per_sec"`
+	// OverheadPct is (base − guarded)/base × 100; negative values are
+	// run-to-run noise on a quiet enough machine.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Clips is how many updates the guarded run norm-clipped.
+	Clips uint64 `json:"clips"`
+}
+
+// GuardBench is the guardrail-overhead report (BENCH_guard.json). Cores
+// records the machine; overhead on an oversubscribed runner reads high.
+type GuardBench struct {
+	Dataset  string          `json:"dataset"`
+	Users    int             `json:"users"`
+	Items    int             `json:"items"`
+	Pairs    int             `json:"pairs"`
+	Steps    int             `json:"steps"`
+	ClipNorm float64         `json:"clip_norm"`
+	Cores    int             `json:"cores"`
+	Rows     []GuardBenchRow `json:"rows"`
+}
+
+// guardBenchRounds is how many alternating base/guarded measurement
+// rounds each worker count gets; each arm keeps its best round. Taking
+// the fastest of several interleaved runs is the standard way to measure
+// a few-percent delta through scheduler noise — slowdowns are one-sided,
+// so the minimum time is the least contaminated estimate of both arms.
+const guardBenchRounds = 3
+
+// RunGuardBench measures what an armed guard costs: for each worker
+// count, unguarded training runs against runs with the watchdog armed
+// and gradient clipping at clipNorm, reporting the best-of-rounds
+// throughput delta. The guarded run registers real metrics so the flush
+// path is priced in.
+func RunGuardBench(s Setup, workerCounts []int, epochs int, clipNorm float64) (*GuardBench, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	if clipNorm <= 0 {
+		return nil, fmt.Errorf("experiments: clip norm %v, want > 0", clipNorm)
+	}
+	reps, err := MakeReplicates(s)
+	if err != nil {
+		return nil, err
+	}
+	train := reps[0].Train
+
+	cfg := core.DefaultConfig(sampling.MAP, train.NumPairs())
+	cfg.Lambda = LambdaFor(s.Profile.Name, sampling.MAP)
+	cfg.Steps = epochs * train.NumPairs()
+	cfg.Seed = s.Seed
+
+	out := &GuardBench{
+		Dataset:  s.Profile.Name,
+		Users:    train.NumUsers(),
+		Items:    train.NumItems(),
+		Pairs:    train.NumPairs(),
+		Steps:    cfg.Steps,
+		ClipNorm: clipNorm,
+		Cores:    runtime.NumCPU(),
+	}
+	for _, w := range workerCounts {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: worker count %d < 1", w)
+		}
+		run := func(guarded bool) (stepsPerSec float64, clips uint64, err error) {
+			runCfg := cfg
+			if guarded {
+				runCfg.ClipNorm = clipNorm
+			}
+			pt, err := core.NewParallelTrainer(runCfg, train, w)
+			if err != nil {
+				return 0, 0, err
+			}
+			if guarded {
+				gm := guard.NewMetrics(obs.NewRegistry())
+				if err := pt.SetGuard(guard.Config{Watchdog: true}, gm); err != nil {
+					return 0, 0, err
+				}
+			}
+			warm := 1000
+			if warm > cfg.Steps/10 {
+				warm = cfg.Steps / 10
+			}
+			pt.RunSteps(warm) // warm-up outside the timer
+			start := time.Now()
+			pt.Run()
+			wall := time.Since(start)
+			if trip := pt.GuardTrip(); trip != nil {
+				return 0, 0, fmt.Errorf("experiments: guard tripped during benchmark: %v", trip)
+			}
+			return float64(cfg.Steps-warm) / wall.Seconds(), pt.GradClips(), nil
+		}
+		var base, guarded float64
+		var clips uint64
+		for round := 0; round < guardBenchRounds; round++ {
+			b, _, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			g, cl, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			if b > base {
+				base = b
+			}
+			if g > guarded {
+				guarded, clips = g, cl
+			}
+		}
+		out.Rows = append(out.Rows, GuardBenchRow{
+			Workers:            w,
+			BaseStepsPerSec:    base,
+			GuardedStepsPerSec: guarded,
+			OverheadPct:        (base - guarded) / base * 100,
+			Clips:              clips,
+		})
+	}
+	return out, nil
+}
+
+// RenderGuardBench prints the overhead report as an aligned text table.
+func RenderGuardBench(w io.Writer, b *GuardBench) error {
+	if _, err := fmt.Fprintf(w,
+		"guardrail overhead on %s (%d users, %d items, %d pairs; %d steps; clip %g; %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Pairs, b.Steps, b.ClipNorm, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %14s %14s %10s %10s\n",
+		"workers", "base steps/s", "guarded", "overhead", "clips"); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		if _, err := fmt.Fprintf(w, "%-8d %14.0f %14.0f %9.2f%% %10d\n",
+			r.Workers, r.BaseStepsPerSec, r.GuardedStepsPerSec, r.OverheadPct, r.Clips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGuardBenchJSON emits the report as indented JSON (the
+// BENCH_guard.json payload of scripts/bench.sh).
+func WriteGuardBenchJSON(w io.Writer, b *GuardBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

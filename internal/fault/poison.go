@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+// This file injects the training-side failures the guard subsystem
+// (internal/guard) exists to catch: NaN writes into the parameter
+// vectors, runaway learning-rate schedules, and checkpoint corruption
+// timed to land during a rollback.
+
+// PoisonItemFactors writes NaN into count distinct entries of the model's
+// item-factor matrix V, chosen deterministically from seed, and returns
+// the flat indices it poisoned. This reproduces what one overflowed SGD
+// update leaves behind: a few non-finite entries that spread to every
+// score (and, through the user-factor update, every parameter) they
+// touch.
+func PoisonItemFactors(m *mf.Model, seed uint64, count int) []int {
+	_, v, _ := m.RawParams()
+	if count > len(v) {
+		count = len(v)
+	}
+	rng := mathx.NewRNG(seed)
+	chosen := make(map[int]bool, count)
+	idx := make([]int, 0, count)
+	for len(idx) < count {
+		i := rng.Intn(len(v))
+		if chosen[i] {
+			continue
+		}
+		chosen[i] = true
+		v[i] = math.NaN()
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// PoisonAtStep returns a step hook that poisons the model once, the first
+// time it observes stepsDone >= step. Wire it into a training loop's
+// between-batch callback to reproduce mid-run parameter corruption at a
+// deterministic point.
+func PoisonAtStep(m *mf.Model, step int, seed uint64, count int) func(stepsDone int) {
+	fired := false
+	return func(stepsDone int) {
+		if fired || stepsDone < step {
+			return
+		}
+		fired = true
+		PoisonItemFactors(m, seed, count)
+	}
+}
+
+// LearnRateScaler is the trainer surface ExplodingLR drives; both
+// core trainers satisfy it.
+type LearnRateScaler interface {
+	ScaleLearnRate(factor float64) float64
+}
+
+// ExplodingLR returns a step hook that multiplies the trainee's learning
+// rate by factor once, the first time it observes stepsDone >= step — a
+// runaway schedule (fat-fingered config push, broken decay code) that
+// sends SGD into divergence without touching any parameter directly.
+func ExplodingLR(s LearnRateScaler, step int, factor float64) func(stepsDone int) {
+	fired := false
+	return func(stepsDone int) {
+		if fired || stepsDone < step {
+			return
+		}
+		fired = true
+		s.ScaleLearnRate(factor)
+	}
+}
+
+// TearNewestCheckpoint truncates the newest checkpoint generation in dir
+// to half its size and returns its path — a torn write discovered only
+// when a rollback goes looking for it, forcing recovery to fall back to
+// an older generation.
+func TearNewestCheckpoint(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("fault: %w", err)
+	}
+	newest := ""
+	for _, e := range entries {
+		name := e.Name()
+		// Checkpoint generations are fixed-width zero-padded
+		// (ckpt-<seq>.clapf), so lexical order is generation order.
+		if e.Type().IsRegular() && len(name) > 10 && name[:5] == "ckpt-" && filepath.Ext(name) == ".clapf" && name > newest {
+			newest = name
+		}
+	}
+	if newest == "" {
+		return "", fmt.Errorf("fault: no checkpoint generations in %s", dir)
+	}
+	path := filepath.Join(dir, newest)
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("fault: %w", err)
+	}
+	if err := Truncate(path, info.Size()/2); err != nil {
+		return "", err
+	}
+	return path, nil
+}

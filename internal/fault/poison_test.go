@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clapf/internal/mf"
+	"clapf/internal/store"
+)
+
+func poisonTestModel(t *testing.T) *mf.Model {
+	t.Helper()
+	return mf.MustNew(mf.Config{NumUsers: 6, NumItems: 10, Dim: 4, UseBias: true, InitStd: 0.1})
+}
+
+func TestPoisonItemFactors(t *testing.T) {
+	m := poisonTestModel(t)
+	idx := PoisonItemFactors(m, 7, 5)
+	if len(idx) != 5 {
+		t.Fatalf("poisoned %d entries, want 5", len(idx))
+	}
+	_, v, _ := m.RawParams()
+	for _, i := range idx {
+		if !math.IsNaN(v[i]) {
+			t.Errorf("v[%d] = %v, want NaN", i, v[i])
+		}
+	}
+	u, vn, b := m.CountNonFinite()
+	if u != 0 || vn != 5 || b != 0 {
+		t.Errorf("CountNonFinite = (%d, %d, %d), want (0, 5, 0)", u, vn, b)
+	}
+
+	// Deterministic: the same seed poisons the same entries.
+	m2 := poisonTestModel(t)
+	idx2 := PoisonItemFactors(m2, 7, 5)
+	for i := range idx {
+		if idx[i] != idx2[i] {
+			t.Fatalf("seed 7 poisoned %v then %v", idx, idx2)
+		}
+	}
+
+	// count beyond the matrix saturates instead of spinning.
+	m3 := poisonTestModel(t)
+	if got := len(PoisonItemFactors(m3, 1, 10*4+100)); got != 10*4 {
+		t.Errorf("oversized poison hit %d entries, want %d", got, 10*4)
+	}
+}
+
+func TestPoisonAtStepFiresOnce(t *testing.T) {
+	m := poisonTestModel(t)
+	hook := PoisonAtStep(m, 100, 3, 2)
+	hook(50)
+	if _, v, _ := m.CountNonFinite(); v != 0 {
+		t.Fatalf("poisoned before the target step (%d entries)", v)
+	}
+	hook(100)
+	if _, v, _ := m.CountNonFinite(); v != 2 {
+		t.Fatalf("poisoned %d entries at the target step, want 2", v)
+	}
+	hook(200) // must not poison again
+	if _, v, _ := m.CountNonFinite(); v != 2 {
+		t.Fatalf("poisoned %d entries after refire, want still 2", v)
+	}
+}
+
+type scalerFunc func(float64) float64
+
+func (f scalerFunc) ScaleLearnRate(factor float64) float64 { return f(factor) }
+
+func TestExplodingLRFiresOnce(t *testing.T) {
+	rate := 0.05
+	hook := ExplodingLR(scalerFunc(func(f float64) float64 {
+		rate *= f
+		return rate
+	}), 1000, 50)
+	hook(999)
+	if rate != 0.05 {
+		t.Fatalf("rate scaled before the target step: %v", rate)
+	}
+	hook(1000)
+	if rate != 0.05*50 {
+		t.Fatalf("rate = %v after explosion, want %v", rate, 0.05*50)
+	}
+	hook(2000)
+	if rate != 0.05*50 {
+		t.Fatalf("rate = %v after refire, want unchanged", rate)
+	}
+}
+
+func TestTearNewestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	m := poisonTestModel(t)
+	for _, step := range []int{100, 200} {
+		if _, err := store.WriteCheckpoint(dir, m, &store.Meta{Step: step}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := TearNewestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "ckpt-000000000200.clapf" {
+		t.Fatalf("tore %s, want the step-200 generation", path)
+	}
+
+	// The torn generation must be skipped; rollback lands on step 100.
+	_, meta, gotPath, skipped, err := store.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 100 {
+		t.Errorf("LatestCheckpoint restored step %d, want 100 (torn 200 skipped)", meta.Step)
+	}
+	if len(skipped) != 1 || skipped[0] != path {
+		t.Errorf("skipped = %v, want [%s]", skipped, path)
+	}
+	if filepath.Base(gotPath) != "ckpt-000000000100.clapf" {
+		t.Errorf("restored from %s", gotPath)
+	}
+
+	if _, err := TearNewestCheckpoint(t.TempDir()); err == nil {
+		t.Error("tearing an empty directory succeeded")
+	}
+	if _, err := TearNewestCheckpoint(filepath.Join(dir, "absent")); !os.IsNotExist(err) && err == nil {
+		t.Error("tearing a missing directory succeeded")
+	}
+}

@@ -1,0 +1,212 @@
+package guard
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+)
+
+func TestConfigDefault(t *testing.T) {
+	d := Config{}.Default()
+	if d.CheckEvery != DefaultCheckEvery || d.RiseFactor != DefaultRiseFactor ||
+		d.RisePatience != DefaultRisePatience || d.ScanSample != DefaultScanSample {
+		t.Errorf("zero config defaulted to %+v", d)
+	}
+	if d.WarmupSteps != 2*DefaultCheckEvery {
+		t.Errorf("WarmupSteps = %d, want 2×CheckEvery", d.WarmupSteps)
+	}
+
+	// Non-zero fields survive, including a negative ScanSample (disabled).
+	c := Config{CheckEvery: 64, RiseFactor: 2, RisePatience: 1, WarmupSteps: 7, ScanSample: -1}
+	if got := c.Default(); got != c {
+		t.Errorf("explicit config rewritten: %+v", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"defaults", func(c *Config) {}, ""},
+		{"negative check every", func(c *Config) { c.CheckEvery = -1 }, "CheckEvery"},
+		{"rise factor one", func(c *Config) { c.RiseFactor = 1 }, "RiseFactor"},
+		{"rise factor nan", func(c *Config) { c.RiseFactor = math.NaN() }, "RiseFactor"},
+		{"rise factor inf", func(c *Config) { c.RiseFactor = math.Inf(1) }, "RiseFactor"},
+		{"zero patience", func(c *Config) { c.RisePatience = -2 }, "RisePatience"},
+		{"negative warmup", func(c *Config) { c.WarmupSteps = -1 }, "WarmupSteps"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Config{}.Default()
+			tc.mut(&c)
+			err := c.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error naming %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWatchdogSkipsEmptyCurve(t *testing.T) {
+	wd := NewWatchdog(Config{})
+	if trip := wd.Observe(100, math.NaN(), 0); trip != nil {
+		t.Fatalf("n=0 observation tripped: %v", trip)
+	}
+}
+
+func TestWatchdogNonFiniteLoss(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		// Step 0 is deep inside warmup; non-finite detection is never delayed.
+		wd := NewWatchdog(Config{})
+		trip := wd.Observe(0, bad, 10)
+		if trip == nil || trip.Reason != ReasonNonFiniteLoss {
+			t.Errorf("ewma=%v: trip = %v, want %s", bad, trip, ReasonNonFiniteLoss)
+		}
+	}
+}
+
+func TestWatchdogRisePatience(t *testing.T) {
+	wd := NewWatchdog(Config{RiseFactor: 1.5, RisePatience: 3, WarmupSteps: 1})
+	if trip := wd.Observe(10, 1.0, 5); trip != nil {
+		t.Fatalf("first observation tripped: %v", trip)
+	}
+	// Three consecutive checks above 1.5× best: trip lands on the third.
+	for i, step := range []int{20, 30} {
+		if trip := wd.Observe(step, 2.0, 5); trip != nil {
+			t.Fatalf("tripped at streak %d: %v", i+1, trip)
+		}
+	}
+	trip := wd.Observe(40, 2.0, 5)
+	if trip == nil || trip.Reason != ReasonLossRise || trip.Step != 40 {
+		t.Fatalf("trip = %v, want %s at step 40", trip, ReasonLossRise)
+	}
+}
+
+func TestWatchdogStreakResets(t *testing.T) {
+	wd := NewWatchdog(Config{RiseFactor: 1.5, RisePatience: 3, WarmupSteps: 1})
+	wd.Observe(10, 1.0, 5)
+	wd.Observe(20, 2.0, 5)
+	wd.Observe(30, 2.0, 5)
+	// Back under the threshold: one noisy interval is not divergence.
+	if trip := wd.Observe(40, 1.2, 5); trip != nil {
+		t.Fatalf("recovery observation tripped: %v", trip)
+	}
+	wd.Observe(50, 2.0, 5)
+	if trip := wd.Observe(60, 2.0, 5); trip != nil {
+		t.Fatalf("streak survived the reset: %v", trip)
+	}
+}
+
+func TestWatchdogWarmupDelaysRiseOnly(t *testing.T) {
+	wd := NewWatchdog(Config{RiseFactor: 1.5, RisePatience: 1, WarmupSteps: 100})
+	wd.Observe(10, 1.0, 5)
+	if trip := wd.Observe(50, 10.0, 5); trip != nil {
+		t.Fatalf("rise detection fired during warmup: %v", trip)
+	}
+	if trip := wd.Observe(100, 10.0, 5); trip == nil {
+		t.Fatal("rise detection silent after warmup")
+	}
+}
+
+func TestWatchdogNewBestClearsStreak(t *testing.T) {
+	wd := NewWatchdog(Config{RiseFactor: 1.5, RisePatience: 2, WarmupSteps: 1})
+	wd.Observe(10, 1.0, 5)
+	wd.Observe(20, 2.0, 5) // streak 1
+	wd.Observe(30, 0.5, 5) // new best: baseline and streak both reset
+	// 0.9 > 1.5 × 0.5, but the streak restarted — patience 2 needs two checks.
+	if trip := wd.Observe(40, 0.9, 5); trip != nil {
+		t.Fatalf("streak survived the new best: %v", trip)
+	}
+	if trip := wd.Observe(50, 0.9, 5); trip == nil {
+		t.Fatal("rise above the new best not detected")
+	}
+}
+
+func TestWatchdogReset(t *testing.T) {
+	wd := NewWatchdog(Config{RiseFactor: 1.5, RisePatience: 1, WarmupSteps: 1})
+	wd.Observe(10, 1.0, 5)
+	if trip := wd.Observe(20, 5.0, 5); trip == nil {
+		t.Fatal("no trip before reset")
+	}
+	wd.Reset()
+	// After a rollback the rewound run re-learns its baseline: a loss level
+	// that would have tripped against the old best is just the new best.
+	if trip := wd.Observe(30, 5.0, 5); trip != nil {
+		t.Fatalf("tripped against a pre-reset baseline: %v", trip)
+	}
+}
+
+func scanTestModel(t *testing.T) *mf.Model {
+	t.Helper()
+	return mf.MustNew(mf.Config{NumUsers: 6, NumItems: 10, Dim: 4, UseBias: true, InitStd: 0.1})
+}
+
+func TestScanModel(t *testing.T) {
+	m := scanTestModel(t)
+	if res := ScanModel(m); res.Total() != 0 {
+		t.Fatalf("fresh model scans dirty: %v", res)
+	}
+	u, v, b := m.RawParams()
+	u[0] = math.Inf(1)
+	v[3] = math.NaN()
+	b[2] = math.NaN()
+	res := ScanModel(m)
+	if res.U != 1 || res.V != 1 || res.B != 1 || res.Sampled != 0 {
+		t.Fatalf("ScanModel = %+v, want 1/1/1 full scan", res)
+	}
+	if s := res.String(); !strings.Contains(s, "full scan") || !strings.Contains(s, "3 non-finite") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSampleModel(t *testing.T) {
+	m := scanTestModel(t)
+	rng := mathx.NewRNG(1)
+
+	// Oversized sample budget degenerates to a full scan.
+	u, _, _ := m.RawParams()
+	u[1] = math.NaN()
+	res := SampleModel(m, rng, 1<<20)
+	if res.Sampled != 0 || res.U != 1 {
+		t.Fatalf("oversized sample = %+v, want full scan finding 1", res)
+	}
+
+	// A fully poisoned model: every sampled entry is non-finite.
+	poisoned := scanTestModel(t)
+	pu, pv, pb := poisoned.RawParams()
+	for _, s := range [][]float64{pu, pv, pb} {
+		for i := range s {
+			s[i] = math.NaN()
+		}
+	}
+	res = SampleModel(poisoned, rng, 16)
+	if res.Sampled != 16 || res.Total() != 16 {
+		t.Fatalf("poisoned sample = %+v, want all 16 hits", res)
+	}
+	if s := res.String(); !strings.Contains(s, "sample of 16") {
+		t.Errorf("String() = %q", s)
+	}
+
+	// A clean model samples clean.
+	if res := SampleModel(scanTestModel(t), rng, 64); res.Total() != 0 {
+		t.Fatalf("clean sample = %+v", res)
+	}
+}
+
+func TestTripString(t *testing.T) {
+	trip := &Trip{Step: 42, Reason: ReasonNonFiniteRisk, Detail: "risk R = NaN"}
+	want := "nonfinite-risk at step 42 (risk R = NaN)"
+	if got := trip.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

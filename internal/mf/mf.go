@@ -10,6 +10,7 @@ package mf
 
 import (
 	"fmt"
+	"math"
 
 	"clapf/internal/mathx"
 )
@@ -196,6 +197,28 @@ func (m *Model) FactorColumn(q int, out []float64) {
 // test.
 func (m *Model) UserFactor(u int32, q int) float64 {
 	return m.u[int(u)*m.dim+q]
+}
+
+// CountNonFinite returns how many entries of U, V, and b are NaN or ±Inf.
+// A healthy model has (0, 0, 0); anything else means a divergent or
+// corrupted parameter vector that will poison every score it touches.
+func (m *Model) CountNonFinite() (u, v, b int) {
+	for _, x := range m.u {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			u++
+		}
+	}
+	for _, x := range m.v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			v++
+		}
+	}
+	for _, x := range m.b {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			b++
+		}
+	}
+	return
 }
 
 // L2Norms returns the squared norms (‖U‖², ‖V‖², ‖b‖²) for monitoring

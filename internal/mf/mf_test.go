@@ -183,3 +183,24 @@ func TestL2Norms(t *testing.T) {
 		t.Errorf("L2Norms = (%v,%v,%v), want (25,5,4)", u2, v2, b2)
 	}
 }
+
+func TestCountNonFinite(t *testing.T) {
+	m := MustNew(testConfig())
+	m.InitGaussian(mathx.NewRNG(3), 0.1)
+	if u, v, b := m.CountNonFinite(); u+v+b != 0 {
+		t.Fatalf("fresh model reports (%d, %d, %d) non-finite entries, want none", u, v, b)
+	}
+	m.UserFactors(1)[0] = math.NaN()
+	m.UserFactors(2)[2] = math.Inf(1)
+	m.ItemFactors(3)[1] = math.Inf(-1)
+	m.b[5] = math.NaN()
+	u, v, b := m.CountNonFinite()
+	if u != 2 || v != 1 || b != 1 {
+		t.Fatalf("CountNonFinite = (%d, %d, %d), want (2, 1, 1)", u, v, b)
+	}
+
+	noBias := MustNew(Config{NumUsers: 2, NumItems: 2, Dim: 2, InitStd: 0.1})
+	if u, v, b := noBias.CountNonFinite(); u+v+b != 0 {
+		t.Fatalf("bias-free model reports (%d, %d, %d) non-finite entries, want none", u, v, b)
+	}
+}

@@ -260,3 +260,54 @@ func TestHistoryBoundAndDedupe(t *testing.T) {
 		}
 	}
 }
+
+func TestPoisonedModelSwapRejected(t *testing.T) {
+	s, train := testServer(t)
+	before := s.Model()
+
+	// A divergent training run leaves NaN in the factors; the swap gate
+	// must refuse it and keep the healthy generation serving.
+	poisoned := before.Clone()
+	fault.PoisonItemFactors(poisoned, 5, 3)
+	if err := s.SwapModel(poisoned); err == nil {
+		t.Fatal("poisoned model accepted")
+	}
+	if s.Model() != before || s.Generation() != 0 {
+		t.Fatalf("poisoned swap disturbed the served model: generation = %d", s.Generation())
+	}
+	if got := s.reloadRejected.Value(); got != 1 {
+		t.Errorf("clapf_model_reload_rejected_total = %d, want 1", got)
+	}
+
+	// The same poison arriving through the file path (SIGHUP reload): the
+	// file loads and checksums fine — NaN is a valid bit pattern — so only
+	// the finiteness gate stands between it and production.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "poisoned.clapf")
+	if err := store.SaveFile(path, poisoned); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadFromFile(path); err == nil {
+		t.Fatal("poisoned file reload accepted")
+	}
+	if s.Model() != before || s.Generation() != 0 {
+		t.Errorf("poisoned reload disturbed the served model: generation = %d", s.Generation())
+	}
+	if got := s.reloadRejected.Value(); got != 2 {
+		t.Errorf("clapf_model_reload_rejected_total = %d, want 2", got)
+	}
+	if got := s.reloadFail.Value(); got != 1 {
+		t.Errorf("reload fail counter = %d, want 1", got)
+	}
+
+	// Construction refuses a poisoned model outright.
+	if _, err := New(poisoned, train); err == nil {
+		t.Error("New accepted a poisoned model")
+	}
+
+	// The healthy generation still answers.
+	rec, _ := get(t, s.Handler(), "/recommend?user=1&k=3")
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-rejection request: status = %d", rec.Code)
+	}
+}

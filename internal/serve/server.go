@@ -93,6 +93,7 @@ type Server struct {
 	sheds          *obs.Counter
 	reloadOK       *obs.Counter
 	reloadFail     *obs.Counter
+	reloadRejected *obs.Counter
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
@@ -138,6 +139,8 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 		"Hot model reload attempts by result.", "result")
 	s.reloadOK = reloads.With("ok")
 	s.reloadFail = reloads.With("error")
+	s.reloadRejected = s.reg.NewCounter("clapf_model_reload_rejected_total",
+		"Candidate models refused at swap time (shape mismatch or non-finite parameters); the previous generation keeps serving.")
 	s.cacheHits = s.reg.NewCounter("clapf_cache_hits_total",
 		"Top-K recommendation requests answered from the result cache.")
 	s.cacheMisses = s.reg.NewCounter("clapf_cache_misses_total",
@@ -174,10 +177,19 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 
 // validateModel checks a candidate model against the exclusion dataset —
 // the gate every swap must pass so a mismatched file can never go live.
+// Besides the shape check it scans for non-finite parameters: a model
+// poisoned by divergent training loads and checksums fine (NaN is a valid
+// float64 bit pattern), but every score touching a poisoned row would be
+// dropped by the rank layer, silently degrading results. Refusing the
+// swap keeps the previous healthy generation serving.
 func validateModel(m *mf.Model, train *dataset.Dataset) error {
 	if m.NumUsers() != train.NumUsers() || m.NumItems() != train.NumItems() {
 		return fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
 			m.NumUsers(), m.NumItems(), train.NumUsers(), train.NumItems())
+	}
+	if u, v, b := m.CountNonFinite(); u+v+b > 0 {
+		return fmt.Errorf("serve: model carries %d non-finite parameters (%d user, %d item, %d bias)",
+			u+v+b, u, v, b)
 	}
 	return nil
 }
@@ -242,6 +254,7 @@ func (s *Server) SwapModel(m *mf.Model) error {
 		return fmt.Errorf("serve: nil model")
 	}
 	if err := validateModel(m, s.train); err != nil {
+		s.reloadRejected.Inc()
 		return err
 	}
 	s.install(m)

@@ -10,11 +10,16 @@
 #   against the /recommend/batch endpoint and the warmed top-K cache
 #   (QPS plus p50/p95/p99 per path).
 #
-# Both reports carry a "cores" field recording the machine they ran on:
+#   BENCH_guard.json — reruns the parallel workload with the training
+#   guardrails armed (loss watchdog, non-finite sentinels, gradient
+#   clipping) and records the throughput overhead per worker count. The
+#   budget is < 3% on a quiet machine.
+#
+# All reports carry a "cores" field recording the machine they ran on:
 # speedup is bounded by physical cores, so interpret the ratios against
 # that number, not in the abstract.
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json]
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +29,7 @@ SCALE="${2:-0.25}"
 EPOCHS="${3:-30}"
 OUT="${4:-BENCH_parallel.json}"
 SERVE_OUT="${5:-BENCH_serve.json}"
+GUARD_OUT="${6:-BENCH_guard.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
@@ -35,3 +41,9 @@ go run ./cmd/clapf-bench -exp serve -dataset ML100K \
 	-scale "$SCALE" -requests 1500 -batch 64 -json "$SERVE_OUT"
 
 echo "wrote $SERVE_OUT"
+
+go run ./cmd/clapf-bench -exp guard -dataset ML100K \
+	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 \
+	-workers "$WORKERS" -clip-norm 10 -json "$GUARD_OUT"
+
+echo "wrote $GUARD_OUT"

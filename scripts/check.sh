@@ -15,6 +15,15 @@ fi
 go vet ./...
 go test -race -shuffle=on ./...
 
+# Chaos-recovery gate: the guardrail subsystem's end-to-end guarantee —
+# injected NaN poisoning, torn checkpoints, and exploding learning rates
+# must all recover via rollback + backoff — exercised explicitly under
+# the race detector (the parallel trainer's guard checks run at segment
+# barriers and must stay race-clean). -count=1 defeats the test cache so
+# the gate always actually runs.
+go test -race -count=1 -run '^TestChaos' ./internal/fault
+echo "chaos-recovery gate ok"
+
 # Short fuzz smoke over the model-file loader: a few seconds of random
 # inputs against the corrupt-file handling, on top of the seed corpus the
 # regular tests already replay.
