@@ -18,7 +18,9 @@ fmt:
 	gofmt -w .
 
 # bench measures Hogwild training and parallel-eval scaling across worker
-# counts (BENCH_parallel.json), then serve-path throughput for the
-# single, batch, and cached request paths (BENCH_serve.json).
+# counts (BENCH_parallel.json), serve-path throughput for the single,
+# batch, and cached request paths (BENCH_serve.json), guardrail overhead
+# (BENCH_guard.json), and request-tracing overhead with the slow-capture
+# certification (BENCH_trace.json).
 bench:
 	sh scripts/bench.sh

@@ -11,6 +11,7 @@
 //	clapf-bench -exp parallel -dataset ML100K [-workers 1,2,4] [-json out.json]
 //	clapf-bench -exp serve    -dataset ML100K [-requests 2000] [-batch 64] [-json out.json]
 //	clapf-bench -exp guard    -dataset ML100K [-workers 1,2,4] [-clip-norm 10] [-json out.json]
+//	clapf-bench -exp trace    -dataset ML100K [-requests 2000] [-rounds 3] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
@@ -19,9 +20,11 @@
 // HTTP stack in-process and compares single, batch, and cached serving
 // throughput; the guard experiment reruns the parallel workload with the
 // training guardrails armed (loss watchdog, non-finite sentinels, gradient
-// clipping) and reports the throughput overhead. For these, -json
-// additionally writes the machine-readable report consumed by
-// scripts/bench.sh.
+// clipping) and reports the throughput overhead; the trace experiment
+// A/B-tests request tracing on the serve and train paths and certifies
+// that a slow request is tail-captured in the flight recorder. For
+// these, -json additionally writes the machine-readable report consumed
+// by scripts/bench.sh.
 package main
 
 import (
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -52,16 +55,17 @@ func main() {
 		reqs    = flag.Int("requests", 2000, "recommendation lists to serve per phase for -exp serve")
 		batch   = flag.Int("batch", 64, "entries per /recommend/batch request for -exp serve")
 		clip    = flag.Float64("clip-norm", 10, "gradient clip threshold for the guarded arm of -exp guard")
+		rounds  = flag.Int("rounds", 3, "alternating best-of rounds per arm for -exp trace")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -182,8 +186,20 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 			return experiments.WriteGuardBenchJSON(w, bench)
 		})
 
+	case "trace":
+		bench, err := experiments.RunTraceBench(setup, requests, epochs, rounds)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTraceBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteTraceBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace)", exp)
 	}
 }
 

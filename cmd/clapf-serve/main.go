@@ -10,9 +10,13 @@
 // fold-in), POST /recommend/batch (up to -max-batch requests per call),
 // and GET /similar?item=I&k=K. GET /metrics serves Prometheus text
 // exposition (per-endpoint request counts, status codes, latency
-// histograms, cache hit/eviction counters, model gauges). -pprof
-// additionally mounts net/http/pprof under /debug/pprof/ for live
-// profiling.
+// histograms, per-stage latency attribution, cache hit/eviction
+// counters, model and runtime gauges). Every request runs under a W3C
+// trace (inbound traceparent honoured); GET /debug/traces serves the
+// flight recorder of retained traces — a -trace-sample fraction of all
+// requests plus every request slower than -trace-slow or errored.
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// live profiling.
 //
 // Known-user top-K responses are cached (-cache-size entries, LRU); the
 // cache is invalidated atomically whenever the model is swapped, so a
@@ -60,6 +64,8 @@ type options struct {
 	readTimeout          time.Duration
 	writeTimeout         time.Duration
 	idleTimeout          time.Duration
+	traceSample          float64
+	traceSlow            time.Duration
 
 	// sigCh, when non-nil, replaces signal.Notify delivery.
 	sigCh chan os.Signal
@@ -80,6 +86,8 @@ func main() {
 	flag.DurationVar(&o.readTimeout, "read-timeout", 10*time.Second, "http.Server ReadTimeout")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "http.Server WriteTimeout")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0.01, "head-sampling probability for keeping a request trace in /debug/traces (slow and errored requests are always kept)")
+	flag.DurationVar(&o.traceSlow, "trace-slow", 250*time.Millisecond, "duration beyond which a request trace is always kept and logged")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -142,6 +150,10 @@ func run(o options) error {
 		server.MaxBatch = o.maxBatch
 	}
 	server.SetCacheSize(o.cacheSize)
+	server.Tracer().SetSampleRate(o.traceSample)
+	server.Tracer().SetSlowThreshold(o.traceSlow)
+	stopSampler := server.StartRuntimeSampler(10 * time.Second)
+	defer stopSampler()
 	model := server.Model()
 
 	ln, err := net.Listen("tcp", o.addr)

@@ -69,6 +69,7 @@ import (
 	"clapf"
 	"clapf/internal/guard"
 	"clapf/internal/obs"
+	"clapf/internal/obs/trace"
 	"clapf/internal/store"
 )
 
@@ -172,6 +173,7 @@ type sgdTrainer interface {
 	SetStatsHook(every int, fn clapf.StatsHook) error
 	InstrumentSampler(pos, neg *obs.Histogram)
 	SetGuard(cfg guard.Config, m *guard.Metrics) error
+	SetTracer(t *trace.Tracer)
 	MetaSnapshot() *store.Meta
 }
 
@@ -241,6 +243,13 @@ func run(w io.Writer, o options) error {
 			"Hogwild training workers in the current run.",
 			func() float64 { return 1 })
 	}
+	// Per-stage latency attribution: train.* stage durations land in
+	// clapf_stage_duration_seconds on the same registry (-prom-out picks
+	// them up). SampleRate 0 keeps the flight recorder quiet — there is no
+	// HTTP surface here; errored batches (guard trips) are still retained.
+	tracer := trace.New(registry, "clapf_", trace.Config{SampleRate: 0})
+	tracer.SetLogger(obs.NewTextLogger(w, slog.LevelWarn))
+	trainer.SetTracer(tracer)
 
 	// Guardrails: a guard is installed whenever clipping or the watchdog is
 	// on (clipping alone still wants its counter flushed); the supervisor
@@ -320,7 +329,7 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "training CLAPF-%s λ=%.2f on %s: %d users, %d items, %d pairs, %d steps, %d worker(s)\n",
 		v, o.lambda, train.Name(), train.NumUsers(), train.NumItems(), train.NumPairs(), cfg.Steps, o.workers)
 	start := time.Now()
-	interrupted, err := trainLoop(w, trainer, train, o, cfg, stop, sup)
+	interrupted, err := trainLoop(w, trainer, tracer, train, o, cfg, stop, sup)
 	if err != nil {
 		return err
 	}
@@ -434,7 +443,7 @@ func run(w io.Writer, o options) error {
 // final checkpoint is written, and the loop reports interrupted=true.
 // With a guard supervisor, trips are recovered at batch boundaries and
 // every checkpoint write is gated on a full parameter scan.
-func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal, sup *guard.Supervisor) (interrupted bool, err error) {
+func trainLoop(w io.Writer, trainer sgdTrainer, tracer *trace.Tracer, train *clapf.Dataset, o options, cfg clapf.Config, stop <-chan os.Signal, sup *guard.Supervisor) (interrupted bool, err error) {
 	ckptEvery := o.checkpointEvery
 	if ckptEvery <= 0 {
 		ckptEvery = train.NumPairs() // one epoch-equivalent
@@ -462,7 +471,9 @@ func trainLoop(w io.Writer, trainer sgdTrainer, train *clapf.Dataset, o options,
 				return nil
 			}
 		}
+		ckptStart := time.Now()
 		path, ckptErr := writeCheckpoint(trainer, train, o, cfg)
+		tracer.ObserveStage("train.checkpoint", time.Since(ckptStart))
 		if ckptErr != nil {
 			return ckptErr
 		}

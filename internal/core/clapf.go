@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"clapf/internal/guard"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
+	"clapf/internal/obs/trace"
 	"clapf/internal/sampling"
 )
 
@@ -138,6 +140,14 @@ type Trainer struct {
 	gd    *guardState
 	clips uint64 // lifetime norm-clipped updates (counted whenever ClipNorm > 0)
 
+	// Tracing (see trace.go); nil until SetTracer attaches a tracer, so
+	// the bare loop pays one nil check per step.
+	tracer    *trace.Tracer
+	stages    *stageTimers
+	stageTick uint64
+	timedStep bool      // this step samples its phase timings
+	timedAt   time.Time // start of the phase being timed
+
 	// Telemetry (see stats.go); inactive until SetStatsHook installs a
 	// hook, so the bare training loop pays nothing.
 	hook         StatsHook
@@ -227,8 +237,17 @@ func (t *Trainer) Run() {
 
 // RunSteps performs n SGD updates (useful for convergence traces that
 // evaluate between chunks). A tripped guard stops the loop early; the
-// caller observes the trip via GuardTrip.
+// caller observes the trip via GuardTrip. With a tracer attached the
+// whole call runs as one "train.batch" trace (tail-kept when the guard
+// trips) whose "train.steps" child covers the update loop.
 func (t *Trainer) RunSteps(n int) {
+	var batch *trace.Trace
+	var stepsSp trace.Span
+	if t.tracer != nil {
+		var ctx context.Context
+		ctx, batch = t.tracer.StartTrace(context.Background(), "train.batch")
+		stepsSp = trace.StartSpanNoCtx(ctx, "train.steps")
+	}
 	for s := 0; s < n; s++ {
 		if t.gd != nil && t.gd.trip != nil {
 			break
@@ -238,6 +257,11 @@ func (t *Trainer) RunSteps(n int) {
 	if t.gd != nil {
 		t.gd.flushClips(t.clips)
 	}
+	stepsSp.End()
+	if t.gd != nil && t.gd.trip != nil {
+		batch.MarkError()
+	}
+	batch.Finish(0, 0)
 }
 
 // Step samples one (u, i, k, j) case and applies Eq. 22.
@@ -246,8 +270,20 @@ func (t *Trainer) Step() {
 		now := time.Now()
 		t.trainStart, t.lastHookTime, t.lastHookStep = now, now, t.stepsDone
 	}
+	t.timedStep = false
+	var phaseStart time.Time
+	if t.stages != nil {
+		if t.stageTick&(stageSampleEvery-1) == 0 {
+			t.timedStep = true
+			phaseStart = time.Now()
+		}
+		t.stageTick++
+	}
 	rec := t.pairs[t.rng.Intn(len(t.pairs))]
 	tr := t.sampler.SampleWithI(rec.User, rec.Item)
+	if t.timedStep {
+		t.timedAt = observePhase(t.stages.sample, phaseStart)
+	}
 	t.update(rec.User, tr)
 	t.stepsDone++
 	if t.hook != nil {
@@ -312,6 +348,10 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 		t.observeLoss(-mathx.LogSigmoid(r))
 	}
 
+	if t.timedStep {
+		t.timedAt = observePhase(t.stages.risk, t.timedAt)
+	}
+
 	gamma := t.cfg.LearnRate
 	regU, regV, regB := t.cfg.RegUser, t.cfg.RegItem, t.cfg.RegBias
 
@@ -356,6 +396,9 @@ func (t *Trainer) update(u int32, tr sampling.Triple) {
 			t.model.AddBias(tr.K, gamma*(g*b-regB*t.model.Bias(tr.K)))
 		}
 		t.model.AddBias(tr.J, gamma*(g*c-regB*t.model.Bias(tr.J)))
+	}
+	if t.timedStep {
+		observePhase(t.stages.update, t.timedAt)
 	}
 }
 

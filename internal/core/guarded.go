@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"clapf/internal/guard"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
+	"clapf/internal/obs/trace"
 )
 
 // This file wires the guard subsystem (internal/guard) into both
@@ -35,6 +37,11 @@ type guardState struct {
 	lastCheck    int    // step of the previous periodic check
 	clipsFlushed uint64 // clip count already pushed to metrics
 	lossTick     uint64 // 1-in-8 loss-sampling counter (serial trainer)
+
+	// tracer, when set (via SetTracer on the owning trainer, in either
+	// installation order), attributes the periodic check's latency to the
+	// "train.guard_scan" stage.
+	tracer *trace.Tracer
 }
 
 // newGuardState applies defaults and validates cfg. The scan RNG is
@@ -84,6 +91,11 @@ func (g *guardState) flushClips(clips uint64) {
 // check flushes clip deltas, samples the parameters, and feeds the
 // watchdog. Runs on the coordinating goroutine with the model quiescent.
 func (g *guardState) check(step int, ewma float64, lossN int, clips uint64, m *mf.Model) {
+	if g.tracer != nil {
+		defer func(t0 time.Time) {
+			g.tracer.ObserveStage("train.guard_scan", time.Since(t0))
+		}(time.Now())
+	}
 	g.lastCheck = step
 	g.flushClips(clips)
 	if !g.cfg.Watchdog {
@@ -226,6 +238,7 @@ func (t *Trainer) SetGuard(cfg guard.Config, m *guard.Metrics) error {
 		return err
 	}
 	gd.lastCheck = t.stepsDone
+	gd.tracer = t.tracer
 	t.gd = gd
 	return nil
 }
@@ -268,6 +281,7 @@ func (pt *ParallelTrainer) SetGuard(cfg guard.Config, m *guard.Metrics) error {
 		return err
 	}
 	gd.lastCheck = pt.stepsDone
+	gd.tracer = pt.tracer
 	pt.gd = gd
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
 	"clapf/internal/obs"
+	"clapf/internal/obs/trace"
 	"clapf/internal/sampling"
 )
 
@@ -70,6 +72,10 @@ type ParallelTrainer struct {
 	// Optional obs export (RegisterMetrics), updated at barriers.
 	stepsVec *obs.CounterVec
 	spsVec   *obs.GaugeVec
+
+	// Tracing (see trace.go); nil until SetTracer attaches a tracer.
+	tracer *trace.Tracer
+	stages *stageTimers
 }
 
 // parallelWorker is one Hogwild goroutine's state: a user shard, private
@@ -100,6 +106,13 @@ type parallelWorker struct {
 	trip     *guard.Trip
 	segClips int
 	lossTick uint64
+
+	// Sampled step-phase timing (see trace.go). Worker-local, so timed
+	// steps on different workers observe the shared atomic histograms
+	// without coordination.
+	stageTick uint64
+	timedStep bool
+	timedAt   time.Time
 }
 
 // NewParallelTrainer validates the configuration and prepares an
@@ -296,6 +309,14 @@ func (pt *ParallelTrainer) RunSteps(n int) {
 		now := time.Now()
 		pt.trainStart, pt.lastHookTime, pt.lastHookStep = now, now, pt.stepsDone
 	}
+	// With a tracer attached the whole call is one "train.batch" trace;
+	// segment, barrier, refresh, and hook work become child spans, so a
+	// slow batch in the flight recorder shows which phase ate the time.
+	ctx := context.Background()
+	var batch *trace.Trace
+	if pt.tracer != nil {
+		ctx, batch = pt.tracer.StartTrace(ctx, "train.batch")
+	}
 	rankAware := pt.cfg.Sampler.Strategy != sampling.Uniform
 	refreshEvery := pt.sampler.RefreshEvery()
 	for n > 0 {
@@ -321,28 +342,40 @@ func (pt *ParallelTrainer) RunSteps(n int) {
 		if seg <= 0 { // boundary already due; settle it before running more
 			seg = 1
 		}
-		pt.runSegment(seg)
+		pt.runSegment(ctx, seg)
 		n -= seg
 
 		if rankAware && refreshEvery > 0 && pt.sinceRefresh >= refreshEvery {
+			sp := trace.StartSpanNoCtx(ctx, "train.refresh")
 			pt.sampler.Refresh() // workers are quiescent: safe to rebuild
+			sp.End()
 			pt.sinceRefresh = 0
 		}
 		if pt.hook != nil && pt.stepsDone-pt.lastHookStep >= pt.hookEvery {
+			sp := trace.StartSpanNoCtx(ctx, "train.hook")
 			pt.fireHook()
+			sp.End()
 		}
 		if pt.gd != nil && pt.gd.trip == nil {
+			// The check itself reports as the "train.guard_scan" stage
+			// (see guardState.check), so no span here.
 			pt.gd.maybeCheck(pt.stepsDone, pt.lossEWMA, pt.lossN, pt.clips, pt.model)
 		}
 	}
 	if pt.gd != nil {
 		pt.gd.flushClips(pt.clips)
 	}
+	if pt.gd != nil && pt.gd.trip != nil {
+		batch.MarkError()
+	}
+	batch.Finish(0, 0)
 }
 
 // runSegment fans seg steps out to the workers and merges telemetry after
-// the join barrier.
-func (pt *ParallelTrainer) runSegment(seg int) {
+// the join barrier. The fan-out-to-join interval is the "train.segment"
+// span; the coordinator-side merge that follows is "train.barrier".
+func (pt *ParallelTrainer) runSegment(ctx context.Context, seg int) {
+	sp := trace.StartSpanNoCtx(ctx, "train.segment")
 	quotas := proportionalShares(seg, pt.workers)
 	var wg sync.WaitGroup
 	for i, w := range pt.workers {
@@ -354,8 +387,20 @@ func (pt *ParallelTrainer) runSegment(seg int) {
 			defer wg.Done()
 			start := time.Now()
 			for s := 0; s < quota; s++ {
+				w.timedStep = false
+				var phaseStart time.Time
+				if pt.stages != nil {
+					if w.stageTick&(stageSampleEvery-1) == 0 {
+						w.timedStep = true
+						phaseStart = time.Now()
+					}
+					w.stageTick++
+				}
 				rec := w.pairs[w.rng.Intn(len(w.pairs))]
 				tr := w.sampler.SampleWithI(rec.User, rec.Item)
+				if w.timedStep {
+					w.timedAt = observePhase(pt.stages.sample, phaseStart)
+				}
 				pt.updateHogwild(w, rec.User, tr)
 			}
 			w.busy += time.Since(start)
@@ -363,7 +408,9 @@ func (pt *ParallelTrainer) runSegment(seg int) {
 		}(w, quotas[i])
 	}
 	wg.Wait()
+	sp.End()
 
+	sp = trace.StartSpanNoCtx(ctx, "train.barrier")
 	pt.stepsDone += seg
 	pt.sinceRefresh += seg
 	// Merge per-worker accumulators in worker order (deterministic
@@ -388,6 +435,7 @@ func (pt *ParallelTrainer) runSegment(seg int) {
 			}
 		}
 	}
+	sp.End()
 }
 
 // updateHogwild applies the Eq. 22 update for one sampled triple with
@@ -451,6 +499,10 @@ func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling
 		}
 	}
 
+	if w.timedStep {
+		w.timedAt = observePhase(pt.stages.risk, w.timedAt)
+	}
+
 	gamma := pt.cfg.LearnRate
 	regU, regV, regB := pt.cfg.RegUser, pt.cfg.RegItem, pt.cfg.RegBias
 
@@ -497,6 +549,9 @@ func (pt *ParallelTrainer) updateHogwild(w *parallelWorker, u int32, tr sampling
 			m.StoreBias(tr.K, bk+gamma*(g*b-regB*bk))
 		}
 		m.StoreBias(tr.J, bj+gamma*(g*c-regB*bj))
+	}
+	if w.timedStep {
+		observePhase(pt.stages.update, w.timedAt)
 	}
 }
 

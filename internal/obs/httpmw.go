@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -46,36 +47,101 @@ func (m *HTTPMetrics) Middleware(normalize func(path string) string, next http.H
 		m.InFlight.Add(1)
 		defer m.InFlight.Add(-1)
 
-		sw := &statusWriter{ResponseWriter: w}
+		sw := NewStatusRecorder(w)
 		sp := StartSpan(path)
 		next.ServeHTTP(sw, r)
 		d := sp.End()
 
-		code := sw.code
-		if code == 0 {
-			code = http.StatusOK // handler wrote a body (or nothing) without WriteHeader
-		}
-		m.Requests.With(path, strconv.Itoa(code)).Inc()
+		m.Requests.With(path, strconv.Itoa(sw.Code())).Inc()
 		m.Latency.With(path).Observe(d.Seconds())
 	})
 }
 
-// statusWriter captures the status code a handler writes.
-type statusWriter struct {
+// StatusRecorder wraps a ResponseWriter to capture the status code and
+// the number of body bytes a handler writes, while keeping the optional
+// upgrade interfaces of the wrapped writer reachable:
+//
+//   - Unwrap exposes the underlying writer to http.ResponseController,
+//     the standard route to Flush/Hijack/deadlines on a wrapped writer.
+//   - Flush forwards to the underlying http.Flusher when present (and is
+//     a no-op otherwise — callers that must know support exactly should
+//     go through ResponseController, which follows Unwrap).
+//   - ReadFrom forwards to the underlying io.ReaderFrom when present, so
+//     sendfile-style copies survive the wrapping; otherwise it falls
+//     back to a plain copy. Bytes are counted either way.
+//
+// A bare embedded ResponseWriter would shadow all three: a handler's
+// `w.(http.Flusher)` assertion would fail even on a flushable writer,
+// and io.Copy into the wrapper would lose the fast path.
+type StatusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
-func (w *statusWriter) WriteHeader(code int) {
+// NewStatusRecorder wraps w; if w is already a *StatusRecorder it is
+// returned as-is, so stacked middleware shares one recorder.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	if sr, ok := w.(*StatusRecorder); ok {
+		return sr
+	}
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// Code returns the captured status code; a handler that wrote a body (or
+// nothing) without calling WriteHeader reads as 200, per net/http.
+func (w *StatusRecorder) Code() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// BytesWritten returns the number of response-body bytes written so far.
+func (w *StatusRecorder) BytesWritten() int64 { return w.bytes }
+
+// Unwrap returns the wrapped writer for http.ResponseController.
+func (w *StatusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *StatusRecorder) WriteHeader(code int) {
 	if w.code == 0 {
 		w.code = code
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (w *statusWriter) Write(b []byte) (int, error) {
+func (w *StatusRecorder) Write(b []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (w *StatusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.code == 0 {
+			w.code = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// ReadFrom copies src into the response, using the underlying writer's
+// io.ReaderFrom fast path when available.
+func (w *StatusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	var n int64
+	var err error
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		n, err = rf.ReadFrom(src)
+	} else {
+		n, err = io.Copy(struct{ io.Writer }{w.ResponseWriter}, src)
+	}
+	w.bytes += n
+	return n, err
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -128,5 +129,134 @@ func TestMiddlewareConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := m.Requests.With("/ok", "200").Value(); got != 1600 {
 		t.Errorf("requests = %d, want 1600", got)
+	}
+}
+
+// flushRecorder wraps httptest.ResponseRecorder with a flush flag so the
+// passthrough can be observed.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+// readFromRecorder additionally implements io.ReaderFrom so the fast
+// path can be observed.
+type readFromRecorder struct {
+	*httptest.ResponseRecorder
+	readFromUsed bool
+}
+
+func (r *readFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	r.readFromUsed = true
+	return io.Copy(r.ResponseRecorder, src)
+}
+
+func TestStatusRecorderWriteBeforeWriteHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := NewStatusRecorder(rec)
+	if _, err := sw.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Code(); got != http.StatusOK {
+		t.Errorf("code after bare Write = %d, want 200", got)
+	}
+	// A WriteHeader after the implicit 200 must not retroactively change
+	// the recorded code (first writer wins, matching net/http).
+	sw.WriteHeader(http.StatusTeapot)
+	if got := sw.Code(); got != http.StatusOK {
+		t.Errorf("code changed retroactively to %d", got)
+	}
+	if got := sw.BytesWritten(); got != 5 {
+		t.Errorf("bytes = %d, want 5", got)
+	}
+}
+
+func TestStatusRecorderDefaultsAndFirstHeaderWins(t *testing.T) {
+	sw := NewStatusRecorder(httptest.NewRecorder())
+	if got := sw.Code(); got != http.StatusOK {
+		t.Errorf("untouched code = %d, want 200", got)
+	}
+	sw.WriteHeader(http.StatusNotFound)
+	sw.WriteHeader(http.StatusOK) // too late
+	if got := sw.Code(); got != http.StatusNotFound {
+		t.Errorf("code = %d, want first WriteHeader (404)", got)
+	}
+}
+
+func TestStatusRecorderIdentityReuse(t *testing.T) {
+	inner := NewStatusRecorder(httptest.NewRecorder())
+	outer := NewStatusRecorder(inner)
+	if outer != inner {
+		t.Error("stacked NewStatusRecorder allocated a second recorder")
+	}
+}
+
+func TestStatusRecorderFlushPassthrough(t *testing.T) {
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	sw := NewStatusRecorder(fr)
+	// The wrapper itself must satisfy http.Flusher (the embedded writer
+	// would otherwise shadow it behind the interface).
+	var asWriter http.ResponseWriter = sw
+	f, ok := asWriter.(http.Flusher)
+	if !ok {
+		t.Fatal("StatusRecorder does not implement http.Flusher")
+	}
+	f.Flush()
+	if !fr.flushed {
+		t.Error("Flush not forwarded to the underlying writer")
+	}
+	if got := sw.Code(); got != http.StatusOK {
+		t.Errorf("code after Flush = %d, want implicit 200", got)
+	}
+
+	// Flush on a non-flushable writer is a safe no-op.
+	NewStatusRecorder(nopWriter{httptest.NewRecorder()}).Flush()
+}
+
+// nopWriter hides ResponseRecorder's optional interfaces.
+type nopWriter struct{ rw http.ResponseWriter }
+
+func (n nopWriter) Header() http.Header         { return n.rw.Header() }
+func (n nopWriter) Write(b []byte) (int, error) { return n.rw.Write(b) }
+func (n nopWriter) WriteHeader(code int)        { n.rw.WriteHeader(code) }
+
+func TestStatusRecorderReadFrom(t *testing.T) {
+	// With an underlying io.ReaderFrom: fast path used, bytes counted.
+	rf := &readFromRecorder{ResponseRecorder: httptest.NewRecorder()}
+	sw := NewStatusRecorder(rf)
+	n, err := sw.ReadFrom(strings.NewReader("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("ReadFrom = (%d, %v), want (10, nil)", n, err)
+	}
+	if !rf.readFromUsed {
+		t.Error("underlying ReadFrom fast path not used")
+	}
+	if got := sw.BytesWritten(); got != 10 {
+		t.Errorf("bytes = %d, want 10", got)
+	}
+	if got := sw.Code(); got != http.StatusOK {
+		t.Errorf("code = %d, want implicit 200", got)
+	}
+
+	// Without: plain copy fallback, still counted.
+	sw2 := NewStatusRecorder(nopWriter{httptest.NewRecorder()})
+	n, err = sw2.ReadFrom(strings.NewReader("abc"))
+	if err != nil || n != 3 || sw2.BytesWritten() != 3 {
+		t.Errorf("fallback ReadFrom = (%d, %v), bytes %d; want (3, nil), 3", n, err, sw2.BytesWritten())
+	}
+}
+
+func TestStatusRecorderUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := NewStatusRecorder(rec)
+	if sw.Unwrap() != http.ResponseWriter(rec) {
+		t.Error("Unwrap did not return the wrapped writer")
+	}
+	// http.ResponseController follows Unwrap to reach the flushable
+	// writer — the standard-library contract the method exists for.
+	if err := http.NewResponseController(sw).Flush(); err != nil {
+		t.Errorf("ResponseController.Flush through Unwrap: %v", err)
 	}
 }

@@ -147,6 +147,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
+// NumSeries returns the number of individual series lines the registry
+// currently exposes (histogram buckets, _sum and _count included; HELP
+// and TYPE comments excluded). It renders the exposition output, so it
+// is a scrape-cost measure as well as a cardinality one — tests use it
+// to pin a ceiling on label growth.
+func (r *Registry) NumSeries() int {
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		return -1
+	}
+	n := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}
+
 // Handler serves the registry at GET time — mount it at /metrics.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeVitals is one sample of Go runtime health: scheduler load, heap
+// pressure, and GC stall behaviour. Zero values mean "not supported by
+// this runtime" for the individual field.
+type RuntimeVitals struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is the number of bytes occupied by live heap objects
+	// plus unswept spans (/memory/classes/heap/objects:bytes).
+	HeapBytes uint64 `json:"heap_bytes"`
+	// GCPauseSeconds approximates the worst stop-the-world GC pause
+	// observed since the previous sample (upper bucket bound of the
+	// runtime's pause histogram delta). Sticky: if no GC ran between
+	// samples, the previous value is retained rather than zeroed.
+	GCPauseSeconds float64 `json:"gc_pause_seconds"`
+	// SampledAt is when this sample was taken.
+	SampledAt time.Time `json:"-"`
+}
+
+// RuntimeSampler reads Go runtime telemetry through runtime/metrics on
+// demand or on a background cadence. Metric support is probed once at
+// construction (names vary across Go releases); unsupported fields stay
+// zero. All methods are safe for concurrent use.
+type RuntimeSampler struct {
+	mu        sync.Mutex
+	samples   []metrics.Sample
+	gIdx      int // /sched/goroutines, -1 if unsupported
+	hIdx      int // heap objects bytes, -1 if unsupported
+	pIdx      int // GC pause histogram, -1 if unsupported
+	prevPause []uint64
+	latest    RuntimeVitals
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+}
+
+// NewRuntimeSampler probes the runtime's metric set and returns a
+// sampler. It does not start a background loop; call Start for that, or
+// rely on Latest's staleness-triggered resampling.
+func NewRuntimeSampler() *RuntimeSampler {
+	s := &RuntimeSampler{gIdx: -1, hIdx: -1, pIdx: -1, stopCh: make(chan struct{})}
+	add := func(name string) int {
+		s.samples = append(s.samples, metrics.Sample{Name: name})
+		metrics.Read(s.samples[len(s.samples)-1:])
+		if s.samples[len(s.samples)-1].Value.Kind() == metrics.KindBad {
+			s.samples = s.samples[:len(s.samples)-1]
+			return -1
+		}
+		return len(s.samples) - 1
+	}
+	s.gIdx = add("/sched/goroutines:goroutines")
+	s.hIdx = add("/memory/classes/heap/objects:bytes")
+	// Go >= 1.22 spells the GC pause histogram the first way; older
+	// runtimes the second. Whichever probes clean wins.
+	if s.pIdx = add("/sched/pauses/total/gc:seconds"); s.pIdx < 0 {
+		s.pIdx = add("/gc/pauses:seconds")
+	}
+	s.Sample()
+	return s
+}
+
+// Sample reads the runtime now, updates the cached vitals, and returns
+// them.
+func (s *RuntimeSampler) Sample() RuntimeVitals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	v := RuntimeVitals{SampledAt: time.Now(), GCPauseSeconds: s.latest.GCPauseSeconds}
+	if s.gIdx >= 0 {
+		v.Goroutines = int(s.samples[s.gIdx].Value.Uint64())
+	}
+	if s.hIdx >= 0 {
+		v.HeapBytes = s.samples[s.hIdx].Value.Uint64()
+	}
+	if s.pIdx >= 0 {
+		if pause, ok := s.pauseDelta(s.samples[s.pIdx].Value.Float64Histogram()); ok {
+			v.GCPauseSeconds = pause
+		}
+	}
+	s.latest = v
+	return v
+}
+
+// pauseDelta compares the cumulative GC pause histogram against the
+// previous sample and returns the largest finite bucket bound that
+// gained counts — an upper estimate of the worst pause in the interval.
+func (s *RuntimeSampler) pauseDelta(h *metrics.Float64Histogram) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	defer func() {
+		if s.prevPause == nil {
+			s.prevPause = make([]uint64, len(h.Counts))
+		}
+		copy(s.prevPause, h.Counts)
+	}()
+	if s.prevPause == nil || len(s.prevPause) != len(h.Counts) {
+		return 0, false // first sample (or layout change): no interval yet
+	}
+	worst, found := 0.0, false
+	for i, c := range h.Counts {
+		if c <= s.prevPause[i] {
+			continue
+		}
+		// Buckets has len(Counts)+1 entries; bucket i spans
+		// [Buckets[i], Buckets[i+1]). Prefer the finite bound.
+		b := h.Buckets[i+1]
+		if b > worst && b <= 1e9 { // +Inf guard
+			worst, found = b, true
+		} else if b > 1e9 && h.Buckets[i] > worst {
+			worst, found = h.Buckets[i], true
+		}
+	}
+	return worst, found
+}
+
+// Latest returns the cached vitals, resampling first if they are older
+// than maxAge (maxAge <= 0 always resamples).
+func (s *RuntimeSampler) Latest(maxAge time.Duration) RuntimeVitals {
+	s.mu.Lock()
+	v := s.latest
+	s.mu.Unlock()
+	if maxAge > 0 && time.Since(v.SampledAt) < maxAge {
+		return v
+	}
+	return s.Sample()
+}
+
+// Start launches a background goroutine sampling every interval until
+// Stop is called. Calling Start more than once is a no-op after the
+// first.
+func (s *RuntimeSampler) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s.startOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.Sample()
+				case <-s.stopCh:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the background loop started by Start. Safe to call
+// multiple times, or without Start.
+func (s *RuntimeSampler) Stop() { s.stopOnce.Do(func() { close(s.stopCh) }) }
+
+// Register exposes the vitals as scrape-time gauges under prefix:
+// <prefix>goroutines, <prefix>heap_bytes, <prefix>gc_pause_seconds.
+// Scrapes read the cached sample, refreshing it when older than a
+// second, so a scrape storm cannot hammer runtime/metrics.
+func (s *RuntimeSampler) Register(reg *Registry, prefix string) {
+	reg.NewGaugeFunc(prefix+"goroutines",
+		"Live goroutine count (runtime/metrics).",
+		func() float64 { return float64(s.Latest(time.Second).Goroutines) })
+	reg.NewGaugeFunc(prefix+"heap_bytes",
+		"Bytes of live heap objects plus unswept spans (runtime/metrics).",
+		func() float64 { return float64(s.Latest(time.Second).HeapBytes) })
+	reg.NewGaugeFunc(prefix+"gc_pause_seconds",
+		"Approximate worst GC pause in the last sampling interval.",
+		func() float64 { return s.Latest(time.Second).GCPauseSeconds })
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerSample(t *testing.T) {
+	s := NewRuntimeSampler()
+	v := s.Sample()
+	if v.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", v.Goroutines)
+	}
+	if v.HeapBytes == 0 {
+		t.Error("heap bytes = 0, want > 0 on a live runtime")
+	}
+	if v.SampledAt.IsZero() {
+		t.Error("sample not timestamped")
+	}
+
+	// A GC between samples must not zero the sticky pause value, and the
+	// pause estimate stays plausible (well under a second).
+	runtime.GC()
+	v2 := s.Sample()
+	if v2.GCPauseSeconds < 0 || v2.GCPauseSeconds > 1 {
+		t.Errorf("gc pause = %v, want within [0, 1s]", v2.GCPauseSeconds)
+	}
+}
+
+func TestRuntimeSamplerLatestStaleness(t *testing.T) {
+	s := NewRuntimeSampler()
+	v1 := s.Latest(time.Hour) // fresh from the constructor's sample
+	v2 := s.Latest(time.Hour)
+	if !v2.SampledAt.Equal(v1.SampledAt) {
+		t.Error("fresh cache resampled under a generous maxAge")
+	}
+	v3 := s.Latest(0) // maxAge <= 0 always resamples
+	if v3.SampledAt.Equal(v1.SampledAt) {
+		t.Error("maxAge 0 did not resample")
+	}
+}
+
+func TestRuntimeSamplerRegister(t *testing.T) {
+	s := NewRuntimeSampler()
+	reg := NewRegistry()
+	s.Register(reg, "t_")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"t_goroutines", "t_heap_bytes", "t_gc_pause_seconds"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("gauge %s missing from exposition:\n%s", name, out)
+		}
+	}
+	samples := ParseExposition(t, out)
+	if samples["t_goroutines"] < 1 {
+		t.Errorf("t_goroutines = %v, want >= 1", samples["t_goroutines"])
+	}
+	if samples["t_heap_bytes"] <= 0 {
+		t.Errorf("t_heap_bytes = %v, want > 0", samples["t_heap_bytes"])
+	}
+}
+
+// TestRuntimeSamplerStartStop exercises the background loop and the
+// concurrency contract (double Start, Stop without Start, racing reads)
+// under the race detector.
+func TestRuntimeSamplerStartStop(t *testing.T) {
+	s := NewRuntimeSampler()
+	s.Start(time.Millisecond)
+	s.Start(time.Millisecond) // no-op, must not double the loop
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Latest(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	s.Stop() // idempotent
+
+	NewRuntimeSampler().Stop() // Stop without Start is fine too
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"net/http"
+
+	"clapf/internal/obs"
+)
+
+// Middleware wraps next so every request runs inside a trace rooted at
+// the normalized path. An inbound W3C traceparent header is honoured
+// (trace ID continuity and the sampled flag); a missing or malformed one
+// starts a fresh trace. The response status and body byte count are
+// captured through obs.StatusRecorder — if the enclosing metrics
+// middleware already wrapped the writer, that recorder is reused rather
+// than stacked. On a nil tracer, next is returned unwrapped.
+func (t *Tracer) Middleware(normalize func(path string) string, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if tp, ok := ParseTraceparent(r.Header.Get(Header)); ok {
+			ctx = WithRemoteParent(ctx, tp)
+		}
+		name := r.URL.Path
+		if normalize != nil {
+			name = normalize(name)
+		}
+		ctx, tr := t.StartTrace(ctx, name)
+		sw := obs.NewStatusRecorder(w)
+		defer func() {
+			// Seal the trace even when the handler panics (the recover
+			// middleware downstream turns that into a 500; if this
+			// middleware is outermost the panic is still propagating
+			// here). A panicked request is errored by definition.
+			if e := recover(); e != nil {
+				tr.MarkError()
+				tr.Finish(http.StatusInternalServerError, sw.BytesWritten())
+				panic(e)
+			}
+			tr.Finish(sw.Code(), sw.BytesWritten())
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}

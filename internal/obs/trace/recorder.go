@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one retained trace as exposed at GET /debug/traces. Spans
+// are in start order; Parent indexes into Spans (-1 for the root), so a
+// client can rebuild the tree without ID matching.
+type Record struct {
+	TraceID      string       `json:"trace_id"`
+	RemoteParent string       `json:"remote_parent,omitempty"`
+	Name         string       `json:"name"`
+	Start        time.Time    `json:"start"`
+	DurationMS   float64      `json:"duration_ms"`
+	Status       int          `json:"status,omitempty"`
+	Bytes        int64        `json:"bytes,omitempty"`
+	Keep         string       `json:"keep"` // "sample" | "slow" | "error"
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is one span within a Record. Offset and duration are in
+// microseconds relative to the trace start — stage latencies live in the
+// sub-millisecond range, where millisecond rendering would flatten
+// everything to zero.
+type SpanRecord struct {
+	SpanID     string  `json:"span_id"`
+	Stage      string  `json:"stage"`
+	Note       string  `json:"note,omitempty"`
+	Parent     int     `json:"parent"`
+	OffsetUS   float64 `json:"offset_us"`
+	DurationUS float64 `json:"duration_us"`
+}
+
+// stageSummary flattens the record's direct root children into a
+// compact "stage=dur" line for the slow-request log.
+func (r *Record) stageSummary() string {
+	var sb strings.Builder
+	for _, sp := range r.Spans {
+		if sp.Parent != 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(sp.Stage)
+		sb.WriteByte('=')
+		sb.WriteString((time.Duration(sp.DurationUS*1e3) * time.Nanosecond).Round(time.Microsecond).String())
+	}
+	return sb.String()
+}
+
+// recorder is the fixed-size ring buffer behind /debug/traces. push is
+// called only for kept traces (a small fraction of traffic), so a plain
+// mutex around a slice-ring is cheap enough and keeps eviction trivial.
+type recorder struct {
+	mu    sync.Mutex
+	ring  []*Record
+	next  int
+	total uint64
+}
+
+func newRecorder(capacity int) *recorder {
+	return &recorder{ring: make([]*Record, capacity)}
+}
+
+func (r *recorder) push(rec *Record) {
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained records, newest first.
+func (r *recorder) snapshot() ([]*Record, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Record, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		// Walk backwards from the most recent insert.
+		rec := r.ring[(r.next-1-i+2*len(r.ring))%len(r.ring)]
+		if rec == nil {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, r.total
+}
+
+// DebugResponse is the JSON envelope served at GET /debug/traces.
+type DebugResponse struct {
+	Capacity        int       `json:"capacity"`
+	RecordedTotal   uint64    `json:"recorded_total"`
+	SampleRate      float64   `json:"sample_rate"`
+	SlowThresholdMS float64   `json:"slow_threshold_ms"`
+	Traces          []*Record `json:"traces"`
+}
+
+// Snapshot returns the recorder contents, newest trace first, with the
+// tracer's current retention settings. Nil-safe (empty response).
+func (t *Tracer) Snapshot() DebugResponse {
+	if t == nil {
+		return DebugResponse{}
+	}
+	recs, total := t.rec.snapshot()
+	return DebugResponse{
+		Capacity:        len(t.rec.ring),
+		RecordedTotal:   total,
+		SampleRate:      float64(t.sampleBar.Load()) / float64(^uint64(0)),
+		SlowThresholdMS: float64(t.SlowThreshold().Microseconds()) / 1e3,
+		Traces:          recs,
+	}
+}
+
+// Handler serves the flight recorder as JSON — mount at /debug/traces.
+// Query parameters: ?keep=slow|error|sample filters by retention reason;
+// ?n=N caps the trace count (newest first).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := t.Snapshot()
+		if keep := r.URL.Query().Get("keep"); keep != "" {
+			kept := resp.Traces[:0]
+			for _, rec := range resp.Traces {
+				if rec.Keep == keep {
+					kept = append(kept, rec)
+				}
+			}
+			resp.Traces = kept
+		}
+		if nq := r.URL.Query().Get("n"); nq != "" {
+			if n := atoiClamp(nq, len(resp.Traces)); n < len(resp.Traces) {
+				resp.Traces = resp.Traces[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encode error means the client went away; nothing to do.
+		_ = enc.Encode(resp)
+	})
+}
+
+// atoiClamp parses a non-negative int, clamping parse failures and
+// out-of-range values to max.
+func atoiClamp(s string, max int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 || v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,540 @@
+// Package trace provides request-scoped hierarchical tracing with
+// per-stage latency attribution for the serve and train paths.
+//
+// A Tracer mints W3C-compatible trace/span IDs and starts one Trace per
+// unit of work (an HTTP request, a training batch). Child spans ride the
+// context.Context; ending a span always feeds the shared
+// <prefix>stage_duration_seconds{stage} histogram, so aggregate
+// attribution works at any sampling rate. Retention of the full span
+// tree is separate: a head-sampling decision made at StartTrace, plus a
+// tail-based keep-always for traces that finish slow (> threshold) or
+// errored, routes completed traces into a fixed-size ring-buffer flight
+// recorder served as JSON (see Handler) and into a structured
+// slow-request log line.
+//
+// The common path is deliberately lock-cheap: span bookkeeping locks
+// only the request-private Trace (uncontended), histogram observation is
+// atomic, and the recorder's mutex is taken only for the rare kept
+// trace.
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clapf/internal/obs"
+)
+
+// StageBuckets spans 1µs–4s geometrically: stage spans range from
+// sub-microsecond cache hits to multi-second training batches.
+var StageBuckets = obs.ExponentialBuckets(1e-6, 4, 12)
+
+// maxSpansPerTrace bounds a single trace's span slice. Beyond the cap,
+// spans still observe the stage histogram but are not appended — a
+// runaway loop cannot turn the recorder into a memory leak.
+const maxSpansPerTrace = 512
+
+// Config tunes a Tracer. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// SampleRate is the head-sampling probability in [0, 1] for
+	// retaining an unremarkable trace in the flight recorder
+	// (default 0.01). Slow and errored traces are always retained.
+	SampleRate float64
+	// SlowThreshold is the total-duration cutoff beyond which a trace
+	// is tail-retained and logged (default 250ms). <= 0 keeps the
+	// default; use a huge value to disable.
+	SlowThreshold time.Duration
+	// RecorderSize is the ring-buffer capacity in traces (default 256).
+	RecorderSize int
+	// Logger receives the slow/errored-request log line; nil disables
+	// logging (retention still happens).
+	Logger *slog.Logger
+}
+
+// Tracer mints trace IDs, makes sampling decisions, and owns the stage
+// histogram plus the flight recorder. A nil *Tracer is a valid no-op:
+// every method (and the package-level span helpers, on contexts it never
+// touched) degrades to zero work, so call sites need no "is tracing on"
+// branches.
+type Tracer struct {
+	stageDur *obs.HistogramVec
+	started  *obs.Counter
+	kept     *obs.CounterVec
+
+	rec *recorder
+
+	// idCtr ++ splitmix64 with a per-process random seed gives unique,
+	// cheap IDs without per-request crypto/rand reads.
+	idCtr  atomic.Uint64
+	idSeed uint64
+
+	sampleBar atomic.Uint64 // head-sample threshold over the full uint64 range
+	slowNS    atomic.Int64
+	logger    atomic.Pointer[slog.Logger]
+
+	// stageCache memoizes stageDur.With resolutions: the vec lookup
+	// allocates (variadic slice + joined key) on every call, which is
+	// too hot for span End. sync.Map reads are lock- and alloc-free, and
+	// the stage set is small and fixed so the map never grows unbounded.
+	stageCache sync.Map // stage string -> *obs.Histogram
+}
+
+// hist resolves the per-stage histogram through the alloc-free cache.
+func (t *Tracer) hist(stage string) *obs.Histogram {
+	if v, ok := t.stageCache.Load(stage); ok {
+		return v.(*obs.Histogram)
+	}
+	h := t.stageDur.With(stage)
+	t.stageCache.Store(stage, h)
+	return h
+}
+
+// New registers the tracer's metric families under prefix (e.g.
+// "clapf_") in reg and returns a ready Tracer.
+func New(reg *obs.Registry, prefix string, cfg Config) *Tracer {
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	if cfg.RecorderSize <= 0 {
+		cfg.RecorderSize = 256
+	}
+	t := &Tracer{
+		stageDur: reg.NewHistogramVec(prefix+"stage_duration_seconds",
+			"Latency attributed to one pipeline stage (span name).",
+			StageBuckets, "stage"),
+		started: reg.NewCounter(prefix+"traces_started_total",
+			"Traces begun (every request/batch, regardless of retention)."),
+		kept: reg.NewCounterVec(prefix+"traces_kept_total",
+			"Traces retained in the flight recorder, by keep reason.", "reason"),
+		rec:    newRecorder(cfg.RecorderSize),
+		idSeed: seedFromTime(),
+	}
+	t.SetSampleRate(cfg.SampleRate)
+	t.SetSlowThreshold(cfg.SlowThreshold)
+	if cfg.Logger != nil {
+		t.logger.Store(cfg.Logger)
+	}
+	return t
+}
+
+// seedFromTime derives the ID seed once at construction. Uniqueness of
+// IDs comes from the atomic counter; the seed only decorrelates separate
+// processes, so nanosecond clock entropy is plenty.
+func seedFromTime() uint64 { return splitmix64(uint64(time.Now().UnixNano())) }
+
+// SetSampleRate updates the head-sampling probability (clamped to
+// [0, 1]). Safe to call while serving.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if t == nil {
+		return
+	}
+	switch {
+	case rate <= 0:
+		t.sampleBar.Store(0)
+	case rate >= 1:
+		t.sampleBar.Store(math.MaxUint64)
+	default:
+		t.sampleBar.Store(uint64(rate * float64(math.MaxUint64)))
+	}
+}
+
+// SetSlowThreshold updates the tail-retention cutoff. Safe to call while
+// serving.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.slowNS.Store(int64(d))
+}
+
+// SlowThreshold returns the current tail-retention cutoff.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNS.Load())
+}
+
+// SetLogger replaces the slow-request logger. Safe to call while
+// serving.
+func (t *Tracer) SetLogger(l *slog.Logger) {
+	if t == nil {
+		return
+	}
+	t.logger.Store(l)
+}
+
+// ObserveStage records a duration directly against the stage histogram
+// without span bookkeeping — for instrumentation points that need
+// attribution but have no trace in scope (e.g. sampled training-step
+// phases).
+func (t *Tracer) ObserveStage(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.hist(stage).Observe(d.Seconds())
+}
+
+// StageHistogram resolves the per-stage histogram once so hot loops can
+// observe it atomically without the vec's map lookup. Returns nil on a
+// nil tracer.
+func (t *Tracer) StageHistogram(stage string) *obs.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hist(stage)
+}
+
+// Trace is one unit of traced work: a root span plus the tree of child
+// spans recorded under it. It is created by StartTrace and sealed by
+// Finish. After Finish returns, the Trace and any Spans or contexts
+// derived from it must not be used: the value is recycled for a later
+// trace, and stale span handles detect the reuse and no-op.
+type Trace struct {
+	tracer *Tracer
+	id     TraceID
+	remote SpanID // parent span from an inbound traceparent, if any
+	start  time.Time
+
+	sampled bool // head-sample (or inbound sampled flag) says keep
+
+	mu    sync.Mutex
+	gen   uint64 // reuse generation; span handles from older gens no-op
+	done  bool   // Finish already ran (second Finish is ignored)
+	spans []spanData
+	errs  bool
+
+	// spanBuf backs the first spans inline with the Trace allocation —
+	// typical requests stay under its capacity, so the hot path never
+	// grows the slice.
+	spanBuf [8]spanData
+}
+
+// tracePool recycles Trace values. One trace per request makes the
+// (spanBuf-sized) Trace allocation the hot path's dominant garbage, and
+// on small heaps the resulting GC cycles surface as serve tail latency.
+// Recycling is safe against stragglers — e.g. a handler still running
+// after http.TimeoutHandler already answered 503 — because every span
+// handle and trace context carries the generation it was minted under
+// and goes inert once the trace is reused.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+type spanData struct {
+	id     SpanID
+	name   string
+	note   string
+	parent int // index into spans; -1 for root
+	start  time.Time
+	end    time.Time // zero while open
+}
+
+type ctxKey struct{}
+
+// ctxVal pins the trace, the position in its span tree (so a child span
+// started from this context parents correctly), and the trace's reuse
+// generation (so spans started after the trace was recycled no-op).
+type ctxVal struct {
+	tr   *Trace
+	span int
+	gen  uint64
+}
+
+type remoteKey struct{}
+
+// WithRemoteParent records an inbound traceparent on the context;
+// StartTrace adopts its trace ID, parent span, and sampled flag.
+func WithRemoteParent(ctx context.Context, tp Traceparent) context.Context {
+	return context.WithValue(ctx, remoteKey{}, tp)
+}
+
+// FromContext returns the trace the context rides in, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.tr
+	}
+	return nil
+}
+
+// StartTrace opens a new trace named name (the root span's stage label)
+// and returns a derived context carrying it. Every call creates a trace
+// — sampling governs recorder retention, not span collection, so the
+// stage histogram sees all traffic. On a nil tracer the context is
+// returned untouched and the nil *Trace no-ops.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	t.started.Inc()
+	n := t.idCtr.Add(1)
+	tr := tracePool.Get().(*Trace)
+	tr.mu.Lock()
+	tr.gen++
+	tr.done = false
+	tr.tracer = t
+	tr.id = TraceID{hi: splitmix64(t.idSeed + 2*n), lo: splitmix64(t.idSeed + 2*n + 1)}
+	tr.remote = 0
+	tr.start = time.Now()
+	tr.sampled = false
+	tr.errs = false
+	if tr.id.IsZero() { // vanishingly unlikely, but all-zero is invalid W3C
+		tr.id.lo = 1
+	}
+	if tp, ok := ctx.Value(remoteKey{}).(Traceparent); ok {
+		tr.id = tp.TraceID
+		tr.remote = tp.SpanID
+		tr.sampled = tp.Sampled
+	}
+	if !tr.sampled {
+		// Hash the trace ID against the sampling bar: deterministic per
+		// trace, uniform across traces.
+		tr.sampled = splitmix64(tr.id.lo^tr.id.hi) < t.sampleBar.Load()
+	}
+	tr.spans = tr.spanBuf[:0]
+	tr.spans = append(tr.spans, spanData{
+		id:     t.newSpanID(),
+		name:   name,
+		parent: -1,
+		start:  tr.start,
+	})
+	gen := tr.gen
+	tr.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, ctxVal{tr, 0, gen}), tr
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	id := SpanID(splitmix64(t.idSeed ^ t.idCtr.Add(1)))
+	if id == 0 { // all-zero is invalid W3C
+		id = 1
+	}
+	return id
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 — a cheap,
+// high-quality 64-bit mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Span is a handle to one live span. The zero Span (returned when the
+// context carries no trace) no-ops on End, as does any span whose trace
+// has since been finished and recycled.
+type Span struct {
+	tr  *Trace
+	idx int
+	gen uint64
+}
+
+// StartSpan opens a child span named stage under the context's current
+// span and returns a derived context in which further spans nest beneath
+// it. On a context without a trace it returns the context unchanged and
+// a no-op Span.
+func StartSpan(ctx context.Context, stage string) (context.Context, Span) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok || v.tr == nil {
+		return ctx, Span{}
+	}
+	idx := v.tr.startSpan(stage, v.span, v.gen)
+	if idx < 0 {
+		return ctx, Span{}
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{v.tr, idx, v.gen}), Span{v.tr, idx, v.gen}
+}
+
+// StartSpanNoCtx opens a child span without deriving a context — for
+// straight-line stages with no nested spans, where the context
+// allocation would be waste.
+func StartSpanNoCtx(ctx context.Context, stage string) Span {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok || v.tr == nil {
+		return Span{}
+	}
+	idx := v.tr.startSpan(stage, v.span, v.gen)
+	if idx < 0 {
+		return Span{}
+	}
+	return Span{v.tr, idx, v.gen}
+}
+
+func (tr *Trace) startSpan(name string, parent int, gen uint64) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if gen != tr.gen || len(tr.spans) >= maxSpansPerTrace {
+		return -1
+	}
+	tr.spans = append(tr.spans, spanData{
+		id:     tr.tracer.newSpanID(),
+		name:   name,
+		parent: parent,
+		start:  time.Now(),
+	})
+	return len(tr.spans) - 1
+}
+
+// Active reports whether the span is recording (false for the zero Span
+// returned on an untraced context) — gate work done only to annotate.
+func (s Span) Active() bool { return s.tr != nil }
+
+// SetNote attaches a short annotation rendered in the flight recorder
+// (e.g. a batch-entry index). Not a histogram label, so cardinality is
+// unconstrained.
+func (s Span) SetNote(note string) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.gen == s.tr.gen {
+		s.tr.spans[s.idx].note = note
+	}
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, records its duration in the stage histogram, and
+// returns the elapsed time. Safe on the zero Span.
+func (s Span) End() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	now := time.Now()
+	s.tr.mu.Lock()
+	if s.gen != s.tr.gen { // trace finished and recycled under us
+		s.tr.mu.Unlock()
+		return 0
+	}
+	sp := &s.tr.spans[s.idx]
+	if !sp.end.IsZero() { // double End: keep the first
+		d := sp.end.Sub(sp.start)
+		s.tr.mu.Unlock()
+		return d
+	}
+	sp.end = now
+	d := now.Sub(sp.start)
+	name := sp.name
+	s.tr.mu.Unlock()
+	s.tr.tracer.hist(name).Observe(d.Seconds())
+	return d
+}
+
+// MarkError flags the trace as errored, forcing tail retention
+// regardless of duration or sampling.
+func (tr *Trace) MarkError() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.errs = true
+	tr.mu.Unlock()
+}
+
+// ID returns the trace's ID (zero on a nil trace).
+func (tr *Trace) ID() TraceID {
+	if tr == nil {
+		return TraceID{}
+	}
+	return tr.id
+}
+
+// Finish seals the trace: closes the root span (observing it into the
+// stage histogram), applies the retention policy, and on keep pushes the
+// trace into the flight recorder and emits the structured log line.
+// status and bytes annotate HTTP traces; pass 0, 0 elsewhere. Safe on a
+// nil trace.
+func (tr *Trace) Finish(status int, bytes int64) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	total := now.Sub(tr.start)
+
+	tr.mu.Lock()
+	if tr.done { // second Finish: the trace is already sealed
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	// Recycle on every exit below; registered only after the done check so
+	// a double Finish cannot push the same Trace into the pool twice.
+	defer tracePool.Put(tr)
+	root := &tr.spans[0]
+	if root.end.IsZero() {
+		root.end = now
+	}
+	rootName := root.name
+	errored := tr.errs || status >= 500
+
+	reason := ""
+	switch {
+	case errored:
+		reason = "error"
+	case total >= tr.tracer.SlowThreshold():
+		reason = "slow"
+	case tr.sampled:
+		reason = "sample"
+	}
+	var recTr *Record
+	if reason != "" {
+		recTr = tr.buildRecordLocked(now, total, status, bytes, reason)
+	}
+	tr.mu.Unlock()
+
+	tr.tracer.hist(rootName).Observe(total.Seconds())
+	if recTr == nil {
+		return
+	}
+	tr.tracer.kept.With(reason).Inc()
+	tr.tracer.rec.push(recTr)
+	if reason == "sample" {
+		return
+	}
+	if l := tr.tracer.logger.Load(); l != nil {
+		l.Warn("trace retained",
+			"reason", reason,
+			"trace_id", tr.id.String(),
+			"name", rootName,
+			"duration_ms", float64(total.Microseconds())/1e3,
+			"status", status,
+			"bytes", bytes,
+			"stages", recTr.stageSummary(),
+		)
+	}
+}
+
+// buildRecordLocked renders the span tree into an immutable Record.
+// Caller holds tr.mu.
+func (tr *Trace) buildRecordLocked(now time.Time, total time.Duration, status int, bytes int64, reason string) *Record {
+	r := &Record{
+		TraceID:    tr.id.String(),
+		Name:       tr.spans[0].name,
+		Start:      tr.start,
+		DurationMS: float64(total.Microseconds()) / 1e3,
+		Status:     status,
+		Bytes:      bytes,
+		Keep:       reason,
+		Spans:      make([]SpanRecord, len(tr.spans)),
+	}
+	if !tr.remote.IsZero() {
+		r.RemoteParent = tr.remote.String()
+	}
+	for i, sp := range tr.spans {
+		end := sp.end
+		if end.IsZero() {
+			end = now // left open: clip to trace end
+		}
+		r.Spans[i] = SpanRecord{
+			SpanID:     sp.id.String(),
+			Stage:      sp.name,
+			Note:       sp.note,
+			Parent:     sp.parent,
+			OffsetUS:   float64(sp.start.Sub(tr.start).Nanoseconds()) / 1e3,
+			DurationUS: float64(end.Sub(sp.start).Nanoseconds()) / 1e3,
+		}
+	}
+	return r
+}

@@ -1,0 +1,404 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clapf/internal/obs"
+)
+
+func newTestTracer(cfg Config) *Tracer {
+	return New(obs.NewRegistry(), "t_", cfg)
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1})
+	ctx, trace := tr.StartTrace(context.Background(), "root")
+
+	cctx, child := StartSpan(ctx, "child")
+	leaf := StartSpanNoCtx(cctx, "leaf")
+	leaf.End()
+	child.End()
+	sibling := StartSpanNoCtx(ctx, "sibling")
+	sibling.End()
+	trace.Finish(200, 42)
+
+	recs := tr.Snapshot().Traces
+	if len(recs) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Keep != "sample" {
+		t.Errorf("keep = %q, want sample", rec.Keep)
+	}
+	if rec.Status != 200 || rec.Bytes != 42 {
+		t.Errorf("status/bytes = %d/%d", rec.Status, rec.Bytes)
+	}
+	want := []struct {
+		stage  string
+		parent int
+	}{
+		{"root", -1},
+		{"child", 0},
+		{"leaf", 1},
+		{"sibling", 0},
+	}
+	if len(rec.Spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(rec.Spans), len(want))
+	}
+	for i, w := range want {
+		if rec.Spans[i].Stage != w.stage || rec.Spans[i].Parent != w.parent {
+			t.Errorf("span %d = %s parent %d, want %s parent %d",
+				i, rec.Spans[i].Stage, rec.Spans[i].Parent, w.stage, w.parent)
+		}
+	}
+	// Every ended span must have observed the stage histogram.
+	for _, stage := range []string{"root", "child", "leaf", "sibling"} {
+		if got := tr.StageHistogram(stage).Count(); got != 1 {
+			t.Errorf("stage %s histogram count = %d, want 1", stage, got)
+		}
+	}
+}
+
+func TestSamplingDecision(t *testing.T) {
+	// Rate 0: nothing retained, but stage histograms still observe.
+	tr := newTestTracer(Config{SampleRate: 0})
+	for i := 0; i < 50; i++ {
+		_, trace := tr.StartTrace(context.Background(), "req")
+		trace.Finish(200, 0)
+	}
+	if got := len(tr.Snapshot().Traces); got != 0 {
+		t.Errorf("rate 0 retained %d traces", got)
+	}
+	if got := tr.StageHistogram("req").Count(); got != 50 {
+		t.Errorf("stage histogram count = %d, want 50 (sampling must not gate attribution)", got)
+	}
+
+	// Rate 1: everything retained.
+	tr = newTestTracer(Config{SampleRate: 1})
+	for i := 0; i < 50; i++ {
+		_, trace := tr.StartTrace(context.Background(), "req")
+		trace.Finish(200, 0)
+	}
+	if got := tr.Snapshot().RecordedTotal; got != 50 {
+		t.Errorf("rate 1 retained %d traces, want 50", got)
+	}
+
+	// An inbound sampled flag forces retention even at rate 0.
+	tr = newTestTracer(Config{SampleRate: 0})
+	tp, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	_, trace := tr.StartTrace(WithRemoteParent(context.Background(), tp), "req")
+	trace.Finish(200, 0)
+	recs := tr.Snapshot().Traces
+	if len(recs) != 1 {
+		t.Fatalf("remote-sampled trace not retained")
+	}
+	if recs[0].TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("remote trace ID not adopted: %s", recs[0].TraceID)
+	}
+	if recs[0].RemoteParent != "00f067aa0ba902b7" {
+		t.Errorf("remote parent not recorded: %s", recs[0].RemoteParent)
+	}
+}
+
+func TestTailKeepSlowAndError(t *testing.T) {
+	var logBuf strings.Builder
+	tr := newTestTracer(Config{
+		SampleRate:    0,
+		SlowThreshold: 5 * time.Millisecond,
+		Logger:        obs.NewTextLogger(&logBuf, 0),
+	})
+
+	// Fast and clean: dropped.
+	_, fast := tr.StartTrace(context.Background(), "req")
+	fast.Finish(200, 0)
+
+	// Slow: tail-kept and logged even though head sampling said no.
+	ctx, slow := tr.StartTrace(context.Background(), "req")
+	sp := StartSpanNoCtx(ctx, "work")
+	time.Sleep(10 * time.Millisecond)
+	sp.End()
+	slow.Finish(200, 0)
+
+	// Errored (5xx): kept regardless of speed.
+	_, errored := tr.StartTrace(context.Background(), "req")
+	errored.Finish(500, 0)
+
+	// MarkError without a 5xx status: also kept.
+	_, marked := tr.StartTrace(context.Background(), "req")
+	marked.MarkError()
+	marked.Finish(200, 0)
+
+	recs := tr.Snapshot().Traces // newest first
+	if len(recs) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(recs))
+	}
+	for i, want := range []string{"error", "error", "slow"} {
+		if recs[i].Keep != want {
+			t.Errorf("trace %d keep = %q, want %q", i, recs[i].Keep, want)
+		}
+	}
+	if !strings.Contains(logBuf.String(), "trace retained") ||
+		!strings.Contains(logBuf.String(), "reason=slow") {
+		t.Errorf("slow trace not logged:\n%s", logBuf.String())
+	}
+	// The slow record must carry its child span with parentage intact.
+	slowRec := recs[2]
+	if len(slowRec.Spans) != 2 || slowRec.Spans[1].Stage != "work" || slowRec.Spans[1].Parent != 0 {
+		t.Errorf("slow record spans = %+v", slowRec.Spans)
+	}
+	if slowRec.DurationMS < 5 {
+		t.Errorf("slow record duration = %vms, want >= 5", slowRec.DurationMS)
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1, RecorderSize: 4})
+	for i := 0; i < 10; i++ {
+		ctx, trace := tr.StartTrace(context.Background(), "req")
+		sp := StartSpanNoCtx(ctx, "work")
+		sp.SetNote(fmt.Sprintf("%d", i))
+		sp.End()
+		trace.Finish(200, 0)
+	}
+	snap := tr.Snapshot()
+	if snap.RecordedTotal != 10 {
+		t.Errorf("recorded total = %d, want 10", snap.RecordedTotal)
+	}
+	if len(snap.Traces) != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", len(snap.Traces))
+	}
+	// Newest first: notes 9, 8, 7, 6.
+	for i, want := range []string{"9", "8", "7", "6"} {
+		if got := snap.Traces[i].Spans[1].Note; got != want {
+			t.Errorf("ring[%d] note = %q, want %q (newest-first eviction)", i, got, want)
+		}
+	}
+}
+
+func TestSpanCapAndDoubleEnd(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1})
+	ctx, trace := tr.StartTrace(context.Background(), "root")
+	for i := 0; i < maxSpansPerTrace+100; i++ {
+		sp := StartSpanNoCtx(ctx, "loop")
+		sp.End()
+	}
+	trace.Finish(200, 0)
+	recs := tr.Snapshot().Traces
+	if got := len(recs[0].Spans); got != maxSpansPerTrace {
+		t.Errorf("span count = %d, want capped at %d", got, maxSpansPerTrace)
+	}
+
+	// Double End keeps the first duration and observes once per span.
+	tr = newTestTracer(Config{SampleRate: 1})
+	ctx, trace = tr.StartTrace(context.Background(), "root")
+	sp := StartSpanNoCtx(ctx, "once")
+	d1 := sp.End()
+	time.Sleep(time.Millisecond)
+	d2 := sp.End()
+	if d1 != d2 {
+		t.Errorf("double End changed duration: %v then %v", d1, d2)
+	}
+	if got := tr.StageHistogram("once").Count(); got != 1 {
+		t.Errorf("double End observed %d times, want 1", got)
+	}
+	trace.Finish(200, 0)
+}
+
+// TestRecycledTraceStragglers: Trace values are pooled, so a span handle
+// that outlives its request (e.g. a handler http.TimeoutHandler gave up
+// on) must go inert once the trace is reused — and a second Finish must
+// not double-recycle.
+func TestRecycledTraceStragglers(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1})
+	ctx, trace := tr.StartTrace(context.Background(), "req")
+	sp := StartSpanNoCtx(ctx, "work")
+	trace.Finish(200, 0)
+
+	// Simulate the pool handing the trace to a new request.
+	trace.mu.Lock()
+	trace.gen++
+	trace.mu.Unlock()
+
+	before := tr.StageHistogram("work").Count()
+	if d := sp.End(); d != 0 {
+		t.Errorf("straggler End on recycled trace = %v, want 0", d)
+	}
+	sp.SetNote("ignored")
+	if got := tr.StageHistogram("work").Count(); got != before {
+		t.Errorf("straggler observed the stage histogram: %d -> %d", before, got)
+	}
+	if StartSpanNoCtx(ctx, "late").Active() {
+		t.Error("span started from a recycled trace is active")
+	}
+	if _, lateSp := StartSpan(ctx, "late"); lateSp.Active() {
+		t.Error("ctx span started from a recycled trace is active")
+	}
+
+	// Second Finish: sealed traces stay sealed (no duplicate record).
+	trace.Finish(500, 0)
+	if n := len(tr.Snapshot().Traces); n != 1 {
+		t.Errorf("double Finish recorded %d traces, want 1", n)
+	}
+}
+
+func TestNilAndZeroValueSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.StartTrace(context.Background(), "x")
+	if trace != nil {
+		t.Error("nil tracer returned a trace")
+	}
+	trace.MarkError()
+	trace.Finish(0, 0)
+	tr.ObserveStage("x", time.Second)
+	tr.SetSampleRate(1)
+	tr.SetSlowThreshold(time.Second)
+	tr.SetLogger(nil)
+	if tr.StageHistogram("x") != nil {
+		t.Error("nil tracer returned a histogram")
+	}
+	if got := tr.Snapshot(); len(got.Traces) != 0 {
+		t.Error("nil tracer snapshot non-empty")
+	}
+
+	// Spans on an untraced context are inert.
+	_, sp := StartSpan(ctx, "x")
+	if sp.Active() {
+		t.Error("span on untraced context is active")
+	}
+	sp.SetNote("ignored")
+	if sp.End() != 0 {
+		t.Error("zero span End returned nonzero")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on untraced context non-nil")
+	}
+}
+
+func TestMiddlewareTraceparentRoundTrip(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 0})
+	var gotID TraceID
+	h := tr.Middleware(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = FromContext(r.Context()).ID()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+
+	// Valid inbound sampled traceparent: ID adopted, trace retained.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(Header, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if gotID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("inbound trace ID not adopted: %s", gotID)
+	}
+	if recs := tr.Snapshot().Traces; len(recs) != 1 || recs[0].Status != http.StatusNoContent {
+		t.Errorf("sampled inbound trace not retained with status: %+v", recs)
+	}
+
+	// Malformed header: fresh trace, not retained (rate 0), no crash.
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(Header, "hot-garbage")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if gotID.IsZero() {
+		t.Error("malformed traceparent produced a zero trace ID")
+	}
+	if gotID.String() == "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Error("malformed traceparent adopted the stale ID")
+	}
+
+	// Absent header: fresh trace too.
+	prev := gotID
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if gotID.IsZero() || gotID == prev {
+		t.Errorf("absent traceparent: trace ID %s (prev %s), want fresh", gotID, prev)
+	}
+}
+
+func TestMiddlewarePanicMarksError(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 0})
+	h := tr.Middleware(nil, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("middleware swallowed the panic")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}()
+	recs := tr.Snapshot().Traces
+	if len(recs) != 1 || recs[0].Keep != "error" {
+		t.Fatalf("panicked request not tail-kept as error: %+v", recs)
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1})
+	for i := 0; i < 3; i++ {
+		_, trace := tr.StartTrace(context.Background(), "ok")
+		trace.Finish(200, 0)
+	}
+	_, bad := tr.StartTrace(context.Background(), "bad")
+	bad.Finish(500, 0)
+
+	get := func(url string) DebugResponse {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q", ct)
+		}
+		var resp DebugResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return resp
+	}
+
+	if resp := get("/debug/traces"); len(resp.Traces) != 4 || resp.RecordedTotal != 4 {
+		t.Errorf("unfiltered = %d traces (total %d), want 4", len(resp.Traces), resp.RecordedTotal)
+	}
+	if resp := get("/debug/traces?keep=error"); len(resp.Traces) != 1 || resp.Traces[0].Name != "bad" {
+		t.Errorf("keep=error filter failed: %+v", resp.Traces)
+	}
+	if resp := get("/debug/traces?n=2"); len(resp.Traces) != 2 {
+		t.Errorf("n=2 returned %d traces", len(resp.Traces))
+	}
+	if resp := get("/debug/traces?n=bogus"); len(resp.Traces) != 4 {
+		t.Errorf("bogus n clamped to %d traces, want all 4", len(resp.Traces))
+	}
+}
+
+// TestConcurrentTraces drives many goroutines through distinct traces
+// and shared tracer state for the race detector.
+func TestConcurrentTraces(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1, RecorderSize: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, trace := tr.StartTrace(context.Background(), "req")
+				cctx, sp := StartSpan(ctx, "outer")
+				leaf := StartSpanNoCtx(cctx, "inner")
+				leaf.End()
+				sp.End()
+				trace.Finish(200, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Snapshot().RecordedTotal; got != 800 {
+		t.Errorf("recorded total = %d, want 800", got)
+	}
+	if got := tr.StageHistogram("req").Count(); got != 800 {
+		t.Errorf("root stage count = %d, want 800", got)
+	}
+}

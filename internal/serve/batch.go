@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"clapf/internal/obs/trace"
 	"clapf/internal/score"
 )
 
@@ -50,24 +52,28 @@ type BatchResponse struct {
 // through the engine's blocked batch kernel, which reads each tile of the
 // item-factor matrix once for the whole batch instead of once per user.
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sp := trace.StartSpanNoCtx(ctx, "decode")
+	err := json.NewDecoder(r.Body).Decode(&req)
+	sp.End()
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.httpError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(ctx, w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("batch body exceeds %d bytes", tooLarge.Limit))
 			return
 		}
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("malformed batch request: %v", err))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("malformed batch request: %v", err))
 		return
 	}
 	if len(req.Requests) == 0 {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
 	if len(req.Requests) > s.MaxBatch {
-		s.httpError(w, http.StatusBadRequest,
+		s.httpError(ctx, w, http.StatusBadRequest,
 			fmt.Errorf("batch has %d entries, limit %d", len(req.Requests), s.MaxBatch))
 		return
 	}
@@ -77,7 +83,9 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Pass 1: validate every entry, answer cache hits, and collect the
 	// known users that still need scoring (deduped across entries — two
-	// entries for the same user share one score row).
+	// entries for the same user share one score row). Each entry runs
+	// under its own "entry" span (note = entry index) so a slow batch
+	// shows which member dragged it down; cold-start stages nest inside.
 	type pendingKnown struct {
 		idx int
 		u   int32
@@ -86,66 +94,83 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	var pending []pendingKnown
 	rowOf := make(map[int32]int) // user -> index into the score batch
 	var missUsers []int32
-	for idx, e := range req.Requests {
-		res := &results[idx]
-		k, err := clampBatchK(e.K, s.MaxK)
-		if err != nil {
-			res.Error = err.Error()
-			continue
+	for idx := range req.Requests {
+		ectx, esp := trace.StartSpan(ctx, "entry")
+		if esp.Active() {
+			esp.SetNote(strconv.Itoa(idx))
 		}
-		switch {
-		case e.User != nil && len(e.Items) > 0:
-			res.Error = "pass either user or items, not both"
-		case e.User != nil:
-			u := *e.User
-			if u < 0 || int(u) >= st.model.NumUsers() {
-				res.Error = fmt.Sprintf("invalid user %d", u)
-				continue
+		func() {
+			defer esp.End()
+			e := req.Requests[idx]
+			res := &results[idx]
+			k, err := clampBatchK(e.K, s.MaxK)
+			if err != nil {
+				res.Error = err.Error()
+				return
 			}
-			res.User = e.User
-			if items, ok := st.cache.get(cacheKey{user: u, k: k}); ok {
-				s.cacheHits.Inc()
+			switch {
+			case e.User != nil && len(e.Items) > 0:
+				res.Error = "pass either user or items, not both"
+			case e.User != nil:
+				u := *e.User
+				if u < 0 || int(u) >= st.model.NumUsers() {
+					res.Error = fmt.Sprintf("invalid user %d", u)
+					return
+				}
+				res.User = e.User
+				sp := trace.StartSpanNoCtx(ectx, "cache")
+				items, ok := st.cache.get(cacheKey{user: u, k: k})
+				sp.End()
+				if ok {
+					s.cacheHits.Inc()
+					res.Items = items
+					return
+				}
+				if st.cache != nil {
+					s.cacheMisses.Inc()
+				}
+				if _, ok := rowOf[u]; !ok {
+					rowOf[u] = len(missUsers)
+					missUsers = append(missUsers, u)
+				}
+				pending = append(pending, pendingKnown{idx: idx, u: u, k: k})
+			case len(e.Items) > 0:
+				history, err := dedupeIDs(e.Items, st.model.NumItems(), s.MaxHistory)
+				if err != nil {
+					res.Error = err.Error()
+					return
+				}
+				items, err := s.topKColdStart(ectx, st, history, k)
+				if err != nil {
+					res.Error = err.Error()
+					return
+				}
 				res.Items = items
-				continue
+			default:
+				res.Error = "entry needs a user or a non-empty items history"
 			}
-			if st.cache != nil {
-				s.cacheMisses.Inc()
-			}
-			if _, ok := rowOf[u]; !ok {
-				rowOf[u] = len(missUsers)
-				missUsers = append(missUsers, u)
-			}
-			pending = append(pending, pendingKnown{idx: idx, u: u, k: k})
-		case len(e.Items) > 0:
-			history, err := dedupeIDs(e.Items, st.model.NumItems(), s.MaxHistory)
-			if err != nil {
-				res.Error = err.Error()
-				continue
-			}
-			items, err := s.topKColdStart(st, history, k)
-			if err != nil {
-				res.Error = err.Error()
-				continue
-			}
-			res.Items = items
-		default:
-			res.Error = "entry needs a user or a non-empty items history"
-		}
+		}()
 	}
 
 	// Pass 2: one blocked, parallel scoring sweep over the cache misses.
+	// The sweep serves many entries at once, so its stages attach to the
+	// request root, not to any single entry span.
 	if len(missUsers) > 0 {
+		sp := trace.StartSpanNoCtx(ctx, "score")
 		rows := score.NewScoreRows(len(missUsers), st.model.NumItems())
 		st.eng.ScoreUsersParallel(missUsers, rows)
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "topk")
 		for _, p := range pending {
 			u := p.u
 			items := s.rankTopK(rows[rowOf[u]], p.k, excludeSorted(s.train.Positives(u)))
 			s.cacheEvictions.Add(uint64(st.cache.put(cacheKey{user: u, k: p.k}, items)))
 			results[p.idx].Items = items
 		}
+		sp.End()
 	}
 
-	s.writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	s.writeJSON(ctx, w, http.StatusOK, BatchResponse{Results: results})
 }
 
 // clampBatchK normalizes a batch entry's k exactly like parseK does for

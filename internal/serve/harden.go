@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/http"
 	"runtime/debug"
+
+	"clapf/internal/obs/trace"
 )
 
 // This file is the serve-path failure containment: a panic in one handler
@@ -17,7 +19,7 @@ import (
 // would make an overloaded server look dead and get it restarted.
 func exemptFromHardening(path string) bool {
 	switch path {
-	case "/healthz", "/readyz", "/metrics":
+	case "/healthz", "/readyz", "/metrics", "/debug/traces":
 		return true
 	}
 	return false
@@ -62,14 +64,20 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		// The admission check is its own trace stage: when the semaphore
+		// is contended, the time spent here is real queueing the stage
+		// histogram should attribute, not blame on the handler.
+		sp := trace.StartSpanNoCtx(r.Context(), "shed")
 		select {
 		case sem <- struct{}{}:
+			sp.End()
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			sp.End()
 			s.sheds.Inc()
 			w.Header().Set("Retry-After", "1")
-			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded"})
+			s.writeJSON(r.Context(), w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded"})
 		}
 	})
 }

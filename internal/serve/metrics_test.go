@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -154,7 +155,7 @@ func TestWriteJSONEncodeErrorLoggedAndCounted(t *testing.T) {
 	s.SetLogger(obs.NewTextLogger(&logBuf, slog.LevelInfo))
 
 	rec := httptest.NewRecorder()
-	s.writeJSON(rec, http.StatusOK, math.NaN()) // json: unsupported value
+	s.writeJSON(context.Background(), rec, http.StatusOK, math.NaN()) // json: unsupported value
 	if got := s.encodeErrors.Value(); got != 1 {
 		t.Errorf("encode errors = %d, want 1", got)
 	}
@@ -172,7 +173,7 @@ func TestSetLoggerNilRestoresNop(t *testing.T) {
 	s, _ := testServer(t)
 	s.SetLogger(nil)
 	rec := httptest.NewRecorder()
-	s.writeJSON(rec, http.StatusOK, math.NaN()) // must not panic
+	s.writeJSON(context.Background(), rec, http.StatusOK, math.NaN()) // must not panic
 	if got := s.encodeErrors.Value(); got != 1 {
 		t.Errorf("encode errors = %d, want 1", got)
 	}

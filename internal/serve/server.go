@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -34,6 +35,7 @@ import (
 	"clapf/internal/dataset"
 	"clapf/internal/mf"
 	"clapf/internal/obs"
+	"clapf/internal/obs/trace"
 	"clapf/internal/rank"
 	"clapf/internal/score"
 	"clapf/internal/store"
@@ -88,6 +90,9 @@ type Server struct {
 	log            *slog.Logger
 	reg            *obs.Registry
 	httpm          *obs.HTTPMetrics
+	tracer         *trace.Tracer
+	traceOff       atomic.Bool
+	vitals         *obs.RuntimeSampler
 	encodeErrors   *obs.Counter
 	panics         *obs.Counter
 	sheds          *obs.Counter
@@ -129,6 +134,9 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	s.install(model)
 	s.ready.Store(true)
 	s.httpm = obs.NewHTTPMetrics(s.reg, "clapf_")
+	s.tracer = trace.New(s.reg, "clapf_", trace.Config{SampleRate: 0.01})
+	s.vitals = obs.NewRuntimeSampler()
+	s.vitals.Register(s.reg, "clapf_")
 	s.encodeErrors = s.reg.NewCounter("clapf_encode_errors_total",
 		"JSON response bodies that failed to encode after the header was written.")
 	s.panics = s.reg.NewCounter("clapf_panics_total",
@@ -201,6 +209,32 @@ func (s *Server) SetLogger(l *slog.Logger) {
 		l = obs.NopLogger()
 	}
 	s.log = l
+	s.tracer.SetLogger(l)
+}
+
+// Tracer exposes the server's request tracer so callers can tune
+// sampling (SetSampleRate, SetSlowThreshold) or read the flight
+// recorder out-of-band.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// SetTracing enables or disables request tracing; Handler must be
+// rebuilt for a change to take effect. With tracing off, requests carry
+// no trace context: stage spans degrade to a nil-check and the stage
+// histogram and flight recorder go quiet. The bench harness uses this
+// for its traced-vs-untraced comparison.
+func (s *Server) SetTracing(on bool) { s.traceOff.Store(!on) }
+
+// RuntimeVitals returns the most recent runtime sample (resampled when
+// older than a second) — the /healthz source of truth.
+func (s *Server) RuntimeVitals() obs.RuntimeVitals { return s.vitals.Latest(time.Second) }
+
+// StartRuntimeSampler launches the background runtime-vitals loop so
+// /healthz and the clapf_goroutines/heap/gc gauges stay fresh even with
+// no scrape traffic. Returns a stop function; without this call the
+// sampler still refreshes lazily on access.
+func (s *Server) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	s.vitals.Start(interval)
+	return s.vitals.Stop
 }
 
 // Registry exposes the server's metrics registry so callers can add
@@ -285,15 +319,17 @@ func (s *Server) ReloadFromFile(path string) error {
 // routed endpoints keep their path, everything else collapses.
 func normalizeMetricPath(p string) string {
 	switch p {
-	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/metrics":
+	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/metrics", "/debug/traces":
 		return p
 	}
 	return "other"
 }
 
-// Handler returns the routed HTTP handler wrapped in the hardening and
-// metrics middleware: metrics(recover(shed(timeout(mux)))), so panics and
-// shed requests are themselves visible in the request metrics.
+// Handler returns the routed HTTP handler wrapped in the hardening,
+// tracing, and metrics middleware: metrics(trace(recover(shed(timeout(
+// mux))))), so panics and shed requests are visible both in the request
+// metrics and as errored traces, and the shed check itself is a traced
+// stage.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -302,10 +338,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /recommend/batch", s.handleRecommendBatch)
 	mux.HandleFunc("GET /similar", s.handleSimilar)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	var h http.Handler = mux
 	h = s.timeoutMiddleware(h)
 	h = s.shedMiddleware(h)
 	h = s.recoverMiddleware(h)
+	if !s.traceOff.Load() {
+		h = s.tracer.Middleware(normalizeMetricPath, h)
+	}
 	return s.httpm.Middleware(normalizeMetricPath, h)
 }
 
@@ -334,11 +374,15 @@ type HealthResponse struct {
 	// RequestsTotal counts requests completed before this one, across
 	// all endpoints and status codes.
 	RequestsTotal uint64 `json:"requests_total"`
+	// Runtime carries the Go runtime vitals from the shared sampler —
+	// goroutine count, live heap bytes, and the worst recent GC pause —
+	// so a probe shows scheduler and memory pressure without a scrape.
+	Runtime obs.RuntimeVitals `json:"runtime"`
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	m := s.Model()
-	s.writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(r.Context(), w, http.StatusOK, HealthResponse{
 		Status:          "ok",
 		Users:           m.NumUsers(),
 		Items:           m.NumItems(),
@@ -346,26 +390,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		ModelGeneration: s.generation.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		RequestsTotal:   s.httpm.TotalRequests(),
+		Runtime:         s.RuntimeVitals(),
 	})
 }
 
 // handleReady is the routing signal, distinct from liveness: a draining
 // process is still alive (healthz 200) but should get no new traffic
 // (readyz 503).
-func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		s.writeJSON(r.Context(), w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(r.Context(), w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{Status: "ready"})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	k, err := s.parseK(r)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(ctx, w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -373,45 +419,60 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	itemsParam := r.URL.Query().Get("items")
 	switch {
 	case userParam != "" && itemsParam != "":
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("pass either user or items, not both"))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("pass either user or items, not both"))
 	case userParam != "":
-		s.recommendKnown(w, userParam, k)
+		s.recommendKnown(ctx, w, userParam, k)
 	case itemsParam != "":
-		s.recommendColdStart(w, itemsParam, k)
+		s.recommendColdStart(ctx, w, itemsParam, k)
 	default:
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("missing user or items parameter"))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("missing user or items parameter"))
 	}
 }
 
-func (s *Server) recommendKnown(w http.ResponseWriter, userParam string, k int) {
+func (s *Server) recommendKnown(ctx context.Context, w http.ResponseWriter, userParam string, k int) {
 	st := s.live.Load()
 	u64, err := strconv.ParseInt(userParam, 10, 32)
 	if err != nil || u64 < 0 || int(u64) >= st.model.NumUsers() {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
 		return
 	}
 	u := int32(u64)
-	items := s.topKForUser(st, u, k)
-	s.writeJSON(w, http.StatusOK, RecommendResponse{User: &u, Items: items})
+	items := s.topKForUser(ctx, st, u, k)
+	s.writeJSON(ctx, w, http.StatusOK, RecommendResponse{User: &u, Items: items})
 }
 
 // topKForUser answers a known-user top-K from st's cache when possible,
 // scoring and filling the cache otherwise. All counters (hits, misses,
 // evictions, non-finite drops) are maintained here so the single and batch
-// paths report identically.
-func (s *Server) topKForUser(st *liveState, u int32, k int) []Item {
+// paths report identically. Each phase is a trace stage: "cache" (lookup,
+// and the fill put on a miss), "score", "merge" (exclusion construction —
+// the per-item filtering itself is fused into the top-K scan and
+// attributed to "topk"), and "topk".
+func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int) []Item {
 	key := cacheKey{user: u, k: k}
-	if items, ok := st.cache.get(key); ok {
+	sp := trace.StartSpanNoCtx(ctx, "cache")
+	items, ok := st.cache.get(key)
+	sp.End()
+	if ok {
 		s.cacheHits.Inc()
 		return items
 	}
 	if st.cache != nil {
 		s.cacheMisses.Inc()
 	}
+	sp = trace.StartSpanNoCtx(ctx, "score")
 	scores := make([]float64, st.model.NumItems())
 	st.eng.ScoreAll(u, scores)
-	items := s.rankTopK(scores, k, excludeSorted(s.train.Positives(u)))
+	sp.End()
+	sp = trace.StartSpanNoCtx(ctx, "merge")
+	exclude := excludeSorted(s.train.Positives(u))
+	sp.End()
+	sp = trace.StartSpanNoCtx(ctx, "topk")
+	items = s.rankTopK(scores, k, exclude)
+	sp.End()
+	sp = trace.StartSpanNoCtx(ctx, "cache")
 	s.cacheEvictions.Add(uint64(st.cache.put(key, items)))
+	sp.End()
 	return items
 }
 
@@ -444,57 +505,69 @@ func (s *Server) rankTopK(scores []float64, k int, exclude func(int32) bool) []I
 	return toItems(top)
 }
 
-func (s *Server) recommendColdStart(w http.ResponseWriter, itemsParam string, k int) {
+func (s *Server) recommendColdStart(ctx context.Context, w http.ResponseWriter, itemsParam string, k int) {
 	st := s.live.Load()
 	history, err := parseItemList(itemsParam, st.model.NumItems(), s.MaxHistory)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(ctx, w, http.StatusBadRequest, err)
 		return
 	}
-	items, err := s.topKColdStart(st, history, k)
+	items, err := s.topKColdStart(ctx, st, history, k)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(ctx, w, http.StatusBadRequest, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, RecommendResponse{Items: items})
+	s.writeJSON(ctx, w, http.StatusOK, RecommendResponse{Items: items})
 }
 
 // topKColdStart folds a (deduped) history into user factors and ranks all
 // items outside it. Cold-start results are never cached: the history is
-// the key and its space is unbounded.
-func (s *Server) topKColdStart(st *liveState, history []int32, k int) ([]Item, error) {
+// the key and its space is unbounded. Stages: "foldin" (ridge solve),
+// "merge" (history exclusion set), "score", "topk".
+func (s *Server) topKColdStart(ctx context.Context, st *liveState, history []int32, k int) ([]Item, error) {
+	sp := trace.StartSpanNoCtx(ctx, "foldin")
 	uf, err := mf.FoldInUser(st.model, history, s.FoldInReg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = trace.StartSpanNoCtx(ctx, "merge")
 	seen := make(map[int32]bool, len(history))
 	for _, it := range history {
 		seen[it] = true
 	}
+	sp.End()
+	sp = trace.StartSpanNoCtx(ctx, "score")
 	scores := make([]float64, st.model.NumItems())
 	st.model.ScoreAllFoldIn(uf, scores)
+	sp.End()
+	sp = trace.StartSpanNoCtx(ctx, "topk")
+	defer sp.End()
 	return s.rankTopK(scores, k, func(i int32) bool { return seen[i] }), nil
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	m := s.Model()
 	k, err := s.parseK(r)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(ctx, w, http.StatusBadRequest, err)
 		return
 	}
 	itemParam := r.URL.Query().Get("item")
 	i64, err := strconv.ParseInt(itemParam, 10, 32)
 	if err != nil || i64 < 0 || int(i64) >= m.NumItems() {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
+		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("invalid item %q", itemParam))
 		return
 	}
+	sp := trace.StartSpanNoCtx(ctx, "score")
 	sims, err := mf.SimilarItems(m, int32(i64), k)
+	sp.End()
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(ctx, w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, RecommendResponse{Items: toItems(sims)})
+	s.writeJSON(ctx, w, http.StatusOK, RecommendResponse{Items: toItems(sims)})
 }
 
 func (s *Server) parseK(r *http.Request) (int, error) {
@@ -587,15 +660,18 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
-	s.writeJSON(w, code, errorResponse{Error: err.Error()})
+func (s *Server) httpError(ctx context.Context, w http.ResponseWriter, code int, err error) {
+	s.writeJSON(ctx, w, code, errorResponse{Error: err.Error()})
 }
 
-// writeJSON writes v with the given status. Encoding errors after the
-// header is written cannot reach the client anymore, but they must not
-// vanish either: they are logged and counted in clapf_encode_errors_total
-// so a broken payload type shows up on a dashboard instead of nowhere.
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v with the given status under an "encode" trace
+// stage. Encoding errors after the header is written cannot reach the
+// client anymore, but they must not vanish either: they are logged and
+// counted in clapf_encode_errors_total so a broken payload type shows up
+// on a dashboard instead of nowhere.
+func (s *Server) writeJSON(ctx context.Context, w http.ResponseWriter, code int, v any) {
+	sp := trace.StartSpanNoCtx(ctx, "encode")
+	defer sp.End()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {

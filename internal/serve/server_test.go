@@ -14,7 +14,7 @@ import (
 	"clapf/internal/sampling"
 )
 
-func testServer(t *testing.T) (*Server, *dataset.Dataset) {
+func testServer(t testing.TB) (*Server, *dataset.Dataset) {
 	t.Helper()
 	w, err := datagen.Generate(datagen.Profile{
 		Name: "srv", Users: 50, Items: 80, Pairs: 1200,

@@ -15,11 +15,20 @@
 #   clipping) and records the throughput overhead per worker count. The
 #   budget is < 3% on a quiet machine.
 #
+#   BENCH_trace.json — A/B-tests request tracing: the same serve and
+#   serial-train workloads with the tracer on and off. The serve trace
+#   cost is an in-process paired median (serve_trace_cost_us), reported
+#   against end-to-end request turnaround (serve_overhead_pct); train
+#   medians alternating traced/untraced pairs. Both budgets are < 2% on a quiet
+#   machine; slow_capture_ok must be true. A self-certifying capture
+#   check proves a slow request lands in /debug/traces with an intact
+#   span tree.
+#
 # All reports carry a "cores" field recording the machine they ran on:
 # speedup is bounded by physical cores, so interpret the ratios against
 # that number, not in the abstract.
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json]
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +39,7 @@ EPOCHS="${3:-30}"
 OUT="${4:-BENCH_parallel.json}"
 SERVE_OUT="${5:-BENCH_serve.json}"
 GUARD_OUT="${6:-BENCH_guard.json}"
+TRACE_OUT="${7:-BENCH_trace.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
@@ -47,3 +57,9 @@ go run ./cmd/clapf-bench -exp guard -dataset ML100K \
 	-workers "$WORKERS" -clip-norm 10 -json "$GUARD_OUT"
 
 echo "wrote $GUARD_OUT"
+
+go run ./cmd/clapf-bench -exp trace -dataset ML100K \
+	-scale "$SCALE" -epochs "$EPOCHS" -requests 1500 -rounds 3 \
+	-json "$TRACE_OUT"
+
+echo "wrote $TRACE_OUT"

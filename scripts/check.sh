@@ -35,3 +35,10 @@ go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=5s ./internal/store
 go run ./cmd/clapf-bench -exp serve -dataset ML100K -scale 0.05 \
 	-requests 60 -batch 16 >/dev/null
 echo "serve smoke ok"
+
+# Trace smoke: end-to-end tracing under the race detector — a request
+# must land in /debug/traces with parent/child spans and populate the
+# per-stage histogram. -count=1 defeats the test cache so the gate
+# always actually runs.
+go test -race -count=1 -run '^TestTraceSmoke' ./internal/serve
+echo "trace smoke ok"
