@@ -20,7 +20,8 @@ fmt:
 # bench measures Hogwild training and parallel-eval scaling across worker
 # counts (BENCH_parallel.json), serve-path throughput for the single,
 # batch, and cached request paths (BENCH_serve.json), guardrail overhead
-# (BENCH_guard.json), and request-tracing overhead with the slow-capture
-# certification (BENCH_trace.json).
+# (BENCH_guard.json), request-tracing overhead with the slow-capture
+# certification (BENCH_trace.json), and sharded-serving availability
+# under chaos — shard kill, latency, torn responses (BENCH_cluster.json).
 bench:
 	sh scripts/bench.sh

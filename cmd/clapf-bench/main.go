@@ -12,6 +12,7 @@
 //	clapf-bench -exp serve    -dataset ML100K [-requests 2000] [-batch 64] [-json out.json]
 //	clapf-bench -exp guard    -dataset ML100K [-workers 1,2,4] [-clip-norm 10] [-json out.json]
 //	clapf-bench -exp trace    -dataset ML100K [-requests 2000] [-rounds 3] [-json out.json]
+//	clapf-bench -exp cluster  -dataset ML100K [-shards 3] [-requests 2000] [-load-workers 8] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
@@ -22,9 +23,12 @@
 // training guardrails armed (loss watchdog, non-finite sentinels, gradient
 // clipping) and reports the throughput overhead; the trace experiment
 // A/B-tests request tracing on the serve and train paths and certifies
-// that a slow request is tail-captured in the flight recorder. For
-// these, -json additionally writes the machine-readable report consumed
-// by scripts/bench.sh.
+// that a slow request is tail-captured in the flight recorder; the
+// cluster experiment stands up a sharded serving tier (router + N
+// in-process shards) and measures availability, degradation labeling,
+// and tail latency under shard kills, injected latency, and torn
+// responses. For these, -json additionally writes the machine-readable
+// report consumed by scripts/bench.sh.
 package main
 
 import (
@@ -42,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -56,16 +60,18 @@ func main() {
 		batch   = flag.Int("batch", 64, "entries per /recommend/batch request for -exp serve")
 		clip    = flag.Float64("clip-norm", 10, "gradient clip threshold for the guarded arm of -exp guard")
 		rounds  = flag.Int("rounds", 3, "alternating best-of rounds per arm for -exp trace")
+		shards  = flag.Int("shards", 3, "serve shards behind the router for -exp cluster")
+		load    = flag.Int("load-workers", 8, "concurrent load-generator workers for -exp cluster")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds, *shards, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds int) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds, shards, loadWorkers int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -198,8 +204,20 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 			return experiments.WriteTraceBenchJSON(w, bench)
 		})
 
+	case "cluster":
+		bench, err := experiments.RunClusterBench(setup, shards, requests, loadWorkers)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderClusterBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteClusterBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster)", exp)
 	}
 }
 

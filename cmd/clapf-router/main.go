@@ -1,0 +1,247 @@
+// Command clapf-router fronts a fleet of clapf-serve shards with a
+// consistent-hash router that keeps answering while shards fail.
+//
+// Usage:
+//
+//	clapf-router -shards http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	    [-addr :8070] [-train train.tsv]
+//
+// Requests route by user id (cold-start requests by their history set)
+// over a consistent-hash ring, so one user's traffic keeps hitting one
+// shard's result cache. Failures are handled in layers: bounded retries
+// with full-jitter backoff walk the ring's replica order, a hedged
+// duplicate fires when a shard stalls past the observed p95, per-shard
+// circuit breakers stop traffic to dead shards, and a background
+// /readyz prober ejects and readmits shards with hysteresis. When every
+// shard is gone the router degrades explicitly — router-local stale
+// top-K, then (with -train) a popularity ranking, then an honest 503 —
+// and every degraded response says so in its "degraded" field.
+//
+// Endpoints: GET /recommend and GET /similar (proxied with failover),
+// GET /healthz (per-shard breaker and membership state), GET /readyz,
+// GET /metrics (clapf_router_* Prometheus exposition), GET /debug/traces
+// (flight recorder; shard spans join the router's W3C trace via
+// traceparent propagation).
+//
+// SIGHUP triggers a rolling reload: each shard's POST /admin/reload
+// (start clapf-serve with -admin-reload) is driven in turn, gated on
+// quorum and on the previous shard returning ready — one signal, zero
+// dropped requests, bounded generation skew. SIGINT/SIGTERM drains and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clapf"
+	"clapf/internal/cluster"
+	"clapf/internal/dataset"
+	"clapf/internal/obs"
+)
+
+// options carries the parsed flags; tests construct it directly and
+// inject sigCh/boundAddr instead of sending real signals.
+type options struct {
+	shardSpec string
+	addr      string
+	trainPath string
+
+	vnodes         int
+	maxRetries     int
+	attemptTimeout time.Duration
+	noHedge        bool
+	staleCache     int
+	quorum         int
+	breakFailures  int
+	breakCooldown  time.Duration
+	probeInterval  time.Duration
+	probeTimeout   time.Duration
+	seed           uint64
+
+	// sigCh, when non-nil, replaces signal.Notify delivery.
+	sigCh chan os.Signal
+	// boundAddr, when non-nil, receives the listener's address once bound.
+	boundAddr chan<- string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.shardSpec, "shards", "", "comma-separated shard base URLs (required)")
+	flag.StringVar(&o.addr, "addr", ":8070", "listen address")
+	flag.StringVar(&o.trainPath, "train", "", "training dataset TSV; enables the popularity-ranking fallback")
+	flag.IntVar(&o.vnodes, "vnodes", 64, "virtual ring points per shard")
+	flag.IntVar(&o.maxRetries, "max-retries", 3, "retry attempts beyond the first per request")
+	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 2*time.Second, "per-shard attempt deadline")
+	flag.BoolVar(&o.noHedge, "no-hedge", false, "disable hedged requests")
+	flag.IntVar(&o.staleCache, "stale-cache", 4096, "router-local stale top-K fallback cache entries (<0 disables)")
+	flag.IntVar(&o.quorum, "quorum", 0, "min other available shards before a rolling reload touches one (0 = majority)")
+	flag.IntVar(&o.breakFailures, "breaker-failures", 5, "consecutive failures that open a shard's circuit breaker")
+	flag.DurationVar(&o.breakCooldown, "breaker-cooldown", 2*time.Second, "how long an open breaker waits before half-open probes")
+	flag.DurationVar(&o.probeInterval, "probe-interval", time.Second, "health probe sweep interval")
+	flag.DurationVar(&o.probeTimeout, "probe-timeout", 500*time.Millisecond, "per-shard health probe timeout")
+	flag.Uint64Var(&o.seed, "seed", 0, "jitter seed (0 = from the clock, so routers desynchronize)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "clapf-router:", err)
+		os.Exit(1)
+	}
+}
+
+// parseShards turns the -shards flag into named shard configs. Names are
+// positional (shard-0, shard-1, ...) unless an entry is name=url.
+func parseShards(spec string) ([]cluster.ShardConfig, error) {
+	var out []cluster.ShardConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sc := cluster.ShardConfig{Name: fmt.Sprintf("shard-%d", len(out)), URL: part}
+		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			sc.Name, sc.URL = name, url
+		}
+		if !strings.HasPrefix(sc.URL, "http://") && !strings.HasPrefix(sc.URL, "https://") {
+			return nil, fmt.Errorf("shard %q is not an http(s) URL", part)
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards names no shards")
+	}
+	return out, nil
+}
+
+// buildRouter assembles the router from the parsed options.
+func buildRouter(o options) (*cluster.Router, error) {
+	shards, err := parseShards(o.shardSpec)
+	if err != nil {
+		return nil, err
+	}
+	var train *dataset.Dataset
+	if o.trainPath != "" {
+		f, err := os.Open(o.trainPath)
+		if err != nil {
+			return nil, err
+		}
+		train, err = clapf.ReadDatasetTSV(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	seed := o.seed
+	if seed == 0 {
+		// Clock-seeded on purpose: a fleet of routers restarted together
+		// must not share one jitter schedule.
+		seed = uint64(time.Now().UnixNano())
+	}
+	return cluster.NewRouter(cluster.Config{
+		Shards:         shards,
+		Train:          train,
+		VNodes:         o.vnodes,
+		MaxRetries:     o.maxRetries,
+		AttemptTimeout: o.attemptTimeout,
+		NoHedge:        o.noHedge,
+		StaleCacheSize: o.staleCache,
+		Quorum:         o.quorum,
+		Breaker:        cluster.BreakerConfig{FailureThreshold: o.breakFailures, Cooldown: o.breakCooldown},
+		Probe:          cluster.ProbeConfig{Interval: o.probeInterval, Timeout: o.probeTimeout},
+		Seed:           seed,
+	})
+}
+
+func run(o options) error {
+	logger := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
+
+	router, err := buildRouter(o)
+	if err != nil {
+		return err
+	}
+	router.SetLogger(logger)
+	stopProber := router.StartProber()
+	defer stopProber()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.boundAddr != nil {
+		o.boundAddr <- ln.Addr().String()
+	}
+
+	httpServer := &http.Server{
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("routing", "addr", ln.Addr().String(),
+			"shards", strings.Join(router.ShardNames(), ","))
+		errCh <- httpServer.Serve(ln)
+	}()
+
+	stop := o.sigCh
+	if stop == nil {
+		stop = make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+		defer signal.Stop(stop)
+	}
+	// reloading serializes SIGHUP sweeps without blocking the signal
+	// loop: a reload mid-flight means a second SIGHUP is dropped (the
+	// sweep it would start is already running).
+	reloading := make(chan struct{}, 1)
+	for {
+		select {
+		case err := <-errCh:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case sig := <-stop:
+			if sig == syscall.SIGHUP {
+				select {
+				case reloading <- struct{}{}:
+					go func() {
+						defer func() { <-reloading }()
+						if err := router.RollingReload(context.Background()); err != nil {
+							logger.Error("rolling reload failed", "err", err)
+						} else {
+							logger.Info("rolling reload complete")
+						}
+					}()
+				default:
+					logger.Warn("rolling reload already in progress; SIGHUP ignored")
+				}
+				continue
+			}
+			logger.Info("draining", "signal", sig.String())
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			shutdownErr := httpServer.Shutdown(ctx)
+			if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				return serveErr
+			}
+			if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+				return shutdownErr
+			}
+			logger.Info("stopped")
+			return nil
+		}
+	}
+}

@@ -16,7 +16,9 @@
 // flight recorder of retained traces — a -trace-sample fraction of all
 // requests plus every request slower than -trace-slow or errored.
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
-// live profiling.
+// live profiling. -admin-reload mounts POST /admin/reload so a router
+// (cmd/clapf-router) can drive rolling reloads over HTTP; keep it off on
+// untrusted networks.
 //
 // Known-user top-K responses are cached (-cache-size entries, LRU); the
 // cache is invalidated atomically whenever the model is swapped, so a
@@ -66,6 +68,7 @@ type options struct {
 	idleTimeout          time.Duration
 	traceSample          float64
 	traceSlow            time.Duration
+	adminReload          bool
 
 	// sigCh, when non-nil, replaces signal.Notify delivery.
 	sigCh chan os.Signal
@@ -88,6 +91,7 @@ func main() {
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Float64Var(&o.traceSample, "trace-sample", 0.01, "head-sampling probability for keeping a request trace in /debug/traces (slow and errored requests are always kept)")
 	flag.DurationVar(&o.traceSlow, "trace-slow", 250*time.Millisecond, "duration beyond which a request trace is always kept and logged")
+	flag.BoolVar(&o.adminReload, "admin-reload", false, "mount POST /admin/reload (hot model reload over HTTP, for router-driven rolling reloads; keep off on untrusted networks)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -150,6 +154,9 @@ func run(o options) error {
 		server.MaxBatch = o.maxBatch
 	}
 	server.SetCacheSize(o.cacheSize)
+	if o.adminReload {
+		server.EnableAdminReload(func() error { return server.ReloadFromFile(o.modelPath) })
+	}
 	server.Tracer().SetSampleRate(o.traceSample)
 	server.Tracer().SetSlowThreshold(o.traceSlow)
 	stopSampler := server.StartRuntimeSampler(10 * time.Second)

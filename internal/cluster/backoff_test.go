@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayFullJitter(t *testing.T) {
+	rng := newLockedRNG(7)
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		ceil := base << uint(attempt)
+		if ceil > cap {
+			ceil = cap
+		}
+		for i := 0; i < 200; i++ {
+			d := backoffDelay(rng, base, cap, attempt)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// A huge attempt number must clamp to cap, not overflow the shift into a
+// negative (or zero) ceiling.
+func TestBackoffDelayShiftOverflow(t *testing.T) {
+	rng := newLockedRNG(7)
+	for i := 0; i < 100; i++ {
+		d := backoffDelay(rng, 10*time.Millisecond, time.Second, 62)
+		if d < 0 || d >= time.Second {
+			t.Fatalf("overflowing attempt: delay %v outside [0, 1s)", d)
+		}
+	}
+	if d := backoffDelay(rng, 0, time.Second, 3); d != 0 {
+		t.Errorf("zero base produced delay %v", d)
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	lt := newLatencyTracker(100)
+	if got := lt.Quantile(0.95, 10, 42*time.Millisecond); got != 42*time.Millisecond {
+		t.Errorf("cold tracker returned %v, want the fallback", got)
+	}
+	for i := 1; i <= 100; i++ {
+		lt.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p95 := lt.Quantile(0.95, 10, 0)
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Errorf("p95 of 1..100ms = %v, want ~95ms", p95)
+	}
+	p50 := lt.Quantile(0.50, 10, 0)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 of 1..100ms = %v, want ~50ms", p50)
+	}
+}
+
+// The window is a ring: old observations age out, so a latency spike
+// stops inflating the hedge delay once the window turns over.
+func TestLatencyTrackerWindowTurnsOver(t *testing.T) {
+	lt := newLatencyTracker(50)
+	for i := 0; i < 50; i++ {
+		lt.Observe(time.Second) // old spike
+	}
+	for i := 0; i < 50; i++ {
+		lt.Observe(time.Millisecond) // new regime fills the window
+	}
+	if p95 := lt.Quantile(0.95, 10, 0); p95 != time.Millisecond {
+		t.Errorf("p95 after turnover = %v, want 1ms", p95)
+	}
+}

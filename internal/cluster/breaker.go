@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded probe budget; enough successes
+	// close the breaker, any failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one shard's circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open. <= 0 defaults to 5.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes. <= 0 defaults to 2s.
+	Cooldown time.Duration
+	// ProbeBudget bounds concurrently in-flight half-open probes, so a
+	// recovering shard is tested with a trickle, not a thundering herd.
+	// <= 0 defaults to 1.
+	ProbeBudget int
+	// SuccessThreshold is the half-open success count that closes the
+	// breaker. <= 0 defaults to 2.
+	SuccessThreshold int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 1
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	return c
+}
+
+// Breaker is a per-shard circuit breaker: closed → open on consecutive
+// failures, open → half-open after a cooldown, half-open → closed on
+// enough probe successes (or straight back to open on any probe
+// failure). It exists so the router stops hammering a dead shard with
+// doomed requests — failure detection happens once, then the shard is
+// left alone until the cooldown invites a probe.
+//
+// Callers bracket each attempt with Allow / (Success|Failure). Allow
+// reserves a probe slot in half-open state; every Allow()==true MUST be
+// matched by exactly one Success or Failure call or the probe budget
+// leaks.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu             sync.Mutex
+	state          BreakerState
+	failures       int // consecutive, in closed state
+	successes      int // in half-open state
+	probesInFlight int // in half-open state
+	openedAt       time.Time
+	opens          uint64 // lifetime closed/half-open → open transitions
+}
+
+// NewBreaker returns a closed breaker with cfg's thresholds.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// State returns the breaker's current position, advancing open →
+// half-open if the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// maybeHalfOpen transitions open → half-open once the cooldown has
+// elapsed. Caller holds b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.probesInFlight = 0
+	}
+}
+
+// Allow reports whether an attempt may proceed. Closed always allows;
+// open allows nothing until the cooldown flips it half-open; half-open
+// allows up to ProbeBudget concurrent probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probesInFlight < b.cfg.ProbeBudget {
+			b.probesInFlight++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Success records a completed attempt that worked. In half-open state it
+// releases the probe slot and closes the breaker once SuccessThreshold
+// probes have succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		if b.probesInFlight > 0 {
+			b.probesInFlight--
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// Cancel releases an Allow() reservation without recording an outcome —
+// the attempt was abandoned (hedge race lost, caller gone), which says
+// nothing about the shard's health either way.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probesInFlight > 0 {
+		b.probesInFlight--
+	}
+}
+
+// Failure records a completed attempt that failed. Closed trips open at
+// the threshold; half-open reopens immediately — a shard that fails its
+// probe has not recovered, so the full cooldown restarts.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if b.probesInFlight > 0 {
+			b.probesInFlight--
+		}
+		b.trip()
+	}
+}
+
+// trip moves the breaker to open and stamps the cooldown clock. Caller
+// holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.failures = 0
+	b.successes = 0
+	b.probesInFlight = 0
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests advance the cooldown without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	// A success resets the consecutive count — two more failures must not
+	// trip a threshold-3 breaker.
+	b.Allow()
+	b.Success()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped on non-consecutive failures")
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker still closed after threshold consecutive failures")
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted an attempt")
+	}
+	if b.Opens() != 1 {
+		t.Errorf("Opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerHalfOpenProbeBudgetAndClose(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1, Cooldown: time.Second, ProbeBudget: 1, SuccessThreshold: 2,
+	})
+	b.Allow()
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its first probe")
+	}
+	if b.Allow() {
+		t.Fatal("probe budget 1 admitted a second concurrent probe")
+	}
+	b.Success() // releases the slot; 1 of 2 successes
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker closed after one success with SuccessThreshold 2")
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker not closed after SuccessThreshold probe successes")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if b.Opens() != 2 {
+		t.Errorf("Opens = %d, want 2", b.Opens())
+	}
+	// The cooldown restarted at the probe failure: still open until it
+	// elapses again.
+	clk.advance(time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Error("reopened breaker admitted an attempt before the restarted cooldown")
+	}
+}
+
+// Cancel must release a half-open probe reservation without an outcome:
+// a hedge race loser says nothing about shard health, so it must neither
+// close nor reopen the breaker — and the budget must not leak.
+func TestBreakerCancelReleasesProbeSlot(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1, Cooldown: time.Second, ProbeBudget: 1, SuccessThreshold: 1,
+	})
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused")
+	}
+	b.Cancel()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("Cancel changed state to %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot leaked by Cancel: budget exhausted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker did not close after a real probe success")
+	}
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClusterChaos is the availability proof the whole package exists
+// for: three shards, concurrent load, one shard killed mid-load and
+// later revived. Required outcomes:
+//
+//   - ≥ 99% of requests answer HTTP 200 throughout (here: 100%);
+//   - every response not served fresh by the user's home shard is
+//     labeled degraded — degradation is never silent;
+//   - the dead shard's circuit breaker opens within its threshold;
+//   - the prober ejects the dead shard and readmits it after recovery,
+//     after which the shard's users get fresh home-shard answers again.
+//
+// scripts/check.sh runs this test under -race as the cluster chaos
+// smoke; keep the name prefix stable.
+func TestClusterChaos(t *testing.T) {
+	r, shards, _ := newTestCluster(t, 3, func(c *Config) {
+		c.Breaker = BreakerConfig{FailureThreshold: 3, Cooldown: 150 * time.Millisecond, SuccessThreshold: 1}
+		c.Probe = ProbeConfig{Interval: 10 * time.Millisecond, Timeout: time.Second, EjectAfter: 2, ReadmitAfter: 2}
+	})
+	stop := r.StartProber()
+	defer stop()
+	h := r.Handler()
+
+	const victim = 0
+	victimName := fmt.Sprintf("shard-%d", victim)
+
+	var (
+		total, ok200 atomic.Int64
+		silent       atomic.Int64 // off-home 200s with no degraded label
+		degradedN    atomic.Int64
+		failBodies   sync.Mutex
+		failSamples  []string
+	)
+	var stopLoad atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stopLoad.Load(); i++ {
+				u := int32((i*7 + w) % 60)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("/recommend?user=%d&k=5", u), nil))
+				total.Add(1)
+				if rec.Code != http.StatusOK {
+					failBodies.Lock()
+					if len(failSamples) < 5 {
+						failSamples = append(failSamples, fmt.Sprintf("user %d: %d %s", u, rec.Code, rec.Body.String()))
+					}
+					failBodies.Unlock()
+					continue
+				}
+				ok200.Add(1)
+				var body Response
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					t.Errorf("undecodable 200 from router: %v", err)
+					continue
+				}
+				if body.Degraded != "" {
+					degradedN.Add(1)
+					continue
+				}
+				// An unlabeled 200 must be a fresh answer from the user's
+				// home shard — anything else is silent degradation.
+				if body.Shard != fmt.Sprintf("shard-%d", homeOf(r, u)) {
+					silent.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Phase 1: healthy warmup under load.
+	time.Sleep(150 * time.Millisecond)
+
+	// Phase 2: kill one shard mid-load; the breaker must open and the
+	// prober must eject it, all while the hammer keeps running.
+	shards[victim].chaos.SetDown(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Breaker(victim).Opens() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Breaker(victim).Opens() == 0 {
+		t.Error("victim's breaker never opened under sustained failures")
+	}
+	for r.Available(victim) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Available(victim) {
+		t.Error("prober never ejected the dead shard")
+	}
+	// Let the degraded regime serve for a while.
+	time.Sleep(150 * time.Millisecond)
+
+	// Phase 3: revive; the prober must readmit after its hysteresis.
+	shards[victim].chaos.SetDown(false)
+	for !r.Available(victim) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !r.Available(victim) {
+		t.Fatal("prober never readmitted the recovered shard")
+	}
+
+	stopLoad.Store(true)
+	wg.Wait()
+
+	if total.Load() == 0 {
+		t.Fatal("no load was driven; the test proved nothing")
+	}
+	avail := float64(ok200.Load()) / float64(total.Load())
+	t.Logf("chaos run: %d requests, %.4f%% answered 200, %d degraded-labeled",
+		total.Load(), 100*avail, degradedN.Load())
+	if avail < 0.99 {
+		t.Errorf("availability %.4f with one of three shards down, want >= 0.99; sample failures: %v",
+			avail, failSamples)
+	}
+	if silent.Load() != 0 {
+		t.Errorf("%d responses were silently degraded (off-home 200 without a degraded label)", silent.Load())
+	}
+	if degradedN.Load() == 0 {
+		t.Error("no response was ever labeled degraded while a shard was down — the kill did not bite")
+	}
+	if r.ejections.With(victimName).Value() == 0 {
+		t.Error("ejection metric never fired")
+	}
+	if r.readmissions.With(victimName).Value() == 0 {
+		t.Error("readmission metric never fired")
+	}
+
+	// Phase 4: after readmission (and the breaker's half-open probe),
+	// the victim's users must get fresh home-shard answers again.
+	u := userHomedOn(t, r, victim)
+	recoverBy := time.Now().Add(5 * time.Second)
+	for {
+		rec, body := routerGet(t, h, fmt.Sprintf("/recommend?user=%d&k=5", u))
+		if rec.Code == http.StatusOK && body.Degraded == "" && body.Shard == victimName {
+			break
+		}
+		if time.Now().After(recoverBy) {
+			t.Fatalf("traffic never returned to the revived shard: status %d shard %q degraded %q",
+				rec.Code, body.Shard, body.Degraded)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterChaosRouterSurvivesTotalLoss is the darkest corner: every
+// shard dies at once and the router itself must stay up, answering with
+// fallbacks where it can and honest 503s where it cannot — never a
+// panic, never a hung request.
+func TestClusterChaosRouterSurvivesTotalLoss(t *testing.T) {
+	r, shards, _ := newTestCluster(t, 3, func(c *Config) {
+		c.AttemptTimeout = 500 * time.Millisecond
+	})
+	h := r.Handler()
+	// Prime two users so the stale rung has something to stand on.
+	routerGet(t, h, "/recommend?user=1&k=5")
+	routerGet(t, h, "/recommend?user=2&k=5")
+	for _, sh := range shards {
+		sh.chaos.SetDown(true)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			u := i % 60
+			rec, body := routerGet(t, h, fmt.Sprintf("/recommend?user=%d&k=5", u))
+			switch rec.Code {
+			case http.StatusOK:
+				if body.Degraded == "" {
+					t.Errorf("user %d: fresh answer from a fully dark cluster", u)
+				}
+			case http.StatusServiceUnavailable:
+				// honest refusal — acceptable
+			default:
+				t.Errorf("user %d: status %d from dark cluster", u, rec.Code)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("requests hung against a fully dark cluster")
+	}
+}

@@ -1,0 +1,138 @@
+// Package cluster is the multi-shard serving tier: a router that fronts
+// N serve shards behind a consistent-hash ring and keeps answering —
+// possibly degraded, never silently wrong — while shards die, stall, or
+// return garbage. The pieces:
+//
+//   - ring.go     consistent-hash ring (user-sharded for cache affinity)
+//   - breaker.go  per-shard circuit breaker (closed → open → half-open)
+//   - backoff.go  exponential backoff with full jitter + latency tracking
+//   - health.go   /readyz prober driving ring membership with hysteresis
+//   - router.go   the HTTP router: retries, hedging, degradation ladder
+//   - reload.go   replica-aware rolling model reload gated on quorum
+//
+// Production code imports this package from cmd/clapf-router; the bench
+// harness (internal/experiments) spins the whole tier in-process.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a fixed shard set. Each shard
+// contributes vnodes virtual points so load spreads evenly; a key hashes
+// to a point and walks clockwise collecting distinct shards, which gives
+// every key a stable preference order (primary, first replica, second
+// replica, ...). The shard set is fixed at construction — availability is
+// a routing-time concern (the router skips ejected or open-breaker
+// shards), not a ring mutation, so a shard bouncing in and out of health
+// never reshuffles which users map to the survivors.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hash64 mixes a 64-bit value through the splitmix64 finalizer — cheap,
+// well-distributed, and dependency-free.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string through FNV-1a then splitmix64, so vnode
+// points derived from shard names are decorrelated even for names that
+// differ in one character ("shard-1" vs "shard-2").
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return hash64(h)
+}
+
+// NewRing builds a ring over names with vnodes virtual points per shard.
+// Shard identity is positional (the router indexes shards by slice
+// position); names only seed the hash points, so renaming a shard moves
+// its keys but reordering the slice does not change point placement.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: ring needs vnodes >= 1, got %d", vnodes)
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Ring{shards: len(names), points: make([]ringPoint, 0, len(names)*vnodes)}
+	for si, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		base := hashString(name)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(base + uint64(v)*0x9e3779b97f4a7c15),
+				shard: si,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r, nil
+}
+
+// NumShards returns the size of the shard set the ring was built over.
+func (r *Ring) NumShards() int { return r.shards }
+
+// Lookup returns the full preference order for key: the shard owning the
+// first ring point at or after hash(key), then each further distinct
+// shard in clockwise order. The order is deterministic per key and stable
+// under shard failure — the router walks it front to back, so a dead
+// primary's traffic lands on the same replica every time (cache
+// affinity for the failover set, not just the happy path).
+func (r *Ring) Lookup(key uint64) []int {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	for i := 0; len(order) < r.shards && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			order = append(order, p.shard)
+		}
+	}
+	return order
+}
+
+// UserKey maps a user id onto the ring's key space. Known-user requests
+// route by this so repeated requests for one user hit one shard's top-K
+// cache.
+func UserKey(user int32) uint64 { return uint64(uint32(user)) }
+
+// HistoryKey maps a cold-start history onto the key space by folding the
+// item ids order-independently (sum of per-item hashes), so the same set
+// routes identically regardless of the order the client listed it in.
+func HistoryKey(items []int32) uint64 {
+	var h uint64
+	for _, it := range items {
+		h += hash64(uint64(uint32(it)) ^ 0xc1f651c67c62c6e0)
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty shard set accepted")
+	}
+	if _, err := NewRing([]string{"a", "b"}, 0); err == nil {
+		t.Error("vnodes = 0 accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 8); err == nil {
+		t.Error("duplicate shard name accepted")
+	}
+}
+
+// Lookup must return every shard exactly once, in an order that is
+// deterministic per key and identical across independently built rings —
+// the failover order has to agree between router restarts or a bounce
+// reshuffles every user's replica affinity.
+func TestRingLookupCompleteAndStable(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	r1, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(names, 64)
+	for key := uint64(0); key < 500; key++ {
+		o1, o2 := r1.Lookup(key), r2.Lookup(key)
+		if len(o1) != len(names) {
+			t.Fatalf("key %d: preference order has %d shards, want %d", key, len(o1), len(names))
+		}
+		seen := map[int]bool{}
+		for i, s := range o1 {
+			if s < 0 || s >= len(names) || seen[s] {
+				t.Fatalf("key %d: bad preference order %v", key, o1)
+			}
+			seen[s] = true
+			if o2[i] != s {
+				t.Fatalf("key %d: rebuilt ring disagrees: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+// With enough vnodes no shard should own a wildly outsized key share.
+// The bound is deliberately loose (3x the fair share) — this guards
+// against a broken hash, not against statistical variance.
+func TestRingBalance(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	r, err := NewRing(names, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	const keys = 20000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Lookup(key)[0]]++
+	}
+	fair := keys / len(names)
+	for i, c := range counts {
+		if c > 3*fair || c < fair/3 {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d): ring is unbalanced %v",
+				i, c, keys, fair, counts)
+		}
+	}
+}
+
+// Renaming no shard but reordering the config slice must not move keys:
+// identity is positional but point placement is name-derived.
+func TestRingNamesDrivePlacement(t *testing.T) {
+	a, _ := NewRing([]string{"x", "y"}, 32)
+	b, _ := NewRing([]string{"y", "x"}, 32)
+	for key := uint64(0); key < 200; key++ {
+		// Map positional indices back to names; the named orders must match.
+		na := []string{"x", "y"}[a.Lookup(key)[0]]
+		nb := []string{"y", "x"}[b.Lookup(key)[0]]
+		if na != nb {
+			t.Fatalf("key %d: primary %q vs %q after reordering config", key, na, nb)
+		}
+	}
+}
+
+func TestHistoryKeyOrderIndependent(t *testing.T) {
+	k1 := HistoryKey([]int32{3, 17, 99})
+	k2 := HistoryKey([]int32{99, 3, 17})
+	if k1 != k2 {
+		t.Errorf("HistoryKey depends on item order: %d vs %d", k1, k2)
+	}
+	if HistoryKey([]int32{3}) == HistoryKey([]int32{4}) {
+		t.Error("distinct single-item histories collide")
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clapf/internal/cluster"
+	"clapf/internal/datagen"
+	"clapf/internal/fault"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/serve"
+)
+
+// ClusterBenchPhase is one chaos regime's measured behavior: how much
+// traffic got through, how much of it admitted to being degraded, and
+// what the failure machinery (retries, hedges, breakers) did.
+type ClusterBenchPhase struct {
+	Phase        string  `json:"phase"`
+	Requests     int     `json:"requests"`
+	OK           int     `json:"ok"`
+	Failed       int     `json:"failed"`
+	Availability float64 `json:"availability"`
+	// DegradedFraction is the share of 200s that carried a degraded
+	// label (replica, stale_cache, or poprank).
+	DegradedFraction float64        `json:"degraded_fraction"`
+	DegradedByMode   map[string]int `json:"degraded_by_mode"`
+	WallSeconds      float64        `json:"wall_seconds"`
+	QPS              float64        `json:"qps"`
+	P50ms            float64        `json:"p50_ms"`
+	P95ms            float64        `json:"p95_ms"`
+	P99ms            float64        `json:"p99_ms"`
+	// Deltas of the router's counters across this phase.
+	Retries      uint64 `json:"retries"`
+	Hedges       uint64 `json:"hedges"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// ClusterBench is the failure-injection load report for the sharded
+// serving tier: the same concurrent request mix pushed through the
+// router while shards are healthy, killed mid-load, recovered, slowed,
+// and made to tear responses.
+type ClusterBench struct {
+	Dataset string              `json:"dataset"`
+	Users   int                 `json:"users"`
+	Items   int                 `json:"items"`
+	Shards  int                 `json:"shards"`
+	K       int                 `json:"k"`
+	Workers int                 `json:"workers"`
+	Cores   int                 `json:"cores"`
+	Phases  []ClusterBenchPhase `json:"phases"`
+	// AvailabilityOneDown restates the one_shard_down phase's
+	// availability — the headline number the chaos gate asserts on.
+	AvailabilityOneDown float64 `json:"availability_one_shard_down"`
+	VictimEjected       bool    `json:"victim_ejected"`
+	VictimReadmitted    bool    `json:"victim_readmitted"`
+}
+
+const clusterBenchK = 10
+
+// RunClusterBench stands up numShards in-process serve shards (each
+// behind a fault.Chaos injector), fronts them with a cluster.Router, and
+// drives concurrent load through the router's real HTTP handler over
+// loopback while injecting failures phase by phase:
+//
+//	healthy         — baseline QPS and tail latency
+//	one_shard_down  — a shard is killed after the first quarter of the
+//	                  phase's requests; availability must hold
+//	recovered       — the shard is revived and readmitted before load
+//	latency_inject  — one shard stalls; hedging bounds the tail
+//	torn_responses  — one shard tears bodies mid-flight; retries absorb it
+//
+// The model is Gaussian-initialized: routing and failure handling do not
+// depend on parameter values.
+func RunClusterBench(s Setup, numShards, requestsPerPhase, workers int) (*ClusterBench, error) {
+	if numShards < 2 {
+		return nil, fmt.Errorf("experiments: cluster bench needs >= 2 shards, got %d", numShards)
+	}
+	if requestsPerPhase < workers || workers < 1 {
+		return nil, fmt.Errorf("experiments: cluster bench needs requests >= workers >= 1, got %d/%d", requestsPerPhase, workers)
+	}
+	profile := s.Profile.Scaled(s.Scale)
+	world, err := datagen.Generate(profile, mathx.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	train := world.Data
+	const dim = 16
+	m := mf.MustNew(mf.Config{
+		NumUsers: train.NumUsers(), NumItems: train.NumItems(),
+		Dim: dim, UseBias: true, InitStd: 0.1,
+	})
+	m.InitGaussian(mathx.NewRNG(s.Seed+1), 0.1)
+
+	chaos := make([]*fault.Chaos, numShards)
+	shardCfgs := make([]cluster.ShardConfig, numShards)
+	for i := 0; i < numShards; i++ {
+		srv, err := serve.New(m.Clone(), train)
+		if err != nil {
+			return nil, err
+		}
+		chaos[i] = fault.NewChaos(srv.Handler())
+		ts := httptest.NewServer(chaos[i])
+		defer ts.Close()
+		shardCfgs[i] = cluster.ShardConfig{Name: fmt.Sprintf("shard-%d", i), URL: ts.URL}
+	}
+	router, err := cluster.NewRouter(cluster.Config{
+		Shards:    shardCfgs,
+		Train:     train,
+		Seed:      s.Seed + 2,
+		RetryBase: 2 * time.Millisecond, RetryMax: 50 * time.Millisecond,
+		HedgeDefault: 20 * time.Millisecond,
+		Breaker:      cluster.BreakerConfig{FailureThreshold: 5, Cooldown: 300 * time.Millisecond, SuccessThreshold: 1},
+		Probe:        cluster.ProbeConfig{Interval: 20 * time.Millisecond, Timeout: time.Second, EjectAfter: 2, ReadmitAfter: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stopProber := router.StartProber()
+	defer stopProber()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	out := &ClusterBench{
+		Dataset: s.Profile.Name, Users: train.NumUsers(), Items: train.NumItems(),
+		Shards: numShards, K: clusterBenchK, Workers: workers, Cores: runtime.NumCPU(),
+	}
+	const victim = 0
+
+	runPhase := func(name string, hookAfter int, hook func()) error {
+		before := router.RouterStats()
+		opensBefore := totalOpens(router, numShards)
+		row, err := driveCluster(rts.Client(), rts.URL, train.NumUsers(), requestsPerPhase, workers, hookAfter, hook)
+		if err != nil {
+			return err
+		}
+		after := router.RouterStats()
+		row.Phase = name
+		row.Retries = after.Retries - before.Retries
+		row.Hedges = after.Hedges - before.Hedges
+		row.BreakerOpens = totalOpens(router, numShards) - opensBefore
+		out.Phases = append(out.Phases, row)
+		return nil
+	}
+
+	// Phase 1: healthy baseline (also warms latency window and caches).
+	if err := runPhase("healthy", 0, nil); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: kill the victim after a quarter of the phase's requests
+	// have completed — mid-load, not between phases.
+	if err := runPhase("one_shard_down", requestsPerPhase/4, func() {
+		chaos[victim].SetDown(true)
+	}); err != nil {
+		return nil, err
+	}
+	out.AvailabilityOneDown = out.Phases[len(out.Phases)-1].Availability
+	out.VictimEjected = !router.Available(victim)
+
+	// Phase 3: revive, wait for readmission, then measure recovery.
+	chaos[victim].SetDown(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for !router.Available(victim) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	out.VictimReadmitted = router.Available(victim)
+	if err := runPhase("recovered", 0, nil); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: one shard stalls well past the hedge delay.
+	chaos[1].SetLatency(60 * time.Millisecond)
+	if err := runPhase("latency_inject", 0, nil); err != nil {
+		return nil, err
+	}
+	chaos[1].SetLatency(0)
+
+	// Phase 5: one shard tears every third response mid-body.
+	chaos[1].SetTornEvery(3)
+	if err := runPhase("torn_responses", 0, nil); err != nil {
+		return nil, err
+	}
+	chaos[1].SetTornEvery(0)
+	return out, nil
+}
+
+func totalOpens(r *cluster.Router, n int) uint64 {
+	var t uint64
+	for i := 0; i < n; i++ {
+		t += r.Breaker(i).Opens()
+	}
+	return t
+}
+
+// driveCluster pushes n GET /recommend requests through the router with
+// `workers` concurrent keep-alive clients, cycling the user base. After
+// hookAfter requests have completed, hook fires once (the mid-load
+// failure injection); 0/nil skips it. Request failures are counted, not
+// fatal — measuring them is the point.
+func driveCluster(client *http.Client, base string, numUsers, n, workers, hookAfter int, hook func()) (ClusterBenchPhase, error) {
+	row := ClusterBenchPhase{Requests: n, DegradedByMode: map[string]int{}}
+	var (
+		completed atomic.Int64
+		hookOnce  sync.Once
+		mu        sync.Mutex
+		lat       = make([]time.Duration, 0, n)
+		okN, degN int
+		failN     int
+	)
+	perWorker := n / workers
+	extra := n % workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		count := perWorker
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				u := (i*workers + w) % numUsers
+				t0 := time.Now()
+				status, degraded, err := clusterGet(client,
+					fmt.Sprintf("%s/recommend?user=%d&k=%d", base, u, clusterBenchK))
+				d := time.Since(t0)
+				mu.Lock()
+				lat = append(lat, d)
+				if err != nil || status != http.StatusOK {
+					failN++
+				} else {
+					okN++
+					if degraded != "" {
+						degN++
+						row.DegradedByMode[degraded]++
+					}
+				}
+				mu.Unlock()
+				if hook != nil && completed.Add(1) >= int64(hookAfter) {
+					hookOnce.Do(hook)
+				}
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	row.OK, row.Failed = okN, failN
+	row.WallSeconds = wall.Seconds()
+	if n > 0 {
+		row.Availability = float64(okN) / float64(n)
+	}
+	if okN > 0 {
+		row.DegradedFraction = float64(degN) / float64(okN)
+	}
+	if wall > 0 {
+		row.QPS = float64(n) / wall.Seconds()
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	row.P50ms = percentileMs(lat, 50)
+	row.P95ms = percentileMs(lat, 95)
+	row.P99ms = percentileMs(lat, 99)
+	return row, nil
+}
+
+// clusterGet issues one router request and reports status plus the
+// degraded label; transport errors surface as err.
+func clusterGet(client *http.Client, url string) (status int, degraded string, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var body cluster.Response
+	if decErr := json.NewDecoder(resp.Body).Decode(&body); decErr != nil && resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, "", decErr
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, body.Degraded, nil
+}
+
+// RenderClusterBench prints the chaos report as an aligned text table.
+func RenderClusterBench(w io.Writer, b *ClusterBench) error {
+	if _, err := fmt.Fprintf(w,
+		"cluster bench on %s (%d users, %d items, %d shards, k=%d, %d workers, %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Shards, b.K, b.Workers, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %8s %7s %6s %7s %9s %8s %8s %8s %7s %6s %6s\n",
+		"phase", "requests", "avail", "degr", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "retries", "hedges", "opens", "fail"); err != nil {
+		return err
+	}
+	for _, p := range b.Phases {
+		if _, err := fmt.Fprintf(w, "%-16s %8d %6.2f%% %5.1f%% %7.0f %9.3f %8.3f %8.3f %8d %7d %6d %6d\n",
+			p.Phase, p.Requests, 100*p.Availability, 100*p.DegradedFraction, p.QPS,
+			p.P50ms, p.P95ms, p.P99ms, p.Retries, p.Hedges, p.BreakerOpens, p.Failed); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "one-shard-down availability: %.4f, victim ejected: %v, readmitted: %v\n",
+		b.AvailabilityOneDown, b.VictimEjected, b.VictimReadmitted)
+	return err
+}
+
+// WriteClusterBenchJSON emits the report as indented JSON (the
+// BENCH_cluster.json payload of scripts/bench.sh).
+func WriteClusterBenchJSON(w io.Writer, b *ClusterBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

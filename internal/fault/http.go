@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// This file injects serving-side failures for the cluster chaos suite:
+// a wrapper that makes a healthy HTTP shard look killed, slow, or
+// torn-mid-response, switchable at runtime so one test phase can break a
+// shard and a later phase can heal it without restarting anything.
+
+// Chaos wraps an http.Handler with runtime-switchable failure modes,
+// applied in this order:
+//
+//   - Down: abort the connection before running the handler — to the
+//     client this is indistinguishable from a killed process (EOF /
+//     connection reset), which is exactly what a router's failure
+//     detection must classify as a dead shard.
+//   - Latency: sleep before handling, simulating an overloaded or
+//     GC-pausing shard (the hedging path's reason to exist).
+//   - TornEvery(n): every n-th response advertises the full
+//     Content-Length, writes only half the body, and aborts — the torn
+//     payload a crash mid-write puts on the wire. The client sees an
+//     unexpected EOF with a syntactically broken JSON prefix.
+//
+// All switches are atomic; flipping them mid-load is the point.
+type Chaos struct {
+	next      http.Handler
+	down      atomic.Bool
+	latencyNS atomic.Int64
+	tornEvery atomic.Int64
+	tornCount atomic.Int64
+}
+
+// NewChaos wraps next with all failure modes off.
+func NewChaos(next http.Handler) *Chaos {
+	return &Chaos{next: next}
+}
+
+// SetDown makes every request abort its connection (true) or restores
+// normal service (false).
+func (c *Chaos) SetDown(down bool) { c.down.Store(down) }
+
+// Down reports whether the shard is currently playing dead.
+func (c *Chaos) Down() bool { return c.down.Load() }
+
+// SetLatency injects d of sleep before every request; 0 disables.
+func (c *Chaos) SetLatency(d time.Duration) { c.latencyNS.Store(int64(d)) }
+
+// SetTornEvery tears every n-th response mid-body; n <= 0 disables.
+func (c *Chaos) SetTornEvery(n int) {
+	c.tornEvery.Store(int64(n))
+	c.tornCount.Store(0)
+}
+
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.down.Load() {
+		// ErrAbortHandler makes net/http drop the connection without
+		// finishing the response — the client-visible signature of a
+		// process that died between accept and reply.
+		panic(http.ErrAbortHandler)
+	}
+	if d := time.Duration(c.latencyNS.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if n := c.tornEvery.Load(); n > 0 && c.tornCount.Add(1)%n == 0 {
+		c.tearResponse(w, r)
+		return
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+// tearResponse runs the real handler into a buffer, then replays the
+// status and headers with an honest Content-Length, writes only half the
+// body, and aborts the connection — a response torn exactly where a
+// crash mid-write would tear it.
+func (c *Chaos) tearResponse(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+	c.next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if len(rec.body) < 2 {
+		panic(http.ErrAbortHandler) // nothing to tear; just die
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(rec.body)))
+	w.WriteHeader(rec.status)
+	_, _ = w.Write(rec.body[:len(rec.body)/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush() // push the torn prefix onto the wire before dying
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// bufferedResponse captures a handler's full response in memory.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}

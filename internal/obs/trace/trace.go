@@ -417,8 +417,12 @@ func (s Span) End() time.Duration {
 	sp.end = now
 	d := now.Sub(sp.start)
 	name := sp.name
+	// Capture the owner while still under the lock: after Unlock the root
+	// may Finish and recycle this Trace into the pool, where StartTrace —
+	// possibly on a different Tracer — reassigns tr.tracer under us.
+	tracer := s.tr.tracer
 	s.tr.mu.Unlock()
-	s.tr.tracer.hist(name).Observe(d.Seconds())
+	tracer.hist(name).Observe(d.Seconds())
 	return d
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -236,9 +237,10 @@ func TestNonFiniteScoresDroppedAndCounted(t *testing.T) {
 }
 
 // Probe exemption through the REAL handler chain: with the shed semaphore
-// saturated, /healthz, /readyz, and /metrics still answer 200 while
-// recommendation traffic is shed — an overloaded-but-healthy server must
-// not be killed by its orchestrator.
+// saturated, /healthz, /readyz, /metrics, and /debug/traces still answer
+// 200 while recommendation traffic is shed — an overloaded-but-healthy
+// server must not be killed by its orchestrator, and the flight recorder
+// is most valuable exactly when the server is drowning.
 func TestProbesExemptUnderOverloadFullStack(t *testing.T) {
 	s, _ := testServer(t)
 	s.MaxInFlight = 2
@@ -250,7 +252,7 @@ func TestProbesExemptUnderOverloadFullStack(t *testing.T) {
 	s.shedSem <- struct{}{}
 	defer func() { <-s.shedSem; <-s.shedSem }()
 
-	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/debug/traces"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		if rec.Code != http.StatusOK {
@@ -261,8 +263,31 @@ func TestProbesExemptUnderOverloadFullStack(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("/recommend under overload: status = %d, want 503", rec.Code)
 	}
+	// The shed 503 carries a jittered Retry-After in [1, 3] so shed
+	// clients spread their retries instead of returning as one wave.
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Errorf("shed Retry-After = %q, want an integer in [1, 3]", rec.Header().Get("Retry-After"))
+	}
 	batchRec, _ := postBatchRaw(t, h, `{"requests":[{"user":1}]}`)
 	if batchRec.Code != http.StatusServiceUnavailable {
 		t.Errorf("/recommend/batch under overload: status = %d, want 503", batchRec.Code)
+	}
+}
+
+// The Retry-After jitter must actually vary — a constant would recreate
+// the synchronized retry wave — while staying within its 1–3s window.
+func TestRetryAfterJitterSpread(t *testing.T) {
+	s, _ := testServer(t)
+	seen := map[int]int{}
+	for i := 0; i < 300; i++ {
+		v := s.retryAfterSeconds()
+		if v < 1 || v > 3 {
+			t.Fatalf("retryAfterSeconds = %d, want in [1, 3]", v)
+		}
+		seen[v]++
+	}
+	if len(seen) < 2 {
+		t.Errorf("300 draws produced a single value %v; jitter is not jittering", seen)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 
 	"clapf/internal/obs/trace"
 )
@@ -19,7 +20,7 @@ import (
 // would make an overloaded server look dead and get it restarted.
 func exemptFromHardening(path string) bool {
 	switch path {
-	case "/healthz", "/readyz", "/metrics", "/debug/traces":
+	case "/healthz", "/readyz", "/metrics", "/debug/traces", "/admin/reload":
 		return true
 	}
 	return false
@@ -76,7 +77,12 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 		default:
 			sp.End()
 			s.sheds.Inc()
-			w.Header().Set("Retry-After", "1")
+			// The Retry-After is jittered (1–3s): every shed client getting a
+			// flat "1" would retry in one synchronized wave and re-shed
+			// itself — the same thundering herd the shed exists to absorb,
+			// just delayed. Spreading the retries over a window drains the
+			// backlog instead of re-spiking it.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeJSON(r.Context(), w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded"})
 		}
 	})

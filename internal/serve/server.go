@@ -8,6 +8,7 @@
 //	POST /recommend/batch             many users and/or histories in one request
 //	GET  /similar?item=I&k=K          nearest items by factor cosine
 //	GET  /metrics                     Prometheus text exposition
+//	POST /admin/reload                hot model reload (opt-in: EnableAdminReload)
 //
 // All responses are JSON except /metrics. Handlers are read-only over an
 // immutable dataset and a liveState — the model, its scoring engine, and
@@ -29,10 +30,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"clapf/internal/dataset"
+	"clapf/internal/mathx"
 	"clapf/internal/mf"
 	"clapf/internal/obs"
 	"clapf/internal/obs/trace"
@@ -86,6 +89,9 @@ type Server struct {
 
 	ready          atomic.Bool
 	shedSem        chan struct{} // the live shed semaphore (test hook)
+	adminReload    func() error  // optional /admin/reload action (EnableAdminReload)
+	jitterMu       sync.Mutex
+	jitter         *mathx.RNG    // Retry-After jitter; RNG is not concurrency-safe
 	generation     atomic.Uint64 // model swaps since construction
 	log            *slog.Logger
 	reg            *obs.Registry
@@ -130,6 +136,9 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 		reg:            obs.NewRegistry(),
 		started:        time.Now(),
 	}
+	// Seeded from the clock: Retry-After jitter must differ across
+	// processes or a fleet's shed clients re-synchronize anyway.
+	s.jitter = mathx.NewRNG(uint64(s.started.UnixNano()))
 	s.cacheSize.Store(DefaultCacheSize)
 	s.install(model)
 	s.ready.Store(true)
@@ -315,11 +324,41 @@ func (s *Server) ReloadFromFile(path string) error {
 	return nil
 }
 
+// retryAfterSeconds draws the jittered Retry-After value (1–3s) sent
+// with shed 503s, so clients that all failed at the same instant do not
+// all come back at the same instant.
+func (s *Server) retryAfterSeconds() int {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return 1 + s.jitter.Intn(3)
+}
+
+// EnableAdminReload mounts POST /admin/reload on the next Handler()
+// build, running fn (typically a closure over ReloadFromFile with the
+// model path) and reporting the result. The endpoint is how a router
+// drives rolling reloads over HTTP instead of per-process SIGHUPs; it is
+// exempt from shedding — an operator healing an overloaded fleet must
+// not be shed by it — and cmd/clapf-serve keeps it opt-in (-admin-reload)
+// because an unauthenticated reload trigger does not belong on an
+// internet-facing port. nil disables the endpoint again.
+func (s *Server) EnableAdminReload(fn func() error) { s.adminReload = fn }
+
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.adminReload(); err != nil {
+		s.httpError(r.Context(), w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(r.Context(), w, http.StatusOK, struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+	}{Status: "reloaded", Generation: s.generation.Load()})
+}
+
 // normalizeMetricPath keeps the metric path label's cardinality bounded:
 // routed endpoints keep their path, everything else collapses.
 func normalizeMetricPath(p string) string {
 	switch p {
-	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/metrics", "/debug/traces":
+	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/metrics", "/debug/traces", "/admin/reload":
 		return p
 	}
 	return "other"
@@ -339,6 +378,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /similar", s.handleSimilar)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /debug/traces", s.tracer.Handler())
+	if s.adminReload != nil {
+		mux.HandleFunc("POST /admin/reload", s.handleAdminReload)
+	}
 	var h http.Handler = mux
 	h = s.timeoutMiddleware(h)
 	h = s.shedMiddleware(h)

@@ -24,11 +24,18 @@
 #   check proves a slow request lands in /debug/traces with an intact
 #   span tree.
 #
+#   BENCH_cluster.json — stands up the sharded serving tier (router +
+#   three in-process shards) and drives load through five phases:
+#   healthy, one shard killed mid-load, recovered, injected latency, and
+#   torn responses. Reports availability, degraded-response fraction by
+#   mode, retry/hedge counts, breaker opens, and p50/p95/p99 per phase.
+#   availability_one_down must be >= 0.99 and victim_readmitted true.
+#
 # All reports carry a "cores" field recording the machine they ran on:
 # speedup is bounded by physical cores, so interpret the ratios against
 # that number, not in the abstract.
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json]
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json] [cluster_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,6 +47,7 @@ OUT="${4:-BENCH_parallel.json}"
 SERVE_OUT="${5:-BENCH_serve.json}"
 GUARD_OUT="${6:-BENCH_guard.json}"
 TRACE_OUT="${7:-BENCH_trace.json}"
+CLUSTER_OUT="${8:-BENCH_cluster.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
@@ -63,3 +71,9 @@ go run ./cmd/clapf-bench -exp trace -dataset ML100K \
 	-json "$TRACE_OUT"
 
 echo "wrote $TRACE_OUT"
+
+go run ./cmd/clapf-bench -exp cluster -dataset ML100K \
+	-scale "$SCALE" -shards 3 -requests 2000 -load-workers 8 \
+	-json "$CLUSTER_OUT"
+
+echo "wrote $CLUSTER_OUT"

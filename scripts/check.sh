@@ -42,3 +42,12 @@ echo "serve smoke ok"
 # always actually runs.
 go test -race -count=1 -run '^TestTraceSmoke' ./internal/serve
 echo "trace smoke ok"
+
+# Cluster chaos gate: the sharded-serving guarantee — with one of three
+# shards killed mid-load, availability stays >= 99%, every below-fresh
+# answer carries a degradation label, the victim's breaker opens, and
+# the shard is readmitted after recovery. Run under the race detector:
+# the router's hot path (hedges, breaker state, stale cache) is all
+# shared-state concurrency. -count=1 defeats the test cache.
+go test -race -count=1 -run '^TestClusterChaos' ./internal/cluster
+echo "cluster chaos gate ok"
