@@ -601,8 +601,8 @@ func (r *Router) serveFallback(w http.ResponseWriter, rk requestKey) {
 
 // attemptResult is one shard attempt's outcome. err != nil means the
 // shard did not produce a usable HTTP response (transport failure, torn
-// body, 5xx, timeout); err == nil carries status and body, where any
-// 2xx/4xx is a healthy-shard outcome.
+// body, 5xx, 429 shed, timeout); err == nil carries status and body,
+// where any 2xx or non-429 4xx is a healthy-shard outcome.
 type attemptResult struct {
 	shard     *shardState
 	status    int
@@ -621,16 +621,21 @@ func (r *Router) forward(ctx context.Context, key uint64, pathQuery string) atte
 	pos := 0
 	last := attemptResult{err: errors.New("cluster: no eligible shard")}
 	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
-		sh := r.nextEligible(pref, &pos)
-		if sh == nil {
-			return last
-		}
+		// Sleep before reserving a breaker slot: nextEligible's Allow()
+		// reservation must never be held across a sleep, or a canceled
+		// backoff would leak the half-open probe slot and wedge the
+		// breaker. Sleeping first also lets Retry-After holds expire
+		// before the preference walk rules shards out.
 		if attempt > 0 {
 			r.retries.Inc()
 			if !sleepCtx(ctx, backoffDelay(r.rng, r.cfg.RetryBase, r.cfg.RetryMax, attempt-1)) {
 				last.err = ctx.Err()
 				return last
 			}
+		}
+		sh := r.nextEligible(pref, &pos)
+		if sh == nil {
+			return last
 		}
 		res := r.attemptHedged(ctx, sh, pref, &pos, pathQuery)
 		if res.err == nil {
@@ -737,13 +742,16 @@ func (r *Router) attemptHedged(ctx context.Context, sh *shardState, pref []int, 
 }
 
 // doAttempt issues one HTTP GET against sh and settles its breaker:
-// Success on any 2xx/4xx (the shard is healthy; a 4xx is the client's
-// problem), Failure on transport errors, torn bodies, timeouts, and
-// 5xx, and Cancel — no outcome — when the attempt lost a hedge race. A
-// 503 Retry-After is honored by holding the shard out of the candidate
-// set until it expires. The outbound request carries the current trace
-// context (traceparent), so a shard's stage spans join the router's
-// trace.
+// Success on any 2xx/4xx except 429 (the shard is healthy; a 4xx is
+// the client's problem), Failure on transport errors, torn bodies,
+// per-attempt timeouts, 5xx, and 429 (the shard is shedding — back
+// off and fail over), and Cancel — no outcome — when the parent
+// context ended first (hedge race lost, caller gone, or the client's
+// deadline expired), since none of those are the shard's fault. A
+// 429/503 Retry-After is honored by holding the shard out of the
+// candidate set until it expires. The outbound request carries the
+// current trace context (traceparent), so a shard's stage spans join
+// the router's trace.
 func (r *Router) doAttempt(ctx context.Context, sh *shardState, pathQuery string, fromHedge bool) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
 	defer cancel()
@@ -758,8 +766,11 @@ func (r *Router) doAttempt(ctx context.Context, sh *shardState, pathQuery string
 	t0 := time.Now()
 	resp, err := r.client.Do(req)
 	if err != nil {
-		if ctx.Err() == context.Canceled {
-			// Hedge race lost (or caller gone): not the shard's fault.
+		if ctx.Err() != nil {
+			// The parent (hedge/request) context ended — hedge race
+			// lost, caller gone, or the client's own deadline expired.
+			// Not the shard's fault; only the per-attempt timeout
+			// (actx alone expiring) charges the breaker.
 			sh.breaker.Cancel()
 			r.shardReqs.With(sh.name, "canceled").Inc()
 			return attemptResult{shard: sh, err: err, fromHedge: fromHedge}
@@ -770,7 +781,7 @@ func (r *Router) doAttempt(ctx context.Context, sh *shardState, pathQuery string
 	body, readErr := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if readErr != nil {
-		if ctx.Err() == context.Canceled {
+		if ctx.Err() != nil {
 			sh.breaker.Cancel()
 			r.shardReqs.With(sh.name, "canceled").Inc()
 			return attemptResult{shard: sh, err: readErr, fromHedge: fromHedge}
@@ -780,8 +791,11 @@ func (r *Router) doAttempt(ctx context.Context, sh *shardState, pathQuery string
 		r.shardFailure(sh)
 		return attemptResult{shard: sh, err: fmt.Errorf("cluster: torn response from %s: %w", sh.name, readErr), fromHedge: fromHedge}
 	}
-	if resp.StatusCode >= 500 {
-		if resp.StatusCode == http.StatusServiceUnavailable {
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		// 503 and 429 are both shed signals (DESIGN.md back-pressure):
+		// honor Retry-After with a notBefore hold so the preference
+		// walk routes around the shedding shard instead of queueing.
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 				sh.notBefore.Store(time.Now().Add(time.Duration(secs) * time.Second).UnixNano())
 			}

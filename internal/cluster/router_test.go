@@ -375,6 +375,133 @@ func TestRouterHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// A shard that sheds with 429 + Retry-After is back-pressure, exactly
+// like 503: the router must fail over to a replica (not relay the 429),
+// hold the shard out of the candidate set until the Retry-After
+// expires, and record the attempt as a shard error, never a success.
+func TestRouter429ShedTreatedAsBackpressure(t *testing.T) {
+	var homeHits atomic.Int64
+	model, train := testFixture(t)
+	replica, err := serve.New(model.Clone(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaTS := httptest.NewServer(replica.Handler())
+	t.Cleanup(replicaTS.Close)
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		homeHits.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"rate limited"}`)
+	}))
+	t.Cleanup(shedding.Close)
+
+	r, err := NewRouter(Config{
+		Shards: []ShardConfig{
+			{Name: "shedding", URL: shedding.URL},
+			{Name: "replica", URL: replicaTS.URL},
+		},
+		NoHedge:   true,
+		RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+		Breaker: BreakerConfig{FailureThreshold: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+	u := userHomedOn(t, r, 0) // homed on the shedding shard
+	rec, body := routerGet(t, h, fmt.Sprintf("/recommend?user=%d&k=5", u))
+	if rec.Code != http.StatusOK || body.Degraded != DegradedReplica {
+		t.Fatalf("429 from home shard: status %d degraded %q, want 200 via replica", rec.Code, body.Degraded)
+	}
+	hitsAfterFirst := homeHits.Load()
+	if hitsAfterFirst == 0 {
+		t.Fatal("first request never tried the home shard")
+	}
+	if r.shardReqs.With("shedding", "error").Value() == 0 {
+		t.Error("a 429 shed was not recorded as a shard error")
+	}
+	if r.shardReqs.With("shedding", "ok").Value() != 0 {
+		t.Error("a 429 shed was recorded as a shard success")
+	}
+	for i := 0; i < 5; i++ {
+		rec, body = routerGet(t, h, fmt.Sprintf("/recommend?user=%d&k=5", u))
+		if rec.Code != http.StatusOK || body.Degraded != DegradedReplica {
+			t.Fatalf("held-out request %d: status %d degraded %q", i, rec.Code, body.Degraded)
+		}
+	}
+	if homeHits.Load() != hitsAfterFirst {
+		t.Errorf("429-shedding shard hit %d more times during its Retry-After hold",
+			homeHits.Load()-hitsAfterFirst)
+	}
+}
+
+// A request context that dies during the retry backoff must not leak a
+// half-open probe slot: forward may only hold a breaker reservation
+// while an attempt is actually in flight. A leaked slot would pin the
+// breaker half-open rejecting everything until process restart.
+func TestRouterCanceledBackoffDoesNotLeakProbeSlot(t *testing.T) {
+	r, shards, _ := newTestCluster(t, 2, func(c *Config) {
+		// A long, flat backoff window so the context deadline lands
+		// inside the retry sleep with overwhelming probability.
+		c.RetryBase, c.RetryMax = 10*time.Second, 10*time.Second
+		c.Breaker = BreakerConfig{FailureThreshold: 1, Cooldown: time.Millisecond, SuccessThreshold: 1, ProbeBudget: 1}
+	})
+	u := userHomedOn(t, r, 0)
+	shards[0].chaos.SetDown(true)
+	// Park the replica's breaker half-open: its single probe slot is the
+	// resource a buggy forward would leak.
+	r.Breaker(1).Failure()
+	deadline := time.Now().Add(time.Second)
+	for r.Breaker(1).State() != BreakerHalfOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("replica breaker never went half-open")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	r.forward(ctx, UserKey(u), fmt.Sprintf("/recommend?user=%d&k=5", u))
+	// Whatever path forward took — canceled mid-backoff (the common
+	// case here) or a completed probe — the replica's probe slot must be
+	// free again.
+	if !r.Breaker(1).Allow() {
+		t.Fatal("canceled backoff leaked the replica's half-open probe slot")
+	}
+	r.Breaker(1).Cancel()
+}
+
+// A client whose own deadline expires mid-attempt says nothing about
+// shard health: the breaker must see a no-fault cancel, not a failure —
+// otherwise a burst of impatient clients trips breakers on healthy
+// shards.
+func TestRouterClientDeadlineDoesNotChargeBreaker(t *testing.T) {
+	r, shards, _ := newTestCluster(t, 1, func(c *Config) {
+		c.AttemptTimeout = 5 * time.Second
+		c.Breaker = BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute}
+	})
+	shards[0].chaos.SetLatency(300 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res := r.forward(ctx, UserKey(0), "/recommend?user=0&k=5")
+	if res.err == nil {
+		t.Fatal("forward succeeded despite the expired client deadline")
+	}
+	if got := r.Breaker(0).Opens(); got != 0 {
+		t.Errorf("client deadline expiry tripped the shard breaker (opens=%d)", got)
+	}
+	if r.shardReqs.With("shard-0", "canceled").Value() == 0 {
+		t.Error("deadline-expired attempt not recorded as canceled")
+	}
+	if r.shardReqs.With("shard-0", "error").Value() != 0 {
+		t.Error("deadline-expired attempt charged as a shard error")
+	}
+}
+
 // Torn shard responses (honest Content-Length, half the body, connection
 // abort) are failures, not garbage relayed to the client: the router
 // retries onto a replica and the client sees a well-formed 200.
