@@ -21,7 +21,9 @@ fmt:
 # counts (BENCH_parallel.json), serve-path throughput for the single,
 # batch, and cached request paths (BENCH_serve.json), guardrail overhead
 # (BENCH_guard.json), request-tracing overhead with the slow-capture
-# certification (BENCH_trace.json), and sharded-serving availability
-# under chaos — shard kill, latency, torn responses (BENCH_cluster.json).
+# certification (BENCH_trace.json), sharded-serving availability under
+# chaos — shard kill, latency, torn responses (BENCH_cluster.json) — and
+# exact-vs-IVF retrieval throughput with recall@10 on the full-size
+# ML20M catalog (BENCH_retrieval.json).
 bench:
 	sh scripts/bench.sh

@@ -13,6 +13,7 @@
 //	clapf-bench -exp guard    -dataset ML100K [-workers 1,2,4] [-clip-norm 10] [-json out.json]
 //	clapf-bench -exp trace    -dataset ML100K [-requests 2000] [-rounds 3] [-json out.json]
 //	clapf-bench -exp cluster  -dataset ML100K [-shards 3] [-requests 2000] [-load-workers 8] [-json out.json]
+//	clapf-bench -exp retrieval -dataset ML20M -scale 1 [-nlist 0] [-nprobe 0] [-bench-users 1200] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
@@ -27,8 +28,11 @@
 // cluster experiment stands up a sharded serving tier (router + N
 // in-process shards) and measures availability, degradation labeling,
 // and tail latency under shard kills, injected latency, and torn
-// responses. For these, -json additionally writes the machine-readable
-// report consumed by scripts/bench.sh.
+// responses; the retrieval experiment answers the same top-K queries with
+// the dense exact kernel and the cluster-pruned IVF index and reports the
+// throughput ratio alongside recall@10 against the exact ranking. For
+// these, -json additionally writes the machine-readable report consumed
+// by scripts/bench.sh.
 package main
 
 import (
@@ -41,12 +45,13 @@ import (
 
 	"clapf/internal/datagen"
 	"clapf/internal/experiments"
+	"clapf/internal/retrieval"
 	"clapf/internal/sampling"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -62,16 +67,19 @@ func main() {
 		rounds  = flag.Int("rounds", 3, "alternating best-of rounds per arm for -exp trace")
 		shards  = flag.Int("shards", 3, "serve shards behind the router for -exp cluster")
 		load    = flag.Int("load-workers", 8, "concurrent load-generator workers for -exp cluster")
+		nlist   = flag.Int("nlist", 0, "IVF cell count for -exp retrieval (0 = default)")
+		nprobe  = flag.Int("nprobe", 0, "IVF probe width for -exp retrieval (0 = default)")
+		bu      = flag.Int("bench-users", 1200, "user-base cap for -exp retrieval (full item catalog; 0 = no cap)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds, *shards, *load); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds, *shards, *load, *nlist, *nprobe, *bu); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds, shards, loadWorkers int) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds, shards, loadWorkers, nlist, nprobe, benchUsers int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -216,8 +224,21 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 			return experiments.WriteClusterBenchJSON(w, bench)
 		})
 
+	case "retrieval":
+		bench, err := experiments.RunRetrievalBench(setup, benchUsers,
+			retrieval.Config{NLists: nlist, NProbe: nprobe, Seed: seed})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderRetrievalBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteRetrievalBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval)", exp)
 	}
 }
 

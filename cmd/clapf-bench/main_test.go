@@ -18,7 +18,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			// scale 0.05, 1 rep, 2 epoch-equivalents: seconds, not minutes.
-			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false, "", "", 20, 4, 10, 1, 3, 4); err != nil {
+			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false, "", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -27,7 +27,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 
 func TestRunCSVModes(t *testing.T) {
 	for _, exp := range []string{"table2", "fig2", "fig3", "fig4"} {
-		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true, "", "", 20, 4, 10, 1, 3, 4); err != nil {
+		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true, "", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 			t.Fatalf("%s csv: %v", exp, err)
 		}
 	}
@@ -35,7 +35,7 @@ func TestRunCSVModes(t *testing.T) {
 
 func TestRunParallelExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "parallel.json")
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 10, 1, 3, 4); err != nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -67,7 +67,7 @@ func TestRunParallelExperiment(t *testing.T) {
 
 func TestRunServeExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "serve.json")
-	if err := run(io.Discard, "serve", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 8, 10, 1, 3, 4); err != nil {
+	if err := run(io.Discard, "serve", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 8, 10, 1, 3, 4, 0, 0, 50); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -93,7 +93,7 @@ func TestRunServeExperiment(t *testing.T) {
 
 func TestRunGuardExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "guard.json")
-	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 10, 1, 3, 4); err != nil {
+	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 		t.Fatalf("guard: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -118,29 +118,29 @@ func TestRunGuardExperiment(t *testing.T) {
 }
 
 func TestRunUnknowns(t *testing.T) {
-	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 10, 1, 3, 4); err == nil {
+	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 10, 1, 3, 4); err == nil {
+	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, "0,2", "", 20, 4, 10, 1, 3, 4); err == nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, "0,2", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err == nil {
 		t.Error("zero worker count accepted")
 	}
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, " , ", "", 20, 4, 10, 1, 3, 4); err == nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, " , ", "", 20, 4, 10, 1, 3, 4, 0, 0, 50); err == nil {
 		t.Error("empty worker list accepted")
 	}
-	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 1, 1, 10, false, "1", "", 20, 4, 0, 1, 3, 4); err == nil {
+	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 1, 1, 10, false, "1", "", 20, 4, 0, 1, 3, 4, 0, 0, 50); err == nil {
 		t.Error("non-positive clip norm accepted for -exp guard")
 	}
-	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 1, 1, 10, false, "", "", 40, 4, 10, 1, 1, 4); err == nil {
+	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 1, 1, 10, false, "", "", 40, 4, 10, 1, 1, 4, 0, 0, 50); err == nil {
 		t.Error("single-shard cluster bench accepted")
 	}
 }
 
 func TestRunClusterExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "cluster.json")
-	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 80, 4, 10, 1, 3, 4); err != nil {
+	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 80, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -172,7 +172,7 @@ func TestRunClusterExperiment(t *testing.T) {
 
 func TestRunTraceExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(io.Discard, "trace", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 4, 10, 1, 3, 4); err != nil {
+	if err := run(io.Discard, "trace", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 4, 10, 1, 3, 4, 0, 0, 50); err != nil {
 		t.Fatalf("trace: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -194,5 +194,39 @@ func TestRunTraceExperiment(t *testing.T) {
 	}
 	if bench.SlowCaptureSpans < 2 {
 		t.Errorf("slow capture spans = %d, want >= 2 (root + child)", bench.SlowCaptureSpans)
+	}
+}
+
+func TestRunRetrievalExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "retrieval.json")
+	// Full probe width (nlist == nprobe == 4) so IVF recall must be
+	// exactly 1 even at this miniature scale.
+	if err := run(io.Discard, "retrieval", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 20, 4, 10, 1, 3, 4, 4, 4, 50); err != nil {
+		t.Fatalf("retrieval: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read json report: %v", err)
+	}
+	var bench experiments.RetrievalBench
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("decode json report: %v", err)
+	}
+	if len(bench.Rows) != 2 || bench.Rows[0].Path != "exact" || bench.Rows[1].Path != "ivf" {
+		t.Fatalf("rows = %+v, want exact then ivf", bench.Rows)
+	}
+	if bench.Users <= 0 || bench.Users > 50 {
+		t.Errorf("bench users = %d, want in (0, 50] (cap applied)", bench.Users)
+	}
+	if bench.NList != 4 || bench.NProbe != 4 {
+		t.Errorf("index shape = (%d, %d), want (4, 4)", bench.NList, bench.NProbe)
+	}
+	if bench.Rows[1].Recall10 != 1 {
+		t.Errorf("full-probe IVF recall = %v, want exactly 1", bench.Rows[1].Recall10)
+	}
+	for _, r := range bench.Rows {
+		if r.UsersPerSec <= 0 {
+			t.Errorf("%s: users/sec = %v, want > 0", r.Path, r.UsersPerSec)
+		}
 	}
 }

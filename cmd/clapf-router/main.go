@@ -18,7 +18,9 @@
 // and every degraded response says so in its "degraded" field.
 //
 // Endpoints: GET /recommend and GET /similar (proxied with failover),
-// GET /healthz (per-shard breaker and membership state), GET /readyz,
+// GET /healthz (per-shard breaker and membership state, plus each
+// shard's reported retrieval mode; -retrieval exact|ivf makes the prober
+// flag shards that drift from the expected mode), GET /readyz,
 // GET /metrics (clapf_router_* Prometheus exposition), GET /debug/traces
 // (flight recorder; shard spans join the router's W3C trace via
 // traceparent propagation).
@@ -56,6 +58,7 @@ type options struct {
 	shardSpec string
 	addr      string
 	trainPath string
+	retrieval string
 
 	vnodes         int
 	maxRetries     int
@@ -80,6 +83,7 @@ func main() {
 	flag.StringVar(&o.shardSpec, "shards", "", "comma-separated shard base URLs (required)")
 	flag.StringVar(&o.addr, "addr", ":8070", "listen address")
 	flag.StringVar(&o.trainPath, "train", "", "training dataset TSV; enables the popularity-ranking fallback")
+	flag.StringVar(&o.retrieval, "retrieval", "", "retrieval mode every shard is expected to serve (exact or ivf); drift from a shard's reported mode is logged and shown in /healthz (empty disables the check)")
 	flag.IntVar(&o.vnodes, "vnodes", 64, "virtual ring points per shard")
 	flag.IntVar(&o.maxRetries, "max-retries", 3, "retry attempts beyond the first per request")
 	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 2*time.Second, "per-shard attempt deadline")
@@ -128,6 +132,14 @@ func buildRouter(o options) (*cluster.Router, error) {
 	shards, err := parseShards(o.shardSpec)
 	if err != nil {
 		return nil, err
+	}
+	if o.retrieval != "" {
+		if o.retrieval != "exact" && o.retrieval != "ivf" {
+			return nil, fmt.Errorf("-retrieval %q: want exact or ivf", o.retrieval)
+		}
+		for i := range shards {
+			shards[i].Retrieval = o.retrieval
+		}
 	}
 	var train *dataset.Dataset
 	if o.trainPath != "" {

@@ -188,7 +188,13 @@ func TestRunReloadAndShutdown(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() { done <- run(o) }()
-	base := "http://" + <-bound
+	var base string
+	select {
+	case addr := <-bound:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before binding: %v", err)
+	}
 
 	if g := healthGeneration(t, base); g != 0 {
 		t.Fatalf("fresh server generation = %d", g)

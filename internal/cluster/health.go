@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"time"
@@ -79,6 +80,7 @@ func (r *Router) ProbeNow() {
 	for _, sh := range r.shards {
 		ok := r.probeShard(sh, cfg.Timeout)
 		if ok {
+			r.observeRetrieval(sh, cfg.Timeout)
 			sh.probeFails = 0
 			sh.probeOKs++
 			if !sh.available.Load() && sh.probeOKs >= cfg.ReadmitAfter {
@@ -98,6 +100,46 @@ func (r *Router) ProbeNow() {
 			}
 		}
 		r.brkGauge.With(sh.name).Set(float64(sh.breaker.State()))
+	}
+}
+
+// observeRetrieval reads the shard's /healthz retrieval field — the mode
+// the shard is actually serving — and records it for the router's own
+// /healthz. When the shard config names an expected mode, drift is logged
+// once per episode (probeMu, held by the caller, guards the latch): a
+// mixed-mode fleet returns different rankings for the same user depending
+// on which shard failover lands on. Best-effort — an unreachable or
+// pre-retrieval-era shard simply leaves the last observation standing.
+func (r *Router) observeRetrieval(sh *shardState, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var body struct {
+		Retrieval string `json:"retrieval"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil || body.Retrieval == "" {
+		return
+	}
+	sh.retrieval.Store(body.Retrieval)
+	switch {
+	case sh.expectRetrieval == "" || body.Retrieval == sh.expectRetrieval:
+		sh.retrievalWarned = false
+	case !sh.retrievalWarned:
+		sh.retrievalWarned = true
+		r.log.Warn("shard retrieval mode drift",
+			"shard", sh.name, "expected", sh.expectRetrieval, "observed", body.Retrieval)
 	}
 }
 

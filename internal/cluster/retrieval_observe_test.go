@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"clapf/internal/retrieval"
+)
+
+// TestProberObservesShardRetrievalMode: the probe sweep records each
+// shard's reported retrieval mode, the router's /healthz surfaces it, and
+// a shard serving a different mode than the config expects is still
+// routable (drift is an alert, not an ejection).
+func TestProberObservesShardRetrievalMode(t *testing.T) {
+	r, shards, _ := newTestCluster(t, 2, func(c *Config) {
+		for i := range c.Shards {
+			c.Shards[i].Retrieval = "exact"
+		}
+	})
+	// Shard 1 drifts: it serves IVF while the fleet expects exact.
+	if err := shards[1].srv.SetRetrieval(retrieval.ModeIVF,
+		retrieval.Config{NLists: 8, NProbe: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeNow()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rec.Code)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Shards) != 2 {
+		t.Fatalf("healthz lists %d shards", len(resp.Shards))
+	}
+	if got := resp.Shards[0].Retrieval; got != "exact" {
+		t.Errorf("shard-0 observed retrieval = %q, want exact", got)
+	}
+	if got := resp.Shards[1].Retrieval; got != "ivf" {
+		t.Errorf("shard-1 observed retrieval = %q, want ivf", got)
+	}
+	for _, sh := range resp.Shards {
+		if !sh.Available {
+			t.Errorf("shard %s ejected over retrieval drift", sh.Name)
+		}
+	}
+	// The drifted shard must still answer routed traffic.
+	u := userHomedOn(t, r, 1)
+	if rec, _ := routerGet(t, r.Handler(), fmt.Sprintf("/recommend?user=%d&k=3", u)); rec.Code != http.StatusOK {
+		t.Errorf("drifted shard request: status %d", rec.Code)
+	}
+}

@@ -23,6 +23,14 @@ import (
 type ShardConfig struct {
 	Name string
 	URL  string // base URL, e.g. http://10.0.0.3:8080 (no trailing slash)
+	// Retrieval, when set ("exact" or "ivf"), is the retrieval mode this
+	// shard is expected to serve. The health prober compares it against
+	// the mode the shard reports on /healthz and logs drift — a fleet
+	// where one shard silently fell back to a different strategy returns
+	// inconsistent rankings for the same user depending on failover, which
+	// is worth an alert even though every individual answer is valid.
+	// Empty disables the check.
+	Retrieval string
 }
 
 // Config tunes the router. The zero value of every field has a sane
@@ -147,8 +155,24 @@ type shardState struct {
 	// back into overload by their own router.
 	notBefore atomic.Int64
 
-	// prober-owned hysteresis counters (guarded by Router.probeMu).
+	// retrieval is the mode the shard last reported on /healthz ("" until
+	// the first successful observation); expectRetrieval is the configured
+	// expectation it is checked against.
+	retrieval       atomic.Value // string
+	expectRetrieval string
+
+	// prober-owned hysteresis counters (guarded by Router.probeMu),
+	// plus the drift-warning latch so mode drift logs once per episode.
 	probeFails, probeOKs int
+	retrievalWarned      bool
+}
+
+// observedRetrieval returns the shard's last-reported retrieval mode.
+func (sh *shardState) observedRetrieval() string {
+	if v, ok := sh.retrieval.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // eligible reports whether the shard may receive an attempt right now —
@@ -264,9 +288,10 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	for _, sc := range cfg.Shards {
 		sh := &shardState{
-			name:    sc.Name,
-			url:     strings.TrimRight(sc.URL, "/"),
-			breaker: NewBreaker(cfg.Breaker),
+			name:            sc.Name,
+			url:             strings.TrimRight(sc.URL, "/"),
+			breaker:         NewBreaker(cfg.Breaker),
+			expectRetrieval: sc.Retrieval,
 		}
 		sh.available.Store(true)
 		r.shards = append(r.shards, sh)
@@ -402,6 +427,9 @@ type ShardHealth struct {
 	Available bool   `json:"available"`
 	Breaker   string `json:"breaker"`
 	Opens     uint64 `json:"breaker_opens"`
+	// Retrieval is the retrieval mode the shard last reported on its
+	// /healthz ("" before the first observation).
+	Retrieval string `json:"retrieval,omitempty"`
 }
 
 // HealthResponse is the router's /healthz payload.
@@ -421,6 +449,7 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 			Available: sh.available.Load(),
 			Breaker:   st.String(),
 			Opens:     sh.breaker.Opens(),
+			Retrieval: sh.observedRetrieval(),
 		})
 		if sh.eligible(now) && st != BreakerOpen {
 			resp.Eligible++

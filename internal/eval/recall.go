@@ -1,0 +1,24 @@
+package eval
+
+// RecallVsExact measures an approximate retriever against the exact
+// top-K for the same query: |approx ∩ exact| / |exact|. This is the
+// standard ANN quality metric — it compares the approximate list to the
+// ground truth *ranking* rather than to held-out relevance, so a perfect
+// index scores 1 even on a badly trained model. An empty exact list (a
+// degenerate query with nothing retrievable) counts as fully recalled.
+func RecallVsExact(approx, exact []int32) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int32]bool, len(exact))
+	for _, id := range exact {
+		in[id] = true
+	}
+	hits := 0
+	for _, id := range approx {
+		if in[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}

@@ -1,0 +1,25 @@
+package eval
+
+import "testing"
+
+func TestRecallVsExact(t *testing.T) {
+	cases := []struct {
+		name          string
+		approx, exact []int32
+		want          float64
+	}{
+		{"identical", []int32{1, 2, 3}, []int32{3, 2, 1}, 1},
+		{"disjoint", []int32{4, 5}, []int32{1, 2}, 0},
+		{"partial", []int32{1, 9, 3, 8}, []int32{1, 2, 3, 4}, 0.5},
+		{"short-approx", []int32{2}, []int32{1, 2}, 0.5},
+		{"empty-exact", []int32{1, 2}, nil, 1},
+		{"empty-approx", nil, []int32{1, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RecallVsExact(tc.approx, tc.exact); got != tc.want {
+				t.Errorf("RecallVsExact(%v, %v) = %v, want %v", tc.approx, tc.exact, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"clapf/internal/datagen"
+	"clapf/internal/eval"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/rank"
+	"clapf/internal/retrieval"
+	"clapf/internal/score"
+)
+
+// retrievalBenchK is the top-k size every retrieval query asks for.
+const retrievalBenchK = 10
+
+// RetrievalBenchRow is one retrieval arm's measured throughput, latency
+// distribution, and quality. Recall10 is recall@10 against the exact arm
+// (1 by construction for the exact arm itself).
+type RetrievalBenchRow struct {
+	Path        string  `json:"path"`
+	Users       int     `json:"users"`
+	WallSeconds float64 `json:"wall_seconds"`
+	UsersPerSec float64 `json:"users_per_sec"`
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	Recall10    float64 `json:"recall_at_10"`
+}
+
+// RetrievalBench is the exact-vs-IVF retrieval report: the same top-K
+// queries answered by the dense scoring engine and by the cluster-pruned
+// IVF index, measured at the engine layer so the ratio isolates retrieval
+// cost from transport and JSON overhead.
+type RetrievalBench struct {
+	Dataset      string              `json:"dataset"`
+	Users        int                 `json:"users"`
+	Items        int                 `json:"items"`
+	Dim          int                 `json:"dim"`
+	K            int                 `json:"k"`
+	NList        int                 `json:"nlist"`
+	NProbe       int                 `json:"nprobe"`
+	BuildSeconds float64             `json:"index_build_seconds"`
+	Cores        int                 `json:"cores"`
+	Rows         []RetrievalBenchRow `json:"rows"`
+	Speedup      float64             `json:"ivf_speedup_vs_exact"`
+	Recall10     float64             `json:"ivf_recall_at_10"`
+}
+
+// RunRetrievalBench measures sublinear top-K retrieval against the exact
+// kernel on a synthetic corpus with the profile's full item catalog.
+// benchUsers caps the generated user count (datagen is O(users x items),
+// so the full ML20M user base would dominate wall-clock without changing
+// what is measured — per-user retrieval cost depends only on the catalog).
+// The model carries the generator's ground-truth factors plus a
+// popularity-aligned bias, so the score geometry matches a trained model
+// rather than Gaussian noise; cfg zero-values select the index defaults.
+// Every user is queried once per arm with train positives excluded, the
+// way the serve path queries; recall@10 compares each IVF list to the
+// exact list for the same user.
+func RunRetrievalBench(s Setup, benchUsers int, cfg retrieval.Config) (*RetrievalBench, error) {
+	profile := s.Profile.Scaled(s.Scale)
+	if benchUsers > 0 && profile.Users > benchUsers {
+		pairs := int(float64(profile.Pairs) * float64(benchUsers) / float64(profile.Users))
+		if pairs < benchUsers*2 {
+			pairs = benchUsers * 2
+		}
+		profile.Pairs = pairs
+		profile.Users = benchUsers
+	}
+	world, err := datagen.Generate(profile, mathx.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	train := world.Data
+	n, numItems, dim := train.NumUsers(), train.NumItems(), world.Dim
+
+	bias := make([]float64, numItems)
+	for i := range bias {
+		bias[i] = 0.05 * math.Log(world.Popularity[i])
+	}
+	m, err := mf.FromRaw(mf.Config{
+		NumUsers: n, NumItems: numItems, Dim: dim, UseBias: true,
+	}, world.TrueUser, world.TrueItem, bias)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RetrievalBench{
+		Dataset: s.Profile.Name, Users: n, Items: numItems, Dim: dim,
+		K: retrievalBenchK, Cores: runtime.NumCPU(),
+	}
+
+	// Exact arm: the dense engine + rank funnel, exactly the serve path's
+	// known-user flow with the cache off.
+	eng := score.NewEngine(m)
+	scores := make([]float64, numItems)
+	exactTop := make([][]int32, n)
+	exactQuery := func(u int32) []int32 {
+		eng.ScoreAll(u, scores)
+		pos := train.Positives(u)
+		idx := 0
+		top, _ := rank.TopKDropped(scores, retrievalBenchK, func(i int32) bool {
+			for idx < len(pos) && pos[idx] < i {
+				idx++
+			}
+			return idx < len(pos) && pos[idx] == i
+		})
+		ids := make([]int32, len(top))
+		for j, e := range top {
+			ids[j] = e.Item
+		}
+		return ids
+	}
+	for u := int32(0); u < 32 && int(u) < n; u++ {
+		exactQuery(u) // warm caches and the allocator
+	}
+	lat := make([]time.Duration, 0, n)
+	for u := int32(0); int(u) < n; u++ {
+		t0 := time.Now()
+		exactTop[u] = exactQuery(u)
+		lat = append(lat, time.Since(t0))
+	}
+	exactRow := retrievalRow("exact", lat)
+	exactRow.Recall10 = 1
+	out.Rows = append(out.Rows, exactRow)
+
+	// IVF arm: build once (that cost is reported separately — in serving
+	// it is paid at model-swap time, off the request path), then query.
+	t0 := time.Now()
+	ix, err := retrieval.BuildIVF(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.BuildSeconds = time.Since(t0).Seconds()
+	out.NList, out.NProbe = ix.NLists(), ix.NProbe()
+
+	var recallSum float64
+	lat = lat[:0]
+	for u := int32(0); u < 32 && int(u) < n; u++ {
+		ix.Search(m.UserFactors(u), retrievalBenchK, 0, train.Positives(u))
+	}
+	for u := int32(0); int(u) < n; u++ {
+		uf := m.UserFactors(u)
+		t0 := time.Now()
+		top, _ := ix.Search(uf, retrievalBenchK, 0, train.Positives(u))
+		lat = append(lat, time.Since(t0))
+		ids := make([]int32, len(top))
+		for j, e := range top {
+			ids[j] = e.Item
+		}
+		recallSum += eval.RecallVsExact(ids, exactTop[u])
+	}
+	ivfRow := retrievalRow("ivf", lat)
+	ivfRow.Recall10 = recallSum / float64(n)
+	out.Rows = append(out.Rows, ivfRow)
+
+	out.Recall10 = ivfRow.Recall10
+	if exactRow.UsersPerSec > 0 {
+		out.Speedup = ivfRow.UsersPerSec / exactRow.UsersPerSec
+	}
+	return out, nil
+}
+
+// retrievalRow folds per-query latencies into a report row.
+func retrievalRow(path string, lat []time.Duration) RetrievalBenchRow {
+	var wall time.Duration
+	for _, d := range lat {
+		wall += d
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	row := RetrievalBenchRow{
+		Path:        path,
+		Users:       len(lat),
+		WallSeconds: wall.Seconds(),
+		P50ms:       percentileMs(sorted, 50),
+		P95ms:       percentileMs(sorted, 95),
+		P99ms:       percentileMs(sorted, 99),
+	}
+	if wall > 0 {
+		row.UsersPerSec = float64(len(lat)) / wall.Seconds()
+	}
+	return row
+}
+
+// RenderRetrievalBench prints the retrieval report as an aligned table.
+func RenderRetrievalBench(w io.Writer, b *RetrievalBench) error {
+	if _, err := fmt.Fprintf(w,
+		"retrieval bench on %s (%d users, %d items, dim %d, k=%d, nlist=%d, nprobe=%d, %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Dim, b.K, b.NList, b.NProbe, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %8s %12s %10s %10s %10s %10s\n",
+		"path", "users", "users/s", "p50(ms)", "p95(ms)", "p99(ms)", "recall@10"); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		if _, err := fmt.Fprintf(w, "%-8s %8d %12.0f %10.4f %10.4f %10.4f %10.4f\n",
+			r.Path, r.Users, r.UsersPerSec, r.P50ms, r.P95ms, r.P99ms, r.Recall10); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "ivf speedup vs exact: %.2fx at recall@10 %.4f (index build %.2fs)\n",
+		b.Speedup, b.Recall10, b.BuildSeconds)
+	return err
+}
+
+// WriteRetrievalBenchJSON emits the report as indented JSON (the
+// BENCH_retrieval.json payload of scripts/bench.sh).
+func WriteRetrievalBenchJSON(w io.Writer, b *RetrievalBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

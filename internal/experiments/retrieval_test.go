@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"clapf/internal/retrieval"
+)
+
+// The retrieval bench at toy scale: both arms answer every user, the
+// exact arm's recall is 1 by construction, the IVF arm's recall is the
+// measured mean, and the report renders and serializes. Speedup
+// magnitudes are hardware- and scale-dependent and asserted only by the
+// committed BENCH_retrieval.json, not here — at toy catalog sizes IVF has
+// nothing to prune.
+func TestRunRetrievalBenchSmoke(t *testing.T) {
+	setup, err := DefaultSetup("ML100K", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full probe width: recall must be exactly 1 on both arms, which also
+	// pins the recall computation itself (any off-by-one in candidate
+	// bookkeeping would show up here as < 1).
+	b, err := RunRetrievalBench(setup, 60, retrieval.Config{NLists: 8, NProbe: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 2 || b.Rows[0].Path != "exact" || b.Rows[1].Path != "ivf" {
+		t.Fatalf("rows = %+v, want exact then ivf", b.Rows)
+	}
+	if b.Users != 60 {
+		t.Errorf("user cap not applied: %d users", b.Users)
+	}
+	for _, r := range b.Rows {
+		if r.Users != b.Users {
+			t.Errorf("%s answered %d users, want %d", r.Path, r.Users, b.Users)
+		}
+		if r.UsersPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s has non-positive throughput: %+v", r.Path, r)
+		}
+	}
+	if b.Rows[0].Recall10 != 1 {
+		t.Errorf("exact arm recall = %v, want 1", b.Rows[0].Recall10)
+	}
+	if b.Rows[1].Recall10 != 1 {
+		t.Errorf("full-probe IVF recall = %v, want exactly 1", b.Rows[1].Recall10)
+	}
+	if b.NList != 8 || b.NProbe != 8 {
+		t.Errorf("index shape = (%d, %d), want (8, 8)", b.NList, b.NProbe)
+	}
+	if b.Speedup <= 0 {
+		t.Errorf("speedup not computed: %v", b.Speedup)
+	}
+
+	var sb strings.Builder
+	if err := RenderRetrievalBench(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exact", "ivf", "recall@10", "speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+	var js strings.Builder
+	if err := WriteRetrievalBenchJSON(&js, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ivf_speedup_vs_exact"`, `"recall_at_10"`, `"nlist"`, `"index_build_seconds"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON report missing %q", want)
+		}
+	}
+}

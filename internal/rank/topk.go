@@ -44,42 +44,7 @@ func TopKDropped(scores []float64, k int, exclude func(item int32) bool) ([]Entr
 	if k <= 0 {
 		return nil, 0
 	}
-	h := make([]Entry, 0, k)
-	less := func(a, b Entry) bool {
-		// Min-heap by score; for equal scores the *larger* item id is
-		// "smaller" so it gets evicted first, keeping small ids.
-		if a.Score != b.Score {
-			return a.Score < b.Score
-		}
-		return a.Item > b.Item
-	}
-	siftUp := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if !less(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
-	}
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			s := i
-			if l < len(h) && less(h[l], h[s]) {
-				s = l
-			}
-			if r < len(h) && less(h[r], h[s]) {
-				s = r
-			}
-			if s == i {
-				return
-			}
-			h[i], h[s] = h[s], h[i]
-			i = s
-		}
-	}
+	h := NewHeap(k)
 	dropped := 0
 	for i, sc := range scores {
 		it := int32(i)
@@ -90,24 +55,148 @@ func TopKDropped(scores []float64, k int, exclude func(item int32) bool) ([]Entr
 			dropped++
 			continue
 		}
-		e := Entry{Item: it, Score: sc}
-		if len(h) < k {
-			h = append(h, e)
-			siftUp(len(h) - 1)
+		h.Push(Entry{Item: it, Score: sc})
+	}
+	return h.Finish(), dropped
+}
+
+// TopKEntries selects the k best of the given entries under the same
+// ordering as TopK (descending score, ties toward the smaller item id),
+// dropping non-finite scores. Unlike TopK it takes an explicit candidate
+// list rather than a dense score vector — the approximate-retrieval path
+// ranks only the items surviving cluster pruning. When fewer than k
+// finite candidates are supplied the result is shorter than k; callers
+// must not assume a full list.
+func TopKEntries(es []Entry, k int) []Entry {
+	top, _ := TopKEntriesDropped(es, k)
+	return top
+}
+
+// TopKEntriesDropped is TopKEntries plus the count of entries dropped for
+// carrying a non-finite score. Because Heap selection depends only on the
+// *set* of pushed entries (see Heap), feeding any permutation of the
+// non-excluded items of a dense score vector — scores computed by the same
+// operations — returns bit-identical results to TopKDropped over that
+// vector.
+func TopKEntriesDropped(es []Entry, k int) ([]Entry, int) {
+	if k <= 0 {
+		return nil, 0
+	}
+	h := NewHeap(k)
+	dropped := 0
+	for _, e := range es {
+		if math.IsNaN(e.Score) || math.IsInf(e.Score, 0) {
+			dropped++
 			continue
 		}
-		if less(h[0], e) {
-			h[0] = e
-			siftDown(0)
-		}
+		h.Push(e)
 	}
+	return h.Finish(), dropped
+}
+
+// Heap is the bounded min-heap behind every top-k selection in this
+// package: it retains the k best entries pushed so far, evicting the
+// current worst. The ordering is total — descending score, ties toward the
+// smaller item id — so the retained set, and therefore Finish's output, is
+// a pure function of the set of pushed entries, independent of push order.
+// Sharing one implementation is what lets the dense (TopKDropped),
+// candidate-list (TopKEntriesDropped), and streaming (IVF probe) paths
+// guarantee identical selections for identical inputs.
+//
+// Pushing a NaN score corrupts the heap invariant (NaN breaks the total
+// order); callers must drop non-finite scores first, as the TopK wrappers
+// do.
+type Heap struct {
+	h []Entry
+	k int
+}
+
+// NewHeap returns a heap retaining the k best pushed entries.
+func NewHeap(k int) *Heap {
+	if k < 0 {
+		k = 0
+	}
+	return &Heap{h: make([]Entry, 0, k), k: k}
+}
+
+// less orders the min-heap by score; for equal scores the *larger* item
+// id is "smaller" so it gets evicted first, keeping small ids.
+func (t *Heap) less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+// Push offers an entry; it is retained iff it ranks among the k best seen.
+func (t *Heap) Push(e Entry) {
+	h := t.h
+	if t.k == 0 {
+		return
+	}
+	if len(h) < t.k {
+		t.h = append(h, e)
+		t.siftUp(len(t.h) - 1)
+		return
+	}
+	if t.less(h[0], e) {
+		h[0] = e
+		t.siftDown(0)
+	}
+}
+
+func (t *Heap) siftUp(i int) {
+	h := t.h
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (t *Heap) siftDown(i int) {
+	h := t.h
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && t.less(h[l], h[s]) {
+			s = l
+		}
+		if r < len(h) && t.less(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+// Len returns how many entries are currently retained.
+func (t *Heap) Len() int { return len(t.h) }
+
+// Root returns the worst retained entry — the one the next successful
+// Push would evict. It is only meaningful once Len() == k; hot loops use
+// it to reject below-floor candidates with a local comparison instead of
+// a Push call.
+func (t *Heap) Root() Entry { return t.h[0] }
+
+// Finish sorts the retained entries best-first (descending score, ties
+// toward the smaller item id) and returns them. The heap must not be used
+// afterwards.
+func (t *Heap) Finish() []Entry {
+	h := t.h
 	sort.Slice(h, func(i, j int) bool {
 		if h[i].Score != h[j].Score {
 			return h[i].Score > h[j].Score
 		}
 		return h[i].Item < h[j].Item
 	})
-	return h, dropped
+	return h
 }
 
 // Ranks returns, for each requested item, its 1-based rank within the score

@@ -2,6 +2,7 @@ package rank
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -268,5 +269,101 @@ func TestReverse(t *testing.T) {
 	Reverse(single)
 	if single[0] != 7 {
 		t.Error("Reverse broke singleton")
+	}
+}
+
+func TestTopKEntriesShortCandidateList(t *testing.T) {
+	es := []Entry{{Item: 4, Score: 1.5}, {Item: 2, Score: 3.0}}
+	got := TopKEntries(es, 10)
+	if len(got) != 2 {
+		t.Fatalf("k over candidate count: got %d entries, want 2", len(got))
+	}
+	if got[0].Item != 2 || got[1].Item != 4 {
+		t.Errorf("order = %v, want item 2 then 4", got)
+	}
+	if got := TopKEntries(nil, 5); len(got) != 0 {
+		t.Errorf("empty candidates: got %d entries", len(got))
+	}
+	if got := TopKEntries(es, 0); len(got) != 0 {
+		t.Errorf("k=0: got %d entries", len(got))
+	}
+}
+
+func TestTopKEntriesDropsNonFinite(t *testing.T) {
+	es := []Entry{
+		{Item: 0, Score: math.NaN()},
+		{Item: 1, Score: math.Inf(1)},
+		{Item: 2, Score: math.Inf(-1)},
+		{Item: 3, Score: 0.5},
+	}
+	got, dropped := TopKEntriesDropped(es, 4)
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	if len(got) != 1 || got[0].Item != 3 {
+		t.Errorf("got %v, want only item 3", got)
+	}
+}
+
+// TestTopKEntriesOrderInvariant: the selection must be a pure function of
+// the entry *set* — any permutation of the non-excluded items of a dense
+// vector returns results identical to TopKDropped, including boundary
+// ties. This is the property the IVF probe path (cell-major iteration
+// order) relies on.
+func TestTopKEntriesOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		scores := make([]float64, 40)
+		es := make([]Entry, 0, len(scores))
+		for i := range scores {
+			// Coarse quantization forces score ties across items.
+			scores[i] = math.Floor(rng.Float64()*8) / 4
+			es = append(es, Entry{Item: int32(i), Score: scores[i]})
+		}
+		rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+		k := 1 + rng.Intn(12)
+		want, wantDropped := TopKDropped(scores, k, nil)
+		got, gotDropped := TopKEntriesDropped(es, k)
+		if gotDropped != wantDropped || len(got) != len(want) {
+			t.Fatalf("trial %d: %d/%d entries, %d/%d dropped", trial, len(got), len(want), gotDropped, wantDropped)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHeapZeroAndNegativeK(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		h := NewHeap(k)
+		h.Push(Entry{Item: 1, Score: 5})
+		if h.Len() != 0 {
+			t.Errorf("k=%d: Len = %d after push, want 0", k, h.Len())
+		}
+		if got := h.Finish(); len(got) != 0 {
+			t.Errorf("k=%d: Finish returned %d entries", k, len(got))
+		}
+	}
+}
+
+func TestHeapRootTracksWorstRetained(t *testing.T) {
+	h := NewHeap(3)
+	for _, e := range []Entry{{0, 5}, {1, 1}, {2, 3}, {3, 4}, {4, 0}} {
+		h.Push(e)
+	}
+	if r := h.Root(); r.Item != 2 || r.Score != 3 {
+		t.Errorf("Root = %+v, want item 2 score 3", r)
+	}
+	got := h.Finish()
+	want := []Entry{{0, 5}, {3, 4}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Finish len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rank %d: %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }

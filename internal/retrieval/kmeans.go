@@ -1,0 +1,118 @@
+package retrieval
+
+import (
+	"math"
+
+	"clapf/internal/mathx"
+)
+
+// kmeans runs seeded spherical k-means over n unit-norm rows of x
+// (D coordinates each): centroids maximize the dot product with their
+// members, assignments break ties toward the lower cell index, and empty
+// cells are reseeded deterministically from the worst-served point. It
+// returns the flat centroid matrix (k'×D, k' = min(k, n)) and each row's
+// cell assignment.
+//
+// Determinism is a contract, not a nicety: the serve path rebuilds the
+// index at every model swap, and hot-reload tests pin exact responses per
+// generation — two builds from the same (x, seed) must agree bit for bit.
+// Everything here iterates in fixed order and uses no map traversal.
+func kmeans(x []float64, n, D, k, iters int, rng *mathx.RNG) (centroids []float64, assign []int32) {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	centroids = make([]float64, k*D)
+	// Init: k distinct row indices from the seeded permutation. Duplicate
+	// *vectors* are fine — identical centroids just split ties by index.
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		copy(centroids[c*D:c*D+D], x[perm[c]*D:perm[c]*D+D])
+	}
+
+	assign = make([]int32, n)
+	affinity := make([]float64, n) // dot with the assigned centroid
+	sums := make([]float64, k*D)
+	counts := make([]int, k)
+
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			xi := x[i*D : i*D+D]
+			bestC, bestA := int32(0), math.Inf(-1)
+			for c := 0; c < k; c++ {
+				a := mathx.Dot(centroids[c*D:c*D+D], xi)
+				if a > bestA { // strict >: ties keep the lower index
+					bestA, bestC = a, int32(c)
+				}
+			}
+			if it == 0 || assign[i] != bestC {
+				changed = changed || it > 0
+				assign[i] = bestC
+			}
+			affinity[i] = bestA
+		}
+		if it > 0 && !changed {
+			break
+		}
+
+		for i := range sums {
+			sums[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			row := x[i*D : i*D+D]
+			s := sums[int(assign[i])*D : int(assign[i])*D+D]
+			for j, v := range row {
+				s[j] += v
+			}
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Reseed the empty cell at the point its current centroid
+				// serves worst; poisoning its recorded affinity keeps a
+				// second empty cell from stealing the same point.
+				w := worstServed(affinity)
+				copy(centroids[c*D:c*D+D], x[w*D:w*D+D])
+				affinity[w] = math.Inf(1)
+				continue
+			}
+			row := centroids[c*D : c*D+D]
+			inv := 1 / float64(counts[c])
+			var norm2 float64
+			for j := range row {
+				v := sums[c*D+j] * inv
+				row[j] = v
+				norm2 += v * v
+			}
+			if norm2 > 0 {
+				// Spherical step: project the mean back onto the sphere.
+				inv = 1 / math.Sqrt(norm2)
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+			// norm2 == 0 (a cell of quarantined zero rows, or exactly
+			// cancelling members): keep the zero mean — affinity 0 to
+			// everything, deterministic.
+		}
+	}
+	return centroids, assign
+}
+
+// worstServed returns the index of the minimum affinity, ties toward the
+// lower index.
+func worstServed(aff []float64) int {
+	w, min := 0, math.Inf(1)
+	for i, a := range aff {
+		if a < min {
+			min, w = a, i
+		}
+	}
+	return w
+}

@@ -1,0 +1,205 @@
+package retrieval
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"clapf/internal/score"
+)
+
+// TestRecallGrid pins calibrated mean-recall@10 floors across a
+// (nlist, nprobe) grid on seeded ground-truth worlds. Everything here is
+// bit-deterministic — world, model, and index all derive from fixed seeds
+// — so the floors are regression tripwires, not statistical hopes. The
+// ≥ 0.95 rows are the headline configurations; the looser rows document
+// how recall degrades as probing narrows, so a quantizer regression shows
+// up across the whole curve, not just at one point.
+func TestRecallGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recall grid is a long test")
+	}
+	type cfg struct {
+		nlist, nprobe int
+		floor         float64
+	}
+	cases := []struct {
+		scale float64
+		seed  uint64
+		grid  []cfg
+	}{
+		{0.25, 7, []cfg{
+			{16, 8, 0.90},
+			{32, 16, 0.95},
+			{64, 32, 0.95},
+			{0, 0, 0.80}, // defaults: nlist=2√420=41, nprobe=11
+		}},
+		{1.0, 7, []cfg{
+			{16, 8, 0.91},
+			{32, 16, 0.95},
+			{64, 32, 0.95},
+			{83, 41, 0.95},
+			{0, 0, 0.88}, // defaults: nlist=2√1682=83, nprobe=21
+		}},
+	}
+	for _, c := range cases {
+		m, w := worldModel(t, c.scale, c.seed)
+		for _, g := range c.grid {
+			ix, err := BuildIVF(m, Config{NLists: g.nlist, NProbe: g.nprobe})
+			if err != nil {
+				t.Fatalf("scale %.2f nlist %d: %v", c.scale, g.nlist, err)
+			}
+			got := meanRecall(t, ix, m, w.Data, 10, 0)
+			if got < g.floor {
+				t.Errorf("scale %.2f nlist %d nprobe %d: recall@10 = %.4f, want >= %.2f",
+					c.scale, ix.NLists(), ix.NProbe(), got, g.floor)
+			}
+		}
+	}
+}
+
+// TestFullProbeBitIdentical: with nprobe == nlist the index degenerates to
+// exact retrieval — entries (ids AND float64 scores, compared with ==) and
+// the dropped count must match the dense engine + rank.TopKDropped path
+// exactly, for every user, including a model with poisoned rows.
+func TestFullProbeBitIdentical(t *testing.T) {
+	m, w := worldModel(t, 0.25, 11)
+	// Poison a few items so the dropped-count bookkeeping is exercised,
+	// not just the happy path.
+	poison := []int32{3, 97, 211}
+	for _, i := range poison {
+		m.ItemFactors(i)[0] = poisonNaN()
+	}
+	for _, nlist := range []int{1, 16, 41} {
+		ix, err := BuildIVF(m, Config{NLists: nlist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NonFinite() != len(poison) {
+			t.Fatalf("nlist %d: NonFinite = %d, want %d", nlist, ix.NonFinite(), len(poison))
+		}
+		eng := score.NewEngine(m)
+		for u := int32(0); u < int32(m.NumUsers()); u++ {
+			exact, exDropped := exactTop(eng, w.Data, u, 10)
+			approx, apDropped := ix.Search(m.UserFactors(u), 10, ix.NLists(), w.Data.Positives(u))
+			if exDropped != apDropped {
+				t.Fatalf("nlist %d user %d: dropped %d (exact) vs %d (ivf)", nlist, u, exDropped, apDropped)
+			}
+			if len(exact) != len(approx) {
+				t.Fatalf("nlist %d user %d: %d entries (exact) vs %d (ivf)", nlist, u, len(exact), len(approx))
+			}
+			for i := range exact {
+				if exact[i].Item != approx[i].Item || exact[i].Score != approx[i].Score {
+					t.Fatalf("nlist %d user %d rank %d: exact %+v vs ivf %+v",
+						nlist, u, i, exact[i], approx[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProbeInvariants: every candidate list is sorted, duplicate-free, and
+// in-range; widths are monotone (probing more cells never loses a
+// candidate); and the full-width probe enumerates the entire catalog —
+// the partition is exhaustive even with quarantined and duplicate items.
+func TestProbeInvariants(t *testing.T) {
+	m, _ := worldModel(t, 0.25, 5)
+	// Degenerate content: a poisoned row and a run of duplicate vectors.
+	m.ItemFactors(7)[3] = poisonInf()
+	src := m.ItemFactors(100)
+	for i := int32(101); i < 110; i++ {
+		copy(m.ItemFactors(i), src)
+	}
+	ix, err := BuildIVF(m, Config{NLists: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NumItems()
+	for u := int32(0); u < 40; u++ {
+		uf := m.UserFactors(u)
+		var prev []int32
+		for _, nprobe := range []int{1, 4, 16, 32} {
+			cands := ix.Probe(uf, nprobe)
+			seen := make(map[int32]bool, len(cands))
+			for i, id := range cands {
+				if id < 0 || int(id) >= n {
+					t.Fatalf("user %d nprobe %d: candidate %d out of range [0,%d)", u, nprobe, id, n)
+				}
+				if seen[id] {
+					t.Fatalf("user %d nprobe %d: duplicate candidate %d", u, nprobe, id)
+				}
+				seen[id] = true
+				if i > 0 && cands[i-1] >= id {
+					t.Fatalf("user %d nprobe %d: candidates not strictly ascending at %d", u, nprobe, i)
+				}
+			}
+			for _, id := range prev {
+				if !seen[id] {
+					t.Fatalf("user %d nprobe %d: lost candidate %d held at a narrower width", u, nprobe, id)
+				}
+			}
+			prev = cands
+		}
+		if len(prev) != n {
+			t.Fatalf("user %d: full probe enumerates %d of %d items", u, len(prev), n)
+		}
+	}
+}
+
+// TestSearchNeverReturnsExcluded: across the whole grid, no returned item
+// is ever a train positive (after merge exclusion) and every returned id
+// is valid — the serving-correctness invariant from the issue.
+func TestSearchNeverReturnsExcluded(t *testing.T) {
+	m, w := worldModel(t, 0.25, 13)
+	n := m.NumItems()
+	for _, nlist := range []int{8, 32} {
+		ix, err := BuildIVF(m, Config{NLists: nlist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nprobe := range []int{1, nlist / 2, nlist} {
+			for u := int32(0); u < int32(m.NumUsers()); u++ {
+				pos := w.Data.Positives(u)
+				top, _ := ix.Search(m.UserFactors(u), 10, nprobe, pos)
+				for _, e := range top {
+					if e.Item < 0 || int(e.Item) >= n {
+						t.Fatalf("nlist %d nprobe %d user %d: invalid item %d", nlist, nprobe, u, e.Item)
+					}
+					at := sort.Search(len(pos), func(j int) bool { return pos[j] >= e.Item })
+					if at < len(pos) && pos[at] == e.Item {
+						t.Fatalf("nlist %d nprobe %d user %d: returned train positive %d", nlist, nprobe, u, e.Item)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSubsetOfProbe: Search must only ever return items Probe
+// yields at the same width — scoring cannot invent candidates.
+func TestSearchSubsetOfProbe(t *testing.T) {
+	m, _ := worldModel(t, 0.25, 17)
+	ix, err := BuildIVF(m, Config{NLists: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 25; u++ {
+		uf := m.UserFactors(u)
+		for _, nprobe := range []int{1, 5, 16} {
+			cands := ix.Probe(uf, nprobe)
+			in := make(map[int32]bool, len(cands))
+			for _, id := range cands {
+				in[id] = true
+			}
+			top, _ := ix.Search(uf, 10, nprobe, nil)
+			for _, e := range top {
+				if !in[e.Item] {
+					t.Fatalf("user %d nprobe %d: Search returned %d outside the probe set", u, nprobe, e.Item)
+				}
+			}
+		}
+	}
+}
+
+func poisonNaN() float64 { return math.NaN() }
+func poisonInf() float64 { return math.Inf(1) }

@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"clapf/internal/retrieval"
 )
 
 // resultCache is a bounded LRU of finished top-K responses keyed on
@@ -22,9 +24,15 @@ type resultCache struct {
 	byKey map[cacheKey]*list.Element
 }
 
+// cacheKey carries the retrieval mode alongside (user, k): exact and IVF
+// answers for the same request differ, and SetRetrieval rebuilds the
+// liveState but a request racing it may still write into the old
+// generation's cache — keying on mode means such an entry can never be
+// served under the other mode.
 type cacheKey struct {
 	user int32
 	k    int
+	mode retrieval.Mode
 }
 
 type cacheEntry struct {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,17 +41,23 @@ import (
 	"clapf/internal/obs"
 	"clapf/internal/obs/trace"
 	"clapf/internal/rank"
+	"clapf/internal/retrieval"
 	"clapf/internal/score"
 	"clapf/internal/store"
 )
 
 // liveState bundles everything that must change together when the model is
-// swapped: the model, the scoring engine built over it, and the top-K
-// cache of its results. Requests load it once and use only that snapshot,
-// so even mid-swap a request is internally consistent.
+// swapped: the model, the scoring engine built over it, the retrieval
+// index (IVF mode only) built from it, and the top-K cache of its results.
+// Requests load it once and use only that snapshot, so even mid-swap a
+// request is internally consistent — an index can never be paired with a
+// model it was not built from, and a cache can never serve another
+// generation's answers.
 type liveState struct {
 	model *mf.Model
 	eng   *score.Engine
+	mode  retrieval.Mode
+	index *retrieval.Index // nil in exact mode
 	cache *resultCache
 }
 
@@ -86,6 +93,14 @@ type Server struct {
 	// built; change it through SetCacheSize, which also rebuilds the
 	// current generation's cache.
 	cacheSize atomic.Int64
+	// retr is the retrieval strategy applied whenever a liveState is
+	// built; change it through SetRetrieval.
+	retr atomic.Pointer[retrievalSettings]
+	// swapMu serializes liveState rebuilds (SwapModel, SetCacheSize,
+	// SetRetrieval). Readers stay lock-free; without this, two concurrent
+	// rebuilds could interleave their load-build-store sequences and
+	// publish a state derived from a model that was just swapped out.
+	swapMu sync.Mutex
 
 	ready          atomic.Bool
 	shedSem        chan struct{} // the live shed semaphore (test hook)
@@ -140,7 +155,10 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	// processes or a fleet's shed clients re-synchronize anyway.
 	s.jitter = mathx.NewRNG(uint64(s.started.UnixNano()))
 	s.cacheSize.Store(DefaultCacheSize)
-	s.install(model)
+	s.retr.Store(&retrievalSettings{})
+	if err := s.install(model); err != nil {
+		return nil, err
+	}
 	s.ready.Store(true)
 	s.httpm = obs.NewHTTPMetrics(s.reg, "clapf_")
 	s.tracer = trace.New(s.reg, "clapf_", trace.Config{SampleRate: 0.01})
@@ -181,6 +199,22 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	s.reg.NewGaugeFunc("clapf_model_generation",
 		"Successful model swaps since the server started.",
 		func() float64 { return float64(s.generation.Load()) })
+	s.reg.NewGaugeFunc("clapf_retrieval_ivf",
+		"1 while approximate IVF retrieval is live, 0 for exact scoring.",
+		func() float64 {
+			if s.live.Load().mode == retrieval.ModeIVF {
+				return 1
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("clapf_ivf_cells",
+		"Inverted-list cells in the live IVF index (0 in exact mode).",
+		func() float64 {
+			if ix := s.live.Load().index; ix != nil {
+				return float64(ix.NLists())
+			}
+			return 0
+		})
 	s.reg.NewGaugeFunc("clapf_ready",
 		"1 while the server accepts traffic, 0 while draining.",
 		func() float64 {
@@ -261,25 +295,73 @@ func (s *Server) CacheSize() int { return int(s.cacheSize.Load()) }
 
 // SetCacheSize resizes the top-K result cache and immediately installs a
 // fresh, empty cache of the new size for the current model; n <= 0
-// disables caching. Existing entries are dropped, never migrated.
+// disables caching. Existing entries are dropped, never migrated. The
+// model, engine, retrieval mode, and index carry over unchanged.
 func (s *Server) SetCacheSize(n int) {
 	if n < 0 {
 		n = 0
 	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	s.cacheSize.Store(int64(n))
 	st := s.live.Load()
-	s.live.Store(&liveState{model: st.model, eng: st.eng, cache: newResultCache(n)})
+	s.live.Store(&liveState{
+		model: st.model, eng: st.eng,
+		mode: st.mode, index: st.index,
+		cache: newResultCache(n),
+	})
 }
 
-// install builds and publishes the liveState for m: scoring engine plus an
-// empty result cache. Publishing the bundle through one pointer store is
-// what makes cache invalidation atomic with the model swap.
-func (s *Server) install(m *mf.Model) {
-	s.live.Store(&liveState{
+// retrievalSettings is the serving-wide retrieval strategy applied
+// whenever a liveState is built.
+type retrievalSettings struct {
+	mode retrieval.Mode
+	cfg  retrieval.Config
+}
+
+// Retrieval returns the retrieval mode currently being served.
+func (s *Server) Retrieval() retrieval.Mode { return s.live.Load().mode }
+
+// SetRetrieval switches the serving-wide retrieval strategy and rebuilds
+// the current generation's liveState under it — in IVF mode that means
+// constructing the index for the live model right here, so by the time
+// this returns every new request is answered under the new strategy. On
+// build failure nothing changes: the old settings and state keep serving.
+// Subsequent model swaps rebuild the index for each new model
+// automatically.
+func (s *Server) SetRetrieval(mode retrieval.Mode, cfg retrieval.Config) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	old := s.retr.Load()
+	s.retr.Store(&retrievalSettings{mode: mode, cfg: cfg})
+	if err := s.install(s.live.Load().model); err != nil {
+		s.retr.Store(old)
+		return err
+	}
+	return nil
+}
+
+// install builds and publishes the liveState for m: scoring engine, the
+// retrieval index when IVF mode is on, plus an empty result cache.
+// Publishing the bundle through one pointer store is what makes cache and
+// index invalidation atomic with the model swap. Callers must hold swapMu
+// (or, in New, be the only goroutine that can see the server).
+func (s *Server) install(m *mf.Model) error {
+	st := &liveState{
 		model: m,
 		eng:   score.NewEngine(m),
+		mode:  s.retr.Load().mode,
 		cache: newResultCache(int(s.cacheSize.Load())),
-	})
+	}
+	if st.mode == retrieval.ModeIVF {
+		ix, err := retrieval.BuildIVF(m, s.retr.Load().cfg)
+		if err != nil {
+			return fmt.Errorf("serve: building IVF index: %w", err)
+		}
+		st.index = ix
+	}
+	s.live.Store(st)
+	return nil
 }
 
 // SetReady flips the /readyz signal; cmd/clapf-serve marks the server
@@ -289,18 +371,27 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // SwapModel atomically replaces the served model after validating it
 // against the exclusion dataset. On error the old model keeps serving.
-// The swap installs a fresh liveState — model, engine, and an empty
-// result cache — in one pointer store, so no request can ever serve a
-// previous generation's cached top-K under the new model.
+// The swap installs a fresh liveState — model, engine, retrieval index
+// (rebuilt for the new model when IVF mode is on), and an empty result
+// cache — in one pointer store, so no request can ever serve a previous
+// generation's cached top-K, or probe a previous generation's index,
+// under the new model. A rejected candidate (shape mismatch, non-finite
+// parameters, index build failure) leaves model, index, and generation
+// untouched.
 func (s *Server) SwapModel(m *mf.Model) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil model")
 	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	if err := validateModel(m, s.train); err != nil {
 		s.reloadRejected.Inc()
 		return err
 	}
-	s.install(m)
+	if err := s.install(m); err != nil {
+		s.reloadRejected.Inc()
+		return err
+	}
 	s.generation.Add(1)
 	return nil
 }
@@ -411,6 +502,8 @@ type HealthResponse struct {
 	Dim    int    `json:"dim"`
 	// ModelGeneration counts successful hot reloads since startup.
 	ModelGeneration uint64 `json:"model_generation"`
+	// Retrieval names the live retrieval strategy ("exact" or "ivf").
+	Retrieval string `json:"retrieval"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// RequestsTotal counts requests completed before this one, across
@@ -423,13 +516,15 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	m := s.Model()
+	st := s.live.Load()
+	m := st.model
 	s.writeJSON(r.Context(), w, http.StatusOK, HealthResponse{
 		Status:          "ok",
 		Users:           m.NumUsers(),
 		Items:           m.NumItems(),
 		Dim:             m.Dim(),
 		ModelGeneration: s.generation.Load(),
+		Retrieval:       st.mode.String(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		RequestsTotal:   s.httpm.TotalRequests(),
 		Runtime:         s.RuntimeVitals(),
@@ -486,12 +581,14 @@ func (s *Server) recommendKnown(ctx context.Context, w http.ResponseWriter, user
 // topKForUser answers a known-user top-K from st's cache when possible,
 // scoring and filling the cache otherwise. All counters (hits, misses,
 // evictions, non-finite drops) are maintained here so the single and batch
-// paths report identically. Each phase is a trace stage: "cache" (lookup,
-// and the fill put on a miss), "score", "merge" (exclusion construction —
-// the per-item filtering itself is fused into the top-K scan and
-// attributed to "topk"), and "topk".
+// paths report identically. Each phase is a trace stage. Exact mode:
+// "cache" (lookup, and the fill put on a miss), "score", "merge"
+// (exclusion construction — the per-item filtering itself is fused into
+// the top-K scan and attributed to "topk"), and "topk". IVF mode: "cache",
+// "probe" (centroid scan and cell selection), then "score" (the pruned
+// exact re-rank, with exclusion and top-K selection fused into the scan).
 func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int) []Item {
-	key := cacheKey{user: u, k: k}
+	key := cacheKey{user: u, k: k, mode: st.mode}
 	sp := trace.StartSpanNoCtx(ctx, "cache")
 	items, ok := st.cache.get(key)
 	sp.End()
@@ -502,16 +599,27 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 	if st.cache != nil {
 		s.cacheMisses.Inc()
 	}
-	sp = trace.StartSpanNoCtx(ctx, "score")
-	scores := make([]float64, st.model.NumItems())
-	st.eng.ScoreAll(u, scores)
-	sp.End()
-	sp = trace.StartSpanNoCtx(ctx, "merge")
-	exclude := excludeSorted(s.train.Positives(u))
-	sp.End()
-	sp = trace.StartSpanNoCtx(ctx, "topk")
-	items = s.rankTopK(scores, k, exclude)
-	sp.End()
+	if st.mode == retrieval.ModeIVF {
+		uf := st.model.UserFactors(u)
+		sp = trace.StartSpanNoCtx(ctx, "probe")
+		cells := st.index.ProbeCells(uf, 0)
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "score")
+		top, dropped := st.index.SearchCells(uf, cells, k, s.train.Positives(u))
+		sp.End()
+		items = s.countDropped(top, dropped)
+	} else {
+		sp = trace.StartSpanNoCtx(ctx, "score")
+		scores := make([]float64, st.model.NumItems())
+		st.eng.ScoreAll(u, scores)
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "merge")
+		exclude := excludeSorted(s.train.Positives(u))
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "topk")
+		items = s.rankTopK(scores, k, exclude)
+		sp.End()
+	}
 	sp = trace.StartSpanNoCtx(ctx, "cache")
 	s.cacheEvictions.Add(uint64(st.cache.put(key, items)))
 	sp.End()
@@ -530,6 +638,18 @@ func excludeSorted(pos []int32) func(int32) bool {
 		}
 		return idx < len(pos) && pos[idx] == i
 	}
+}
+
+// countDropped is rankTopK's accounting for the IVF path, where exclusion
+// and selection are fused into the index scan and the non-finite drop
+// count comes back alongside the entries.
+func (s *Server) countDropped(top []rank.Entry, dropped int) []Item {
+	if dropped > 0 {
+		s.nonfinite.Add(uint64(dropped))
+		s.log.Warn("dropped non-finite scores from ranking",
+			"dropped", dropped, "generation", s.generation.Load())
+	}
+	return toItems(top)
 }
 
 // rankTopK is the one funnel every serve-path ranking goes through: TopK
@@ -564,14 +684,31 @@ func (s *Server) recommendColdStart(ctx context.Context, w http.ResponseWriter, 
 
 // topKColdStart folds a (deduped) history into user factors and ranks all
 // items outside it. Cold-start results are never cached: the history is
-// the key and its space is unbounded. Stages: "foldin" (ridge solve),
-// "merge" (history exclusion set), "score", "topk".
+// the key and its space is unbounded. Stages in exact mode: "foldin"
+// (ridge solve), "merge" (history exclusion set), "score", "topk"; in IVF
+// mode "merge" sorts the history for the index's merge-exclusion, then
+// "probe" and "score" replace the dense scan. The folded-in vector has the
+// same shape as a trained user's factors, so the index probes it
+// unchanged.
 func (s *Server) topKColdStart(ctx context.Context, st *liveState, history []int32, k int) ([]Item, error) {
 	sp := trace.StartSpanNoCtx(ctx, "foldin")
 	uf, err := mf.FoldInUser(st.model, history, s.FoldInReg)
 	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	if st.mode == retrieval.ModeIVF {
+		sp = trace.StartSpanNoCtx(ctx, "merge")
+		exclude := append([]int32(nil), history...)
+		sort.Slice(exclude, func(a, b int) bool { return exclude[a] < exclude[b] })
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "probe")
+		cells := st.index.ProbeCells(uf, 0)
+		sp.End()
+		sp = trace.StartSpanNoCtx(ctx, "score")
+		defer sp.End()
+		top, dropped := st.index.SearchCells(uf, cells, k, exclude)
+		return s.countDropped(top, dropped), nil
 	}
 	sp = trace.StartSpanNoCtx(ctx, "merge")
 	seen := make(map[int32]bool, len(history))

@@ -31,11 +31,18 @@
 #   mode, retry/hedge counts, breaker opens, and p50/p95/p99 per phase.
 #   availability_one_down must be >= 0.99 and victim_readmitted true.
 #
+#   BENCH_retrieval.json — answers the same top-K queries with the dense
+#   exact kernel and the cluster-pruned IVF index on the full-size ML20M
+#   item catalog (user base subsampled; per-query cost depends only on
+#   the catalog) and reports QPS and p50/p95/p99 per arm plus recall@10
+#   of IVF against the exact ranking. At the index defaults,
+#   ivf_speedup_vs_exact must be >= 3 with ivf_recall_at_10 >= 0.95.
+#
 # All reports carry a "cores" field recording the machine they ran on:
 # speedup is bounded by physical cores, so interpret the ratios against
 # that number, not in the abstract.
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json] [cluster_out.json]
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json] [cluster_out.json] [retrieval_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,6 +55,7 @@ SERVE_OUT="${5:-BENCH_serve.json}"
 GUARD_OUT="${6:-BENCH_guard.json}"
 TRACE_OUT="${7:-BENCH_trace.json}"
 CLUSTER_OUT="${8:-BENCH_cluster.json}"
+RETRIEVAL_OUT="${9:-BENCH_retrieval.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
@@ -77,3 +85,11 @@ go run ./cmd/clapf-bench -exp cluster -dataset ML100K \
 	-json "$CLUSTER_OUT"
 
 echo "wrote $CLUSTER_OUT"
+
+# Retrieval runs on the full-size ML20M catalog regardless of $SCALE:
+# pruning only shows at production catalog sizes, and the subsampled
+# user base keeps the run to a couple of minutes.
+go run ./cmd/clapf-bench -exp retrieval -dataset ML20M \
+	-scale 1 -bench-users 1200 -json "$RETRIEVAL_OUT"
+
+echo "wrote $RETRIEVAL_OUT"

@@ -29,6 +29,18 @@ echo "chaos-recovery gate ok"
 # regular tests already replay.
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=5s ./internal/store
 
+# IVF fuzz smoke: adversarial factor matrices (NaN/Inf rows, zero norms,
+# duplicates, nlist > items) against index construction and full-width
+# search invariants.
+go test -run='^$' -fuzz='^FuzzIVFBuild$' -fuzztime=5s ./internal/retrieval
+
+# IVF retrieval smoke: build the index on a seeded world, query every
+# user, and hold the recall@10 floor against exact retrieval — under the
+# race detector because the index is queried concurrently in serving.
+# -count=1 defeats the test cache so the gate always actually runs.
+go test -race -count=1 -run '^TestIVFSmoke$' ./internal/retrieval
+echo "ivf retrieval smoke ok"
+
 # Serve load-test smoke: a tiny single/batch/cached sweep through a live
 # loopback server, so a serving regression fails the gate before the full
 # scripts/bench.sh run would catch it.
