@@ -19,7 +19,8 @@ fmt:
 
 # bench measures Hogwild training and parallel-eval scaling across worker
 # counts (BENCH_parallel.json), serve-path throughput for the single,
-# batch, and cached request paths (BENCH_serve.json), guardrail overhead
+# batch, and cached request paths plus the float32-vs-float64 kernel and
+# quantization-parity arms (BENCH_serve.json), guardrail overhead
 # (BENCH_guard.json), request-tracing overhead with the slow-capture
 # certification (BENCH_trace.json), sharded-serving availability under
 # chaos — shard kill, latency, torn responses (BENCH_cluster.json) — and

@@ -63,6 +63,7 @@ func main() {
 		jsonOut = flag.String("json", "", "also write the parallel/serve report as JSON to this path (- = stdout)")
 		reqs    = flag.Int("requests", 2000, "recommendation lists to serve per phase for -exp serve")
 		batch   = flag.Int("batch", 64, "entries per /recommend/batch request for -exp serve")
+		kitems  = flag.Int("kernel-items", 1<<19, "synthetic catalog items for the float32-vs-float64 kernel arms of -exp serve (0 skips them)")
 		clip    = flag.Float64("clip-norm", 10, "gradient clip threshold for the guarded arm of -exp guard")
 		rounds  = flag.Int("rounds", 3, "alternating best-of rounds per arm for -exp trace")
 		shards  = flag.Int("shards", 3, "serve shards behind the router for -exp cluster")
@@ -73,13 +74,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *clip, *rounds, *shards, *load, *nlist, *nprobe, *bu); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *kitems, *clip, *rounds, *shards, *load, *nlist, *nprobe, *bu); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch int, clipNorm float64, rounds, shards, loadWorkers, nlist, nprobe, benchUsers int) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch, kernelItems int, clipNorm float64, rounds, shards, loadWorkers, nlist, nprobe, benchUsers int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -173,7 +174,7 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 		return writeParallelJSON(out, jsonOut, bench)
 
 	case "serve":
-		bench, err := experiments.RunServeBench(setup, requests, batch)
+		bench, err := experiments.RunServeBench(setup, requests, batch, kernelItems)
 		if err != nil {
 			return err
 		}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	clapf-serve -model model.clapf -train train.tsv [-addr :8080] [-pprof]
-//	            [-retrieval exact|ivf] [-nlist N] [-nprobe P]
+//	            [-retrieval exact|ivf] [-nlist N] [-nprobe P] [-store-mmap]
 //
 // Endpoints (JSON): GET /healthz (liveness, model dims, uptime, request
 // totals), GET /readyz (readiness — 503 while draining), GET
@@ -61,6 +61,7 @@ import (
 	"clapf/internal/obs"
 	"clapf/internal/retrieval"
 	"clapf/internal/serve"
+	"clapf/internal/store"
 )
 
 // options carries the parsed flags; tests construct it directly and
@@ -81,6 +82,7 @@ type options struct {
 	adminReload          bool
 	retrievalMode        string
 	nlist, nprobe        int
+	storeMmap            bool
 
 	// sigCh, when non-nil, replaces signal.Notify delivery.
 	sigCh chan os.Signal
@@ -107,6 +109,7 @@ func main() {
 	flag.StringVar(&o.retrievalMode, "retrieval", "exact", "top-K retrieval strategy: exact (dense scoring) or ivf (cluster-pruned approximate index, rebuilt on every model reload)")
 	flag.IntVar(&o.nlist, "nlist", 0, "IVF cells for -retrieval ivf (0 = 2*sqrt(items))")
 	flag.IntVar(&o.nprobe, "nprobe", 0, "IVF cells probed per query for -retrieval ivf (0 = nlist/4)")
+	flag.BoolVar(&o.storeMmap, "store-mmap", false, "mmap a float32 v3 model file instead of parsing it onto the heap (requires a -model exported with clapf-train -export-f32; SIGHUP reloads stay mapped)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -116,13 +119,12 @@ func main() {
 }
 
 // buildServer loads the model and dataset and wires the HTTP server.
-func buildServer(modelPath, trainPath string) (*serve.Server, error) {
+// With storeMmap the model file is paged in via mmap (v3 float32 format
+// only) after a one-off full-section checksum, and the server is flagged
+// so hot reloads stay on the mapped path.
+func buildServer(modelPath, trainPath string, storeMmap bool) (*serve.Server, error) {
 	if modelPath == "" || trainPath == "" {
 		return nil, fmt.Errorf("-model and -train are required")
-	}
-	model, err := clapf.LoadModelFile(modelPath)
-	if err != nil {
-		return nil, err
 	}
 	f, err := os.Open(trainPath)
 	if err != nil {
@@ -130,6 +132,27 @@ func buildServer(modelPath, trainPath string) (*serve.Server, error) {
 	}
 	train, err := clapf.ReadDatasetTSV(f)
 	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if storeMmap {
+		mm, err := store.LoadMapped(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := mm.Verify(); err != nil {
+			mm.Close()
+			return nil, err
+		}
+		server, err := serve.NewFromParams(mm.Factors(), train)
+		if err != nil {
+			mm.Close()
+			return nil, err
+		}
+		server.SetStoreMapped(true)
+		return server, nil
+	}
+	model, err := clapf.LoadModelFile(modelPath)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +181,7 @@ func newHandler(server *serve.Server, pprofOn bool) http.Handler {
 func run(o options) error {
 	logger := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
 
-	server, err := buildServer(o.modelPath, o.trainPath)
+	server, err := buildServer(o.modelPath, o.trainPath, o.storeMmap)
 	if err != nil {
 		return err
 	}
@@ -186,7 +209,7 @@ func run(o options) error {
 	server.Tracer().SetSlowThreshold(o.traceSlow)
 	stopSampler := server.StartRuntimeSampler(10 * time.Second)
 	defer stopSampler()
-	model := server.Model()
+	params := server.Params()
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -207,8 +230,8 @@ func run(o options) error {
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("serving", "addr", ln.Addr().String(),
-			"users", model.NumUsers(), "items", model.NumItems(), "dim", model.Dim(),
-			"retrieval", server.Retrieval().String(), "pprof", o.pprofOn)
+			"users", params.NumUsers(), "items", params.NumItems(), "dim", params.Dim(),
+			"retrieval", server.Retrieval().String(), "mmap", o.storeMmap, "pprof", o.pprofOn)
 		errCh <- httpServer.Serve(ln)
 	}()
 

@@ -5,6 +5,7 @@
 //
 //	clapf-train -train train.tsv [-test test.tsv] [-variant map|mrr]
 //	            [-lambda 0.4] [-dss] [-epochs 30] [-out model.clapf]
+//	            [-export-f32 model.f32.clapf]
 //	            [-log-every N] [-metrics-out telemetry.json]
 //	            [-workers N] [-prom-out metrics.prom]
 //	            [-clip-norm C] [-watchdog] [-max-rollbacks N]
@@ -68,6 +69,7 @@ import (
 
 	"clapf"
 	"clapf/internal/guard"
+	"clapf/internal/mf"
 	"clapf/internal/obs"
 	"clapf/internal/obs/trace"
 	"clapf/internal/store"
@@ -86,6 +88,7 @@ func main() {
 	flag.Float64Var(&o.reg, "reg", 0.01, "L2 regularization")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.outPath, "out", "", "path to save the trained model (optional)")
+	flag.StringVar(&o.exportF32, "export-f32", "", "additionally export a float32 serving model in mmap-able v3 format (optional)")
 	flag.IntVar(&o.logEvery, "log-every", 0, "steps between telemetry lines (0 = one epoch-equivalent)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON telemetry dump here after training (optional)")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for training checkpoints (optional)")
@@ -115,6 +118,7 @@ type options struct {
 	rate, reg           float64
 	seed                uint64
 	outPath             string
+	exportF32           string
 	logEvery            int
 	metricsOut          string
 	checkpointDir       string
@@ -433,6 +437,14 @@ func run(w io.Writer, o options) error {
 			return err
 		}
 		fmt.Fprintf(w, "model saved to %s\n", o.outPath)
+	}
+	if o.exportF32 != "" {
+		f := mf.QuantizeF32(trainer.Model())
+		if err := store.SaveF32File(o.exportF32, f, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "float32 model exported to %s (%d parameter bytes)\n",
+			o.exportF32, f.ParamBytes())
 	}
 	return nil
 }

@@ -12,8 +12,13 @@ import (
 	"time"
 
 	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/eval"
 	"clapf/internal/mathx"
 	"clapf/internal/mf"
+	"clapf/internal/rank"
+	"clapf/internal/retrieval"
+	"clapf/internal/score"
 	"clapf/internal/serve"
 )
 
@@ -46,6 +51,53 @@ type ServeBench struct {
 	Rows          []ServeBenchRow `json:"rows"`
 	BatchSpeedup  float64         `json:"batch_speedup_vs_single"`
 	CachedSpeedup float64         `json:"cached_speedup_vs_single"`
+	F32           *F32Bench       `json:"f32,omitempty"`
+}
+
+// F32Bench compares the float32 serving representation against the
+// float64 reference along the three axes the v3 store format trades on:
+// kernel throughput, parameter footprint, and ranking quality.
+//
+// The kernel arms run the score.Engine blocked sweep over a synthetic
+// KernelItems x KernelDim catalog sized to spill the cache hierarchy, in
+// two regimes. The scan arm scores one user per sweep — the exact-mode
+// cost of a single /recommend request, where the whole item matrix
+// streams from memory and float32's halved traffic wins outright. The
+// batch arm scores BatchUsers per sweep, where the blocked kernel already
+// amortizes each tile across the batch and the two representations are
+// compute-bound to rough parity; it is reported so the scan speedup can't
+// be mistaken for a universal one.
+//
+// Quality is measured two ways on the serve model itself: Welch t-tests
+// on matched per-user Prec@5/NDCG@5 samples (f64 vs its f32 quantization
+// — parity means p stays far above 0.05), and recall@10 of an IVF index
+// built over the f32 factors against exact f64 top-10.
+type F32Bench struct {
+	KernelItems int `json:"kernel_items"`
+	KernelDim   int `json:"kernel_dim"`
+	BatchUsers  int `json:"batch_users"`
+
+	F64ScanUsersPerSec  float64 `json:"f64_scan_users_per_sec"`
+	F32ScanUsersPerSec  float64 `json:"f32_scan_users_per_sec"`
+	ScanSpeedup         float64 `json:"f32_scan_speedup"`
+	F64BatchUsersPerSec float64 `json:"f64_batch_users_per_sec"`
+	F32BatchUsersPerSec float64 `json:"f32_batch_users_per_sec"`
+	BatchSpeedup        float64 `json:"f32_batch_speedup"`
+
+	F64ParamBytes   int64   `json:"f64_param_bytes"`
+	F32ParamBytes   int64   `json:"f32_param_bytes"`
+	ParamBytesRatio float64 `json:"param_bytes_ratio"`
+
+	ParitySamples int     `json:"parity_samples"`
+	Prec5F64      float64 `json:"prec5_f64"`
+	Prec5F32      float64 `json:"prec5_f32"`
+	WelchPPrec5   float64 `json:"welch_p_prec5"`
+	NDCG5F64      float64 `json:"ndcg5_f64"`
+	NDCG5F32      float64 `json:"ndcg5_f32"`
+	WelchPNDCG5   float64 `json:"welch_p_ndcg5"`
+
+	IVFRecallUsers int     `json:"ivf_recall_users"`
+	IVFRecall10    float64 `json:"f32_ivf_recall_at_10"`
 }
 
 // serveBenchK is the top-k size every benchmark request asks for.
@@ -60,7 +112,11 @@ const serveBenchK = 10
 // endpoint with batchSize entries per POST, and single GETs against a
 // warmed cache. The model is Gaussian-initialized rather than trained —
 // serving cost does not depend on parameter values.
-func RunServeBench(s Setup, requests, batchSize int) (*ServeBench, error) {
+//
+// kernelItems > 0 additionally runs the float32-vs-float64 comparison
+// (see F32Bench) with a synthetic kernel catalog of that many items; 0
+// skips it.
+func RunServeBench(s Setup, requests, batchSize, kernelItems int) (*ServeBench, error) {
 	if requests < 1 {
 		return nil, fmt.Errorf("experiments: serve bench needs requests >= 1, got %d", requests)
 	}
@@ -132,6 +188,138 @@ func RunServeBench(s Setup, requests, batchSize int) (*ServeBench, error) {
 	if single.RecsPerSec > 0 {
 		out.BatchSpeedup = batch.RecsPerSec / single.RecsPerSec
 		out.CachedSpeedup = cached.RecsPerSec / single.RecsPerSec
+	}
+
+	if kernelItems > 0 {
+		f32b, err := runF32Bench(s.Seed, train, m, kernelItems)
+		if err != nil {
+			return nil, err
+		}
+		out.F32 = f32b
+	}
+	return out, nil
+}
+
+// f32KernelDim is the latent dimensionality of the synthetic kernel
+// catalog — larger than the serve model's so a realistic share of each
+// sweep is spent inside the dot kernel rather than loop overhead.
+const f32KernelDim = 32
+
+// f32BatchUsers is the batch arm's users per sweep.
+const f32BatchUsers = 8
+
+// runF32Bench measures the float32 serving representation against
+// float64: engine throughput on a synthetic kernelItems-item catalog,
+// parameter footprint, per-user metric parity on the serve model, and
+// f32-IVF recall against f64-exact retrieval.
+func runF32Bench(seed uint64, train *dataset.Dataset, m *mf.Model, kernelItems int) (*F32Bench, error) {
+	out := &F32Bench{KernelItems: kernelItems, KernelDim: f32KernelDim, BatchUsers: f32BatchUsers}
+
+	// Kernel arms: one Gaussian catalog, scored through the blocked
+	// engine in both representations. The catalog is sized by the caller
+	// to overflow cache, so the scan arm measures the memory-streaming
+	// regime a single exact-mode request lives in.
+	km := mf.MustNew(mf.Config{
+		NumUsers: f32BatchUsers, NumItems: kernelItems,
+		Dim: f32KernelDim, UseBias: true, InitStd: 0.1,
+	})
+	km.InitGaussian(mathx.NewRNG(seed+11), 0.1)
+	kf := mf.QuantizeF32(km)
+	out.F64ParamBytes = km.ParamBytes()
+	out.F32ParamBytes = kf.ParamBytes()
+	out.ParamBytesRatio = float64(kf.ParamBytes()) / float64(km.ParamBytes())
+
+	batchUsers := make([]int32, f32BatchUsers)
+	for i := range batchUsers {
+		batchUsers[i] = int32(i)
+	}
+	rows := score.NewScoreRows(f32BatchUsers, kernelItems)
+	sweep := func(p mf.Params, users []int32) float64 {
+		eng := score.NewEngine(p)
+		eng.ScoreUsers(users, rows) // warm
+		const sweeps = 4
+		t0 := time.Now()
+		for i := 0; i < sweeps; i++ {
+			eng.ScoreUsers(users, rows)
+		}
+		return float64(sweeps*len(users)) / time.Since(t0).Seconds()
+	}
+	out.F64ScanUsersPerSec = sweep(km, batchUsers[:1])
+	out.F32ScanUsersPerSec = sweep(kf, batchUsers[:1])
+	out.F64BatchUsersPerSec = sweep(km, batchUsers)
+	out.F32BatchUsersPerSec = sweep(kf, batchUsers)
+	if out.F64ScanUsersPerSec > 0 {
+		out.ScanSpeedup = out.F32ScanUsersPerSec / out.F64ScanUsersPerSec
+	}
+	if out.F64BatchUsersPerSec > 0 {
+		out.BatchSpeedup = out.F32BatchUsersPerSec / out.F64BatchUsersPerSec
+	}
+
+	// Metric parity: split the serve dataset, rank with the float64 model
+	// and its quantization over identical splits, and Welch-test the
+	// matched per-user samples. Parity means the test cannot tell the
+	// representations apart — p nowhere near the 0.05 rejection line.
+	f := mf.QuantizeF32(m)
+	tr, te := dataset.Split(train, mathx.NewRNG(seed+12), 0.8)
+	prec64, ndcg64 := eval.PerUserAtK(m, tr, te, 5)
+	prec32, ndcg32 := eval.PerUserAtK(f, tr, te, 5)
+	out.ParitySamples = len(prec64)
+	out.Prec5F64, out.Prec5F32 = mathx.Mean(prec64), mathx.Mean(prec32)
+	out.NDCG5F64, out.NDCG5F32 = mathx.Mean(ndcg64), mathx.Mean(ndcg32)
+	if len(prec64) >= 2 && len(prec32) >= 2 {
+		if res, err := mathx.WelchTTest(prec64, prec32); err == nil {
+			out.WelchPPrec5 = res.P
+		}
+		if res, err := mathx.WelchTTest(ndcg64, ndcg32); err == nil {
+			out.WelchPNDCG5 = res.P
+		}
+	}
+
+	// Retrieval quality: an IVF index over the float32 factors answering
+	// against float64 exact top-10, serve-style (train positives
+	// excluded), at full probe width. Full width isolates the axis this
+	// arm is gating — quantization reordering the ranking — because a
+	// full probe over f32 factors is bit-identical to the f32 exact scan;
+	// any recall below 1.0 is float32's doing. Pruning loss at the index
+	// defaults is BENCH_retrieval.json's business, measured at a catalog
+	// size where pruning is actually configured to operate.
+	ix, err := retrieval.BuildIVF(f, retrieval.Config{Seed: seed + 13, NProbe: 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	eng := score.NewEngine(m)
+	scores := make([]float64, m.NumItems())
+	nUsers := m.NumUsers()
+	const maxRecallUsers = 512
+	if nUsers > maxRecallUsers {
+		nUsers = maxRecallUsers
+	}
+	var recallSum float64
+	for u := int32(0); int(u) < nUsers; u++ {
+		eng.ScoreAll(u, scores)
+		pos := train.Positives(u)
+		idx := 0
+		top, _ := rank.TopKDropped(scores, serveBenchK, func(i int32) bool {
+			for idx < len(pos) && pos[idx] < i {
+				idx++
+			}
+			return idx < len(pos) && pos[idx] == i
+		})
+		exact := make([]int32, len(top))
+		for j, e := range top {
+			exact[j] = e.Item
+		}
+		uf := m.UserFactors(u)
+		approxTop, _ := ix.Search(uf, serveBenchK, 0, pos)
+		approx := make([]int32, len(approxTop))
+		for j, e := range approxTop {
+			approx[j] = e.Item
+		}
+		recallSum += eval.RecallVsExact(approx, exact)
+	}
+	out.IVFRecallUsers = nUsers
+	if nUsers > 0 {
+		out.IVFRecall10 = recallSum / float64(nUsers)
 	}
 	return out, nil
 }
@@ -287,9 +475,26 @@ func RenderServeBench(w io.Writer, b *ServeBench) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "batch speedup vs single: %.2fx, cached: %.2fx\n",
-		b.BatchSpeedup, b.CachedSpeedup)
-	return err
+	if _, err := fmt.Fprintf(w, "batch speedup vs single: %.2fx, cached: %.2fx\n",
+		b.BatchSpeedup, b.CachedSpeedup); err != nil {
+		return err
+	}
+	if f := b.F32; f != nil {
+		if _, err := fmt.Fprintf(w,
+			"float32 kernel (%d items, dim %d): scan %.0f vs %.0f users/s (%.2fx), batch[%d] %.0f vs %.0f users/s (%.2fx), param bytes %.2fx\n",
+			f.KernelItems, f.KernelDim, f.F32ScanUsersPerSec, f.F64ScanUsersPerSec, f.ScanSpeedup,
+			f.BatchUsers, f.F32BatchUsersPerSec, f.F64BatchUsersPerSec, f.BatchSpeedup,
+			f.ParamBytesRatio); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			"float32 parity (%d users): Prec@5 %.4f vs %.4f (Welch p=%.3f), NDCG@5 %.4f vs %.4f (p=%.3f), f32-IVF recall@10 %.4f over %d users\n",
+			f.ParitySamples, f.Prec5F32, f.Prec5F64, f.WelchPPrec5,
+			f.NDCG5F32, f.NDCG5F64, f.WelchPNDCG5, f.IVFRecall10, f.IVFRecallUsers); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteServeBenchJSON emits the report as indented JSON (the

@@ -15,9 +15,29 @@ func TestRunServeBenchSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunServeBench(setup, 40, 8)
+	b, err := RunServeBench(setup, 40, 8, 2048)
 	if err != nil {
 		t.Fatal(err)
+	}
+	f := b.F32
+	if f == nil {
+		t.Fatal("kernelItems > 0 but no F32 section")
+	}
+	if f.KernelItems != 2048 || f.F32ScanUsersPerSec <= 0 || f.F64ScanUsersPerSec <= 0 ||
+		f.F32BatchUsersPerSec <= 0 || f.F64BatchUsersPerSec <= 0 {
+		t.Errorf("f32 kernel arms implausible: %+v", f)
+	}
+	if f.ParamBytesRatio <= 0 || f.ParamBytesRatio > 0.55 {
+		t.Errorf("param bytes ratio = %v, want (0, 0.55]", f.ParamBytesRatio)
+	}
+	if f.ParitySamples < 2 {
+		t.Errorf("only %d parity samples", f.ParitySamples)
+	}
+	if f.WelchPPrec5 <= 0.05 || f.WelchPNDCG5 <= 0.05 {
+		t.Errorf("quantization parity rejected: p_prec5=%v p_ndcg5=%v", f.WelchPPrec5, f.WelchPNDCG5)
+	}
+	if f.IVFRecall10 < 0.95 || f.IVFRecall10 > 1 {
+		t.Errorf("f32-IVF recall@10 = %v, want [0.95, 1] (full probe: any loss is quantization's)", f.IVFRecall10)
 	}
 	if len(b.Rows) != 3 {
 		t.Fatalf("got %d rows, want 3", len(b.Rows))

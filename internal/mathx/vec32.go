@@ -1,0 +1,74 @@
+package mathx
+
+// Float32 kernels for the serving-side factor representation. Every kernel
+// widens each float32 operand to float64 before multiplying and accumulates
+// in float64, so quantization error enters only through the stored values,
+// never through the arithmetic.
+//
+// Unlike Dot, these kernels run four independent accumulators. A float32
+// element costs two extra convert uops per multiply, and with Dot's single
+// serial accumulator that overhead makes a float32 scan slower than the
+// float64 one it is meant to beat; splitting the dependency chain lets the
+// converts overlap the adds and pushes the scan back to (beyond, on wide
+// cores) float64 speed at half the memory traffic. The price is a different
+// summation order than Dot — float32 scoring is statistically, not
+// bit-wise, equal to float64 scoring. What IS guaranteed bit-wise:
+// DotF32(a, b) == DotF64F32(widen(a), b) for all inputs, because the two
+// kernels share one accumulator structure and widening is exact. Every
+// float32 serving path (dense scan, blocked batch kernel, IVF probe) rides
+// on that pair, so within a float32 model, single, batch, and full-probe
+// retrieval stay bit-identical to each other.
+
+// DotF32 returns the inner product of two float32 vectors, accumulated in
+// float64. The slices must have equal length.
+func DotF32(a, b []float32) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// DotF64F32 returns the inner product of a float64 query against a float32
+// row, accumulated in float64 — the mixed-precision kernel of the fold-in
+// and IVF paths, where the query is computed in float64 but the catalog is
+// stored in float32. Its accumulator structure mirrors DotF32 exactly, so
+// DotF64F32(widen(a), b) == DotF32(a, b) bit-for-bit.
+func DotF64F32(a []float64, b []float32) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * float64(b[i])
+		s1 += a[i+1] * float64(b[i+1])
+		s2 += a[i+2] * float64(b[i+2])
+		s3 += a[i+3] * float64(b[i+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * float64(b[i])
+	}
+	return s
+}
+
+// WidenF32 copies src into dst (allocating when dst is too short) widening
+// each element to float64, and returns the widened slice.
+func WidenF32(src []float32, dst []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, x := range src {
+		dst[i] = float64(x)
+	}
+	return dst
+}

@@ -1,0 +1,110 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func randF32(rng *RNG, n int) []float32 {
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64())
+	}
+	return xs
+}
+
+// TestDotF32MatchesDotF64F32 pins the kernel contract every float32
+// serving path leans on: DotF32(a, b) is bit-identical to
+// DotF64F32(widen(a), b), because widening float32 to float64 is exact
+// and both kernels share the same accumulation structure. This is what
+// lets the dense scan, the blocked batch sweep, fold-in, and the IVF
+// probe mix the two kernels and still return byte-identical rankings.
+func TestDotF32MatchesDotF64F32(t *testing.T) {
+	rng := NewRNG(11)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 33, 64, 100} {
+		a := randF32(rng, n)
+		b := randF32(rng, n)
+		wide := WidenF32(a, nil)
+		d32 := DotF32(a, b)
+		d64 := DotF64F32(wide, b)
+		if math.Float64bits(d32) != math.Float64bits(d64) {
+			t.Errorf("n=%d: DotF32=%x DotF64F32=%x", n, math.Float64bits(d32), math.Float64bits(d64))
+		}
+	}
+}
+
+// The reference value: accumulate in float64 in index order with the
+// same 4-way lane split the kernels use.
+func refDot(a, b []float32, n int) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func TestDotF32Values(t *testing.T) {
+	rng := NewRNG(12)
+	for _, n := range []int{1, 3, 4, 6, 8, 13, 32, 65} {
+		a := randF32(rng, n)
+		b := randF32(rng, n)
+		want := refDot(a, b, n)
+		if got := DotF32(a, b); got != want {
+			t.Errorf("n=%d: DotF32 = %v, want %v", n, got, want)
+		}
+	}
+	// Exact small case: (1,2,3,4,5)·(5,4,3,2,1) = 35.
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := DotF32(a, b); got != 35 {
+		t.Errorf("DotF32 = %v, want 35", got)
+	}
+	if got := DotF64F32([]float64{1, 2, 3, 4, 5}, b); got != 35 {
+		t.Errorf("DotF64F32 = %v, want 35", got)
+	}
+}
+
+func TestWidenF32(t *testing.T) {
+	src := []float32{1.5, -2.25, 0, float32(math.Inf(1))}
+	got := WidenF32(src, nil)
+	if len(got) != len(src) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, x := range src {
+		if got[i] != float64(x) {
+			t.Errorf("elem %d: %v != %v", i, got[i], x)
+		}
+	}
+	// Reuse a caller-provided buffer without allocating.
+	buf := make([]float64, 0, 8)
+	got2 := WidenF32(src, buf)
+	if &got2[0] != &buf[:1][0] {
+		t.Error("WidenF32 ignored the provided buffer")
+	}
+	// Too-small capacity falls back to a fresh allocation.
+	small := make([]float64, 0, 2)
+	got3 := WidenF32(src, small)
+	if len(got3) != len(src) {
+		t.Fatalf("fallback len = %d", len(got3))
+	}
+	if got := testing.AllocsPerRun(100, func() { WidenF32(src, buf) }); got != 0 {
+		t.Errorf("WidenF32 with a big-enough buffer allocates %v times", got)
+	}
+}
+
+func TestDotF32Mismatched(t *testing.T) {
+	// DotF32 scores len(a) elements; b must be at least as long.
+	a := []float32{1, 2}
+	b := []float32{3, 4, 99}
+	if got := DotF32(a, b); got != 11 {
+		t.Errorf("DotF32 over prefix = %v, want 11", got)
+	}
+}

@@ -1,0 +1,252 @@
+package mf
+
+import (
+	"fmt"
+	"math"
+
+	"clapf/internal/mathx"
+)
+
+// Factors32 is the read-only float32 serving representation of a factor
+// model: same layout as Model (flat row-major U and V, per-item bias), half
+// the bytes. It is produced at export time by QuantizeF32 or paged in from
+// a v3 store file (internal/store.LoadMapped), never trained against.
+//
+// Every scoring method widens elements to float64 and accumulates in
+// float64, so quantization error enters once, at export, not per query.
+// The kernels are mathx.DotF32/DotF64F32, whose four-way accumulation
+// differs from Model's serial mathx.Dot order — float32 scores match
+// float64 scores statistically (the parity gate in clapf-bench), not
+// bit-wise. Within the float32 representation everything is exact: the
+// two kernels are bit-identical to each other on widened inputs, so dense
+// scans, blocked batch sweeps, fold-in, and IVF probes all agree to the
+// last bit.
+type Factors32 struct {
+	numUsers int
+	numItems int
+	dim      int
+	useBias  bool
+
+	u []float32 // numUsers × dim, row-major
+	v []float32 // numItems × dim, row-major
+	b []float32 // numItems (nil when bias disabled)
+
+	// retain pins backing storage that is not GC-managed — for an
+	// mmap-backed Factors32 the store package parks the mapping handle
+	// here so the pages outlive every reader (see store.MappedModel).
+	retain any
+}
+
+// QuantizeF32 rounds a trained model to float32 serving factors. Rounding
+// is round-to-nearest-even (Go's float64→float32 conversion); values
+// outside float32 range become ±Inf and will be caught by CountNonFinite
+// at swap time rather than silently serving garbage.
+func QuantizeF32(m *Model) *Factors32 {
+	f := &Factors32{
+		numUsers: m.numUsers,
+		numItems: m.numItems,
+		dim:      m.dim,
+		useBias:  m.useBias,
+		u:        make([]float32, len(m.u)),
+		v:        make([]float32, len(m.v)),
+	}
+	for i, x := range m.u {
+		f.u[i] = float32(x)
+	}
+	for i, x := range m.v {
+		f.v[i] = float32(x)
+	}
+	if m.b != nil {
+		f.b = make([]float32, len(m.b))
+		for i, x := range m.b {
+			f.b[i] = float32(x)
+		}
+	}
+	return f
+}
+
+// FromRaw32 wraps existing float32 parameter slices (a decoded or mapped
+// store section) without copying, validating lengths against the
+// configuration. The caller must not mutate the slices afterwards.
+func FromRaw32(cfg Config, u, v, b []float32) (*Factors32, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(u) != cfg.NumUsers*cfg.Dim {
+		return nil, fmt.Errorf("mf: f32 user params have length %d, want %d", len(u), cfg.NumUsers*cfg.Dim)
+	}
+	if len(v) != cfg.NumItems*cfg.Dim {
+		return nil, fmt.Errorf("mf: f32 item params have length %d, want %d", len(v), cfg.NumItems*cfg.Dim)
+	}
+	f := &Factors32{
+		numUsers: cfg.NumUsers,
+		numItems: cfg.NumItems,
+		dim:      cfg.Dim,
+		useBias:  cfg.UseBias,
+		u:        u,
+		v:        v,
+	}
+	if cfg.UseBias {
+		if len(b) != cfg.NumItems {
+			return nil, fmt.Errorf("mf: f32 bias params have length %d, want %d", len(b), cfg.NumItems)
+		}
+		f.b = b
+	} else if len(b) != 0 {
+		return nil, fmt.Errorf("mf: f32 bias params present on bias-free model")
+	}
+	return f, nil
+}
+
+// Retain pins x for the lifetime of f. The store package uses it to keep an
+// mmap handle alive as long as any reader can still reach the mapped pages
+// through f's slices (which the GC does not trace into the mapping).
+func (f *Factors32) Retain(x any) { f.retain = x }
+
+// NumUsers returns n.
+func (f *Factors32) NumUsers() int { return f.numUsers }
+
+// NumItems returns the item count.
+func (f *Factors32) NumItems() int { return f.numItems }
+
+// Dim returns the latent dimensionality d.
+func (f *Factors32) Dim() int { return f.dim }
+
+// HasBias reports whether per-item biases are present.
+func (f *Factors32) HasBias() bool { return f.useBias }
+
+// ElemBytes reports the 4-byte float32 storage width.
+func (f *Factors32) ElemBytes() int { return 4 }
+
+// ParamBytes returns the total parameter footprint in bytes — half of the
+// equivalent Model's.
+func (f *Factors32) ParamBytes() int64 {
+	return 4 * int64(len(f.u)+len(f.v)+len(f.b))
+}
+
+// Config reconstructs the Config describing this parameter set.
+func (f *Factors32) Config() Config {
+	return Config{
+		NumUsers: f.numUsers,
+		NumItems: f.numItems,
+		Dim:      f.dim,
+		UseBias:  f.useBias,
+	}
+}
+
+// RawParams32 exposes the flat float32 slices for serialization. Callers
+// outside internal/store should use the accessor methods instead.
+func (f *Factors32) RawParams32() (u, v, b []float32) { return f.u, f.v, f.b }
+
+// Bias returns b_i, or 0 when biases are disabled.
+func (f *Factors32) Bias(i int32) float64 {
+	if f.b == nil {
+		return 0
+	}
+	return float64(f.b[i])
+}
+
+func (f *Factors32) userRow(u int32) []float32 {
+	off := int(u) * f.dim
+	return f.u[off : off+f.dim : off+f.dim]
+}
+
+func (f *Factors32) itemRow(i int32) []float32 {
+	off := int(i) * f.dim
+	return f.v[off : off+f.dim : off+f.dim]
+}
+
+// Score returns f_ui = U_u · V_i + b_i, accumulated in float64.
+func (f *Factors32) Score(u, i int32) float64 {
+	return mathx.DotF32(f.userRow(u), f.itemRow(i)) + f.Bias(i)
+}
+
+// ScoreAll fills out[i] with f_ui for every item; out must have length
+// NumItems. Mirrors Model.ScoreAll with half the memory traffic.
+func (f *Factors32) ScoreAll(u int32, out []float64) {
+	f.ScoreRange(u, 0, f.numItems, out)
+}
+
+// ScoreRange fills out[lo:hi) with exactly the values ScoreAll computes —
+// same kernel, same accumulation order — for the blocked engine's tiles.
+//
+// The sweep widens the (tiny) user row to float64 up front and scans the
+// item rows with the mixed-precision DotF64F32 kernel: one convert per
+// element instead of DotF32's two, which on scalar cores is the difference
+// between a float32 scan that beats the float64 one and a float32 scan
+// that loses to it. The results are bit-identical to a DotF32 sweep —
+// widening is exact and the two kernels share one accumulator structure —
+// so every float32 path still agrees to the last bit.
+func (f *Factors32) ScoreRange(u int32, lo, hi int, out []float64) {
+	if lo < 0 || hi > f.numItems || lo > hi {
+		panic(fmt.Sprintf("mf: ScoreRange [%d,%d) out of range [0,%d)", lo, hi, f.numItems))
+	}
+	if len(out) != f.numItems {
+		panic(fmt.Sprintf("mf: ScoreRange buffer has length %d, want %d", len(out), f.numItems))
+	}
+	var ufbuf [64]float64
+	var uf []float64
+	if f.dim <= len(ufbuf) {
+		uf = mathx.WidenF32(f.userRow(u), ufbuf[:0:f.dim])
+	} else {
+		uf = mathx.WidenF32(f.userRow(u), nil)
+	}
+	for i := lo; i < hi; i++ {
+		off := i * f.dim
+		s := mathx.DotF64F32(uf, f.v[off:off+f.dim])
+		if f.b != nil {
+			s += float64(f.b[i])
+		}
+		out[i] = s
+	}
+}
+
+// ScoreAllFoldIn scores every item under a folded-in float64 user vector.
+func (f *Factors32) ScoreAllFoldIn(userFactors []float64, out []float64) {
+	if len(out) != f.numItems {
+		panic(fmt.Sprintf("mf: ScoreAllFoldIn buffer has length %d, want %d", len(out), f.numItems))
+	}
+	for i := 0; i < f.numItems; i++ {
+		off := i * f.dim
+		s := mathx.DotF64F32(userFactors, f.v[off:off+f.dim])
+		if f.b != nil {
+			s += float64(f.b[i])
+		}
+		out[i] = s
+	}
+}
+
+// UserVector widens U_u into dst and returns it.
+func (f *Factors32) UserVector(u int32, dst []float64) []float64 {
+	return mathx.WidenF32(f.userRow(u), dst)
+}
+
+// ItemVector widens V_i into dst and returns it.
+func (f *Factors32) ItemVector(i int32, dst []float64) []float64 {
+	return mathx.WidenF32(f.itemRow(i), dst)
+}
+
+// CountNonFinite reports NaN/±Inf entries in (U, V, b). Out-of-range
+// float64 values quantize to ±Inf, so this also catches overflow at export.
+func (f *Factors32) CountNonFinite() (u, v, b int) {
+	for _, x := range f.u {
+		if isNonFinite32(x) {
+			u++
+		}
+	}
+	for _, x := range f.v {
+		if isNonFinite32(x) {
+			v++
+		}
+	}
+	for _, x := range f.b {
+		if isNonFinite32(x) {
+			b++
+		}
+	}
+	return
+}
+
+func isNonFinite32(x float32) bool {
+	f64 := float64(x)
+	return math.IsNaN(f64) || math.IsInf(f64, 0)
+}

@@ -25,7 +25,11 @@ import (
 // silently double-weighting that item in the normal equations. Every
 // caller gets the deduped semantics, not just ones that sanitize their
 // input first.
-func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
+//
+// It accepts any Params implementation; float32 item rows widen exactly to
+// float64, so folding in against a quantized model solves the same normal
+// equations as against its widened copy, bit for bit.
+func FoldInUser(m Params, items []int32, reg float64) ([]float64, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("mf: fold-in needs at least one interaction")
 	}
@@ -36,6 +40,7 @@ func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
 	a := linalg.NewMatrix(d)
 	b := make([]float64, d)
 	seen := make(map[int32]bool, len(items))
+	var vbuf []float64
 	for _, it := range items {
 		if it < 0 || int(it) >= m.NumItems() {
 			return nil, fmt.Errorf("mf: fold-in item %d out of range [0,%d)", it, m.NumItems())
@@ -44,7 +49,8 @@ func FoldInUser(m *Model, items []int32, reg float64) ([]float64, error) {
 			continue
 		}
 		seen[it] = true
-		vf := m.ItemFactors(it)
+		vf := m.ItemVector(it, vbuf)
+		vbuf = vf
 		a.SymRankOne(1, vf)
 		mathx.AXPY(1-m.Bias(it), vf, b)
 	}
@@ -71,19 +77,23 @@ func (m *Model) ScoreAllFoldIn(userFactors []float64, out []float64) {
 
 // SimilarItems returns the k items most similar to item i by cosine over
 // the learned factors, best first, excluding i itself. Zero-norm items
-// (never trained) score −1 and sink to the bottom.
-func SimilarItems(m *Model, i int32, k int) ([]rank.Entry, error) {
+// (never trained) score −1 and sink to the bottom. Works against any
+// Params implementation; float32 rows widen exactly, so the cosine values
+// match the widened model's.
+func SimilarItems(m Params, i int32, k int) ([]rank.Entry, error) {
 	if i < 0 || int(i) >= m.NumItems() {
 		return nil, fmt.Errorf("mf: item %d out of range [0,%d)", i, m.NumItems())
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("mf: k = %d, want > 0", k)
 	}
-	anchor := m.ItemFactors(i)
+	anchor := m.ItemVector(i, nil)
 	anchorNorm := math.Sqrt(mathx.Norm2Sq(anchor))
 	scores := make([]float64, m.NumItems())
+	var vbuf []float64
 	for j := int32(0); int(j) < m.NumItems(); j++ {
-		vf := m.ItemFactors(j)
+		vf := m.ItemVector(j, vbuf)
+		vbuf = vf
 		norm := math.Sqrt(mathx.Norm2Sq(vf))
 		if anchorNorm == 0 || norm == 0 {
 			scores[j] = -1

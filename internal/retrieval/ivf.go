@@ -32,10 +32,14 @@ type Index struct {
 
 	// ids lists every item id exactly once, cell-major, ascending within
 	// each cell; packed holds the matching [V_i..., b_i] rows (stride
-	// dim+1). offsets[c]..offsets[c+1] is cell c's span in both.
-	ids     []int32
-	packed  []float64
-	offsets []int32
+	// dim+1). offsets[c]..offsets[c+1] is cell c's span in both. Exactly
+	// one of packed/packed32 is non-nil: an index built from a float32
+	// parameter set (mf.Factors32) packs float32 rows and scans them with
+	// the mixed-precision kernel, halving the bytes each probe streams.
+	ids      []int32
+	packed   []float64
+	packed32 []float32
+	offsets  []int32
 
 	numItems  int
 	maxNorm   float64 // M: the largest augmented item norm
@@ -48,7 +52,13 @@ type Index struct {
 // The build is deterministic given (m, cfg) and never panics on
 // degenerate input — non-finite rows, zero-norm items, duplicate vectors,
 // and NLists > items are all handled (see augmentItems and kmeans).
-func BuildIVF(m *mf.Model, cfg Config) (*Index, error) {
+//
+// m may be any parameter representation. A float32 source (mf.Factors32)
+// is packed as float32 rows: the clustering geometry is computed on the
+// exactly-widened float64 values, so building from a quantized model and
+// from its widened copy yields the same cells, and cell scans are
+// bit-identical to dense float32 scoring.
+func BuildIVF(m mf.Params, cfg Config) (*Index, error) {
 	if m == nil {
 		return nil, fmt.Errorf("retrieval: nil model")
 	}
@@ -73,16 +83,35 @@ func BuildIVF(m *mf.Model, cfg Config) (*Index, error) {
 	}
 	stride := d + 1
 	ids := make([]int32, n)
-	packed := make([]float64, n*stride)
+	var packed []float64
+	var packed32 []float32
+	f32src, isF32 := m.(*mf.Factors32)
+	if isF32 {
+		packed32 = make([]float32, n*stride)
+	} else {
+		packed = make([]float64, n*stride)
+	}
 	cursor := make([]int32, nlist)
 	copy(cursor, offsets[:nlist])
+	var vbuf []float64
 	for i := 0; i < n; i++ {
 		c := assign[i]
 		slot := cursor[c]
 		cursor[c]++
 		ids[slot] = int32(i)
+		if isF32 {
+			_, v32, b32 := f32src.RawParams32()
+			row := packed32[int(slot)*stride : int(slot)*stride+stride]
+			copy(row[:d], v32[i*d:i*d+d])
+			if b32 != nil {
+				row[d] = b32[i]
+			}
+			continue
+		}
 		row := packed[int(slot)*stride : int(slot)*stride+stride]
-		copy(row[:d], m.ItemFactors(int32(i)))
+		vf := m.ItemVector(int32(i), vbuf)
+		vbuf = vf
+		copy(row[:d], vf)
 		row[d] = m.Bias(int32(i))
 	}
 
@@ -94,7 +123,7 @@ func BuildIVF(m *mf.Model, cfg Config) (*Index, error) {
 		dim: d, augDim: d + 2,
 		nlist: nlist, nprobe: nprobe,
 		centroids: centroids,
-		ids:       ids, packed: packed, offsets: offsets,
+		ids:       ids, packed: packed, packed32: packed32, offsets: offsets,
 		numItems: n, maxNorm: maxNorm, nonFinite: nonFinite,
 	}, nil
 }
@@ -229,8 +258,17 @@ func (ix *Index) SearchCells(uf []float64, cells []int32, k int, excludeSorted [
 				}
 			}
 			off := j * stride
-			row := ix.packed[off : off+stride]
-			s := mathx.Dot(uf, row[:d]) + row[d]
+			// The branch is taken the same way for every candidate of a
+			// query, so it predicts perfectly; both kernels accumulate in
+			// float64 with the same operation order (see internal/mathx).
+			var s float64
+			if ix.packed32 != nil {
+				row := ix.packed32[off : off+stride]
+				s = mathx.DotF64F32(uf, row[:d]) + float64(row[d])
+			} else {
+				row := ix.packed[off : off+stride]
+				s = mathx.Dot(uf, row[:d]) + row[d]
+			}
 			// Non-finite check strictly before floor rejection: a -Inf
 			// score must count as dropped (as the dense path counts it),
 			// not silently fail the floor comparison.
@@ -259,18 +297,21 @@ func (ix *Index) SearchCells(uf []float64, cells []int32, k int, excludeSorted [
 // are eliminated at re-rank time by their non-finite exact score. When
 // every item is zero-norm (an untrained model) all rows become the same
 // unit vector e_{d+1}, which k-means handles like any duplicate set.
-func augmentItems(m *mf.Model) (aug []float64, nonFinite int, maxNorm float64) {
+func augmentItems(m mf.Params) (aug []float64, nonFinite int, maxNorm float64) {
 	n, d := m.NumItems(), m.Dim()
 	D := d + 2
 	aug = make([]float64, n*D)
 	norm2 := make([]float64, n)
 	bad := make([]bool, n)
 	var max2 float64
+	var vbuf []float64
 	for i := 0; i < n; i++ {
 		b := m.Bias(int32(i))
 		s := b * b
 		ok := isFinite(b)
-		for _, x := range m.ItemFactors(int32(i)) {
+		vf := m.ItemVector(int32(i), vbuf)
+		vbuf = vf
+		for _, x := range vf {
 			s += x * x
 			ok = ok && isFinite(x)
 		}
@@ -294,7 +335,9 @@ func augmentItems(m *mf.Model) (aug []float64, nonFinite int, maxNorm float64) {
 			row[D-1] = 1
 			continue
 		}
-		for j, x := range m.ItemFactors(int32(i)) {
+		vf := m.ItemVector(int32(i), vbuf)
+		vbuf = vf
+		for j, x := range vf {
 			row[j] = x / maxNorm
 		}
 		row[d] = m.Bias(int32(i)) / maxNorm

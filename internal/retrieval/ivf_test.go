@@ -44,7 +44,7 @@ func worldModel(tb testing.TB, scale float64, seed uint64) (*mf.Model, *datagen.
 // rank.TopKDropped with merge-pointer exclusion — byte for byte the serve
 // path's exact branch.
 func exactTop(eng *score.Engine, train *dataset.Dataset, u int32, k int) ([]rank.Entry, int) {
-	scores := make([]float64, eng.Model().NumItems())
+	scores := make([]float64, eng.Params().NumItems())
 	eng.ScoreAll(u, scores)
 	pos := train.Positives(u)
 	idx := 0

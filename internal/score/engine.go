@@ -36,11 +36,13 @@ const blockBytes = 32 << 10
 // don't degenerate into per-item loop overhead.
 const minBlockItems = 16
 
-// Engine scores users against one immutable model. It is stateless beyond
-// its configuration, safe for concurrent use, and cheap to construct — the
-// serve path builds a fresh Engine on every model swap.
+// Engine scores users against one immutable parameter set — a float64
+// mf.Model or a float32 mf.Factors32; the blocked kernel is generic over
+// mf.Params. It is stateless beyond its configuration, safe for concurrent
+// use, and cheap to construct — the serve path builds a fresh Engine on
+// every model swap.
 type Engine struct {
-	m       *mf.Model
+	m       mf.Params
 	block   int // items per blocked-kernel tile
 	workers int // max goroutines for ScoreUsersParallel
 }
@@ -69,13 +71,14 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// NewEngine builds an engine over m. The default block size targets
-// blockBytes of item factors per tile; the default worker cap is
-// GOMAXPROCS.
-func NewEngine(m *mf.Model, opts ...Option) *Engine {
+// NewEngine builds an engine over any parameter set. The default block
+// size targets blockBytes of item factors per tile — sized by the
+// representation's element width, so a float32 model fits twice the items
+// per tile; the default worker cap is GOMAXPROCS.
+func NewEngine(m mf.Params, opts ...Option) *Engine {
 	e := &Engine{
 		m:       m,
-		block:   blockBytes / (8 * m.Dim()),
+		block:   blockBytes / (m.ElemBytes() * m.Dim()),
 		workers: runtime.GOMAXPROCS(0),
 	}
 	if e.block < minBlockItems {
@@ -87,11 +90,11 @@ func NewEngine(m *mf.Model, opts ...Option) *Engine {
 	return e
 }
 
-// Model returns the wrapped model.
-func (e *Engine) Model() *mf.Model { return e.m }
+// Params returns the wrapped parameter set.
+func (e *Engine) Params() mf.Params { return e.m }
 
 // ScoreAll fills out with every item's score for user u — the single-user
-// path, satisfying eval.Scorer. Identical to Model().ScoreAll.
+// path, satisfying eval.Scorer. Identical to the parameter set's ScoreAll.
 func (e *Engine) ScoreAll(u int32, out []float64) { e.m.ScoreAll(u, out) }
 
 // ScoreUsers fills out[i] with the full score row for users[i] using the

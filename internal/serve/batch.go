@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"clapf/internal/obs/trace"
+	"clapf/internal/retrieval"
 	"clapf/internal/score"
 )
 
@@ -47,10 +48,15 @@ type BatchResponse struct {
 
 // handleRecommendBatch serves many recommendations from one request. The
 // whole batch runs against a single liveState snapshot, so every entry
-// sees the same model generation. Known-user entries are answered from
-// the cache where possible; the remaining users are scored together
-// through the engine's blocked batch kernel, which reads each tile of the
-// item-factor matrix once for the whole batch instead of once per user.
+// sees the same model generation — and the same retrieval mode: known-user
+// entries go through exactly the dispatch the single path uses
+// (topKForUser), so under IVF a batch probes the index per entry instead
+// of silently falling back to dense scoring, and every cache key carries
+// the mode. In exact mode the cache misses are additionally collected and
+// scored together through the engine's blocked batch kernel, which reads
+// each tile of the item-factor matrix once for the whole batch instead of
+// once per user (the IVF path already reads only the probed cells, so
+// there is no shared sweep to batch).
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
@@ -113,13 +119,22 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 				res.Error = "pass either user or items, not both"
 			case e.User != nil:
 				u := *e.User
-				if u < 0 || int(u) >= st.model.NumUsers() {
+				if u < 0 || int(u) >= st.params.NumUsers() {
 					res.Error = fmt.Sprintf("invalid user %d", u)
 					return
 				}
 				res.User = e.User
+				if st.mode == retrieval.ModeIVF {
+					// The single path's mode dispatch: cache (mode-keyed),
+					// probe, pruned score, cache fill — with the stage spans
+					// nested under this entry. Repeated users in one batch
+					// coalesce through the cache fill rather than a shared
+					// score row.
+					res.Items = s.topKForUser(ectx, st, u, k)
+					return
+				}
 				sp := trace.StartSpanNoCtx(ectx, "cache")
-				items, ok := st.cache.get(cacheKey{user: u, k: k})
+				items, ok := st.cache.get(cacheKey{user: u, k: k, mode: st.mode})
 				sp.End()
 				if ok {
 					s.cacheHits.Inc()
@@ -135,7 +150,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				pending = append(pending, pendingKnown{idx: idx, u: u, k: k})
 			case len(e.Items) > 0:
-				history, err := dedupeIDs(e.Items, st.model.NumItems(), s.MaxHistory)
+				history, err := dedupeIDs(e.Items, st.params.NumItems(), s.MaxHistory)
 				if err != nil {
 					res.Error = err.Error()
 					return
@@ -152,19 +167,20 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	// Pass 2: one blocked, parallel scoring sweep over the cache misses.
-	// The sweep serves many entries at once, so its stages attach to the
-	// request root, not to any single entry span.
+	// Pass 2 (exact mode only — IVF entries were fully answered in pass 1):
+	// one blocked, parallel scoring sweep over the cache misses. The sweep
+	// serves many entries at once, so its stages attach to the request
+	// root, not to any single entry span.
 	if len(missUsers) > 0 {
 		sp := trace.StartSpanNoCtx(ctx, "score")
-		rows := score.NewScoreRows(len(missUsers), st.model.NumItems())
+		rows := score.NewScoreRows(len(missUsers), st.params.NumItems())
 		st.eng.ScoreUsersParallel(missUsers, rows)
 		sp.End()
 		sp = trace.StartSpanNoCtx(ctx, "topk")
 		for _, p := range pending {
 			u := p.u
 			items := s.rankTopK(rows[rowOf[u]], p.k, excludeSorted(s.train.Positives(u)))
-			s.cacheEvictions.Add(uint64(st.cache.put(cacheKey{user: u, k: p.k}, items)))
+			s.cacheEvictions.Add(uint64(st.cache.put(cacheKey{user: u, k: p.k, mode: st.mode}, items)))
 			results[p.idx].Items = items
 		}
 		sp.End()

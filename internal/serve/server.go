@@ -47,18 +47,22 @@ import (
 )
 
 // liveState bundles everything that must change together when the model is
-// swapped: the model, the scoring engine built over it, the retrieval
-// index (IVF mode only) built from it, and the top-K cache of its results.
-// Requests load it once and use only that snapshot, so even mid-swap a
-// request is internally consistent — an index can never be paired with a
-// model it was not built from, and a cache can never serve another
-// generation's answers.
+// swapped: the parameter set (a float64 *mf.Model or a float32, possibly
+// mmap-backed, *mf.Factors32), the scoring engine built over it, the
+// retrieval index (IVF mode only) built from it, and the top-K cache of
+// its results. Requests load it once and use only that snapshot, so even
+// mid-swap a request is internally consistent — an index can never be
+// paired with a model it was not built from, and a cache can never serve
+// another generation's answers. An mmap-backed generation needs no
+// explicit teardown on retirement: the Factors32 pins its mapping, and a
+// finalizer releases the pages once the last request-held snapshot is
+// gone (see store.MappedModel).
 type liveState struct {
-	model *mf.Model
-	eng   *score.Engine
-	mode  retrieval.Mode
-	index *retrieval.Index // nil in exact mode
-	cache *resultCache
+	params mf.Params
+	eng    *score.Engine
+	mode   retrieval.Mode
+	index  *retrieval.Index // nil in exact mode
+	cache  *resultCache
 }
 
 // DefaultCacheSize bounds the per-generation top-K result cache.
@@ -103,6 +107,7 @@ type Server struct {
 	swapMu sync.Mutex
 
 	ready          atomic.Bool
+	storeMapped    atomic.Bool   // ReloadFromFile pages v3 files in via mmap
 	shedSem        chan struct{} // the live shed semaphore (test hook)
 	adminReload    func() error  // optional /admin/reload action (EnableAdminReload)
 	jitterMu       sync.Mutex
@@ -133,10 +138,19 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
+	return NewFromParams(model, train)
+}
+
+// NewFromParams is New for any parameter representation — in particular a
+// float32 set paged in by store.LoadMapped (cmd/clapf-serve -store-mmap).
+func NewFromParams(model mf.Params, train *dataset.Dataset) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
 	if train == nil {
 		return nil, fmt.Errorf("serve: nil training dataset")
 	}
-	if err := validateModel(model, train); err != nil {
+	if err := validateParams(model, train); err != nil {
 		return nil, err
 	}
 	s := &Server{
@@ -191,11 +205,14 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	s.reg.NewGaugeFunc("clapf_model_users", "Users in the served model.",
-		func() float64 { return float64(s.Model().NumUsers()) })
+		func() float64 { return float64(s.Params().NumUsers()) })
 	s.reg.NewGaugeFunc("clapf_model_items", "Items in the served model.",
-		func() float64 { return float64(s.Model().NumItems()) })
+		func() float64 { return float64(s.Params().NumItems()) })
 	s.reg.NewGaugeFunc("clapf_model_dim", "Latent dimensionality of the served model.",
-		func() float64 { return float64(s.Model().Dim()) })
+		func() float64 { return float64(s.Params().Dim()) })
+	s.reg.NewGaugeFunc("clapf_model_param_bytes",
+		"Bytes of factor parameters in the served model (float32 serving halves this).",
+		func() float64 { return float64(s.Params().ParamBytes()) })
 	s.reg.NewGaugeFunc("clapf_model_generation",
 		"Successful model swaps since the server started.",
 		func() float64 { return float64(s.generation.Load()) })
@@ -226,14 +243,16 @@ func New(model *mf.Model, train *dataset.Dataset) (*Server, error) {
 	return s, nil
 }
 
-// validateModel checks a candidate model against the exclusion dataset —
-// the gate every swap must pass so a mismatched file can never go live.
-// Besides the shape check it scans for non-finite parameters: a model
-// poisoned by divergent training loads and checksums fine (NaN is a valid
-// float64 bit pattern), but every score touching a poisoned row would be
-// dropped by the rank layer, silently degrading results. Refusing the
-// swap keeps the previous healthy generation serving.
-func validateModel(m *mf.Model, train *dataset.Dataset) error {
+// validateParams checks a candidate parameter set against the exclusion
+// dataset — the gate every swap must pass so a mismatched file can never
+// go live. Besides the shape check it scans for non-finite parameters: a
+// model poisoned by divergent training loads and checksums fine (NaN is a
+// valid float bit pattern), but every score touching a poisoned row would
+// be dropped by the rank layer, silently degrading results. Refusing the
+// swap keeps the previous healthy generation serving. For float32 sets
+// the scan also catches export-time overflow (out-of-range float64 values
+// quantize to ±Inf).
+func validateParams(m mf.Params, train *dataset.Dataset) error {
 	if m.NumUsers() != train.NumUsers() || m.NumItems() != train.NumItems() {
 		return fmt.Errorf("serve: model is %d×%d but dataset is %d×%d",
 			m.NumUsers(), m.NumItems(), train.NumUsers(), train.NumItems())
@@ -284,8 +303,17 @@ func (s *Server) StartRuntimeSampler(interval time.Duration) (stop func()) {
 // their own series or scrape it out-of-band.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Model returns the currently served model.
-func (s *Server) Model() *mf.Model { return s.live.Load().model }
+// Params returns the currently served parameter set.
+func (s *Server) Params() mf.Params { return s.live.Load().params }
+
+// Model returns the currently served model when the live parameter set is
+// a float64 *mf.Model, and nil when the server is serving float32 factors
+// (NewFromParams/SwapParams with an mf.Factors32). Callers that only need
+// dimensions or scores should use Params.
+func (s *Server) Model() *mf.Model {
+	m, _ := s.live.Load().params.(*mf.Model)
+	return m
+}
 
 // Generation returns how many successful model swaps have happened.
 func (s *Server) Generation() uint64 { return s.generation.Load() }
@@ -306,7 +334,7 @@ func (s *Server) SetCacheSize(n int) {
 	s.cacheSize.Store(int64(n))
 	st := s.live.Load()
 	s.live.Store(&liveState{
-		model: st.model, eng: st.eng,
+		params: st.params, eng: st.eng,
 		mode: st.mode, index: st.index,
 		cache: newResultCache(n),
 	})
@@ -334,7 +362,7 @@ func (s *Server) SetRetrieval(mode retrieval.Mode, cfg retrieval.Config) error {
 	defer s.swapMu.Unlock()
 	old := s.retr.Load()
 	s.retr.Store(&retrievalSettings{mode: mode, cfg: cfg})
-	if err := s.install(s.live.Load().model); err != nil {
+	if err := s.install(s.live.Load().params); err != nil {
 		s.retr.Store(old)
 		return err
 	}
@@ -346,12 +374,12 @@ func (s *Server) SetRetrieval(mode retrieval.Mode, cfg retrieval.Config) error {
 // Publishing the bundle through one pointer store is what makes cache and
 // index invalidation atomic with the model swap. Callers must hold swapMu
 // (or, in New, be the only goroutine that can see the server).
-func (s *Server) install(m *mf.Model) error {
+func (s *Server) install(m mf.Params) error {
 	st := &liveState{
-		model: m,
-		eng:   score.NewEngine(m),
-		mode:  s.retr.Load().mode,
-		cache: newResultCache(int(s.cacheSize.Load())),
+		params: m,
+		eng:    score.NewEngine(m),
+		mode:   s.retr.Load().mode,
+		cache:  newResultCache(int(s.cacheSize.Load())),
 	}
 	if st.mode == retrieval.ModeIVF {
 		ix, err := retrieval.BuildIVF(m, s.retr.Load().cfg)
@@ -382,9 +410,21 @@ func (s *Server) SwapModel(m *mf.Model) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil model")
 	}
+	return s.SwapParams(m)
+}
+
+// SwapParams is SwapModel for any parameter representation — the reload
+// path a float32 (possibly mmap-backed) generation comes in through. The
+// outgoing generation needs no teardown: once the last in-flight request
+// drops its liveState snapshot, an mmap-backed parameter set is unmapped
+// by its finalizer.
+func (s *Server) SwapParams(m mf.Params) error {
+	if m == nil {
+		return fmt.Errorf("serve: nil model")
+	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	if err := validateModel(m, s.train); err != nil {
+	if err := validateParams(m, s.train); err != nil {
 		s.reloadRejected.Inc()
 		return err
 	}
@@ -396,14 +436,36 @@ func (s *Server) SwapModel(m *mf.Model) error {
 	return nil
 }
 
+// SetStoreMapped selects how ReloadFromFile reads model files: false (the
+// default) parses them into a float64 model; true maps v3 files with
+// store.LoadMapped and serves the float32 factors from the page cache
+// (cmd/clapf-serve -store-mmap).
+func (s *Server) SetStoreMapped(on bool) { s.storeMapped.Store(on) }
+
 // ReloadFromFile hot-reloads the model from path: the file is read and
 // checksum-verified, its dimensions are validated against the dataset,
 // and only then does the pointer swap — a torn, corrupt, or mismatched
-// file leaves the old model serving and counts as a failed reload.
+// file leaves the old model serving and counts as a failed reload. In
+// mapped mode (SetStoreMapped) the factor section is paged in lazily, but
+// its checksum is still verified up front: a reload must never publish
+// bytes it has not vouched for.
 func (s *Server) ReloadFromFile(path string) error {
-	m, err := store.LoadFile(path)
-	if err == nil {
-		err = s.SwapModel(m)
+	var err error
+	if s.storeMapped.Load() {
+		var mm *store.MappedModel
+		if mm, err = store.LoadMapped(path); err == nil {
+			if err = mm.Verify(); err == nil {
+				err = s.SwapParams(mm.Factors())
+			}
+			if err != nil {
+				mm.Close()
+			}
+		}
+	} else {
+		var m *mf.Model
+		if m, err = store.LoadFile(path); err == nil {
+			err = s.SwapModel(m)
+		}
 	}
 	if err != nil {
 		s.reloadFail.Inc()
@@ -517,7 +579,7 @@ type HealthResponse struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.live.Load()
-	m := st.model
+	m := st.params
 	s.writeJSON(r.Context(), w, http.StatusOK, HealthResponse{
 		Status:          "ok",
 		Users:           m.NumUsers(),
@@ -569,7 +631,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) recommendKnown(ctx context.Context, w http.ResponseWriter, userParam string, k int) {
 	st := s.live.Load()
 	u64, err := strconv.ParseInt(userParam, 10, 32)
-	if err != nil || u64 < 0 || int(u64) >= st.model.NumUsers() {
+	if err != nil || u64 < 0 || int(u64) >= st.params.NumUsers() {
 		s.httpError(ctx, w, http.StatusBadRequest, fmt.Errorf("invalid user %q", userParam))
 		return
 	}
@@ -600,7 +662,7 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 		s.cacheMisses.Inc()
 	}
 	if st.mode == retrieval.ModeIVF {
-		uf := st.model.UserFactors(u)
+		uf := st.params.UserVector(u, nil)
 		sp = trace.StartSpanNoCtx(ctx, "probe")
 		cells := st.index.ProbeCells(uf, 0)
 		sp.End()
@@ -610,7 +672,7 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 		items = s.countDropped(top, dropped)
 	} else {
 		sp = trace.StartSpanNoCtx(ctx, "score")
-		scores := make([]float64, st.model.NumItems())
+		scores := make([]float64, st.params.NumItems())
 		st.eng.ScoreAll(u, scores)
 		sp.End()
 		sp = trace.StartSpanNoCtx(ctx, "merge")
@@ -669,7 +731,7 @@ func (s *Server) rankTopK(scores []float64, k int, exclude func(int32) bool) []I
 
 func (s *Server) recommendColdStart(ctx context.Context, w http.ResponseWriter, itemsParam string, k int) {
 	st := s.live.Load()
-	history, err := parseItemList(itemsParam, st.model.NumItems(), s.MaxHistory)
+	history, err := parseItemList(itemsParam, st.params.NumItems(), s.MaxHistory)
 	if err != nil {
 		s.httpError(ctx, w, http.StatusBadRequest, err)
 		return
@@ -692,7 +754,7 @@ func (s *Server) recommendColdStart(ctx context.Context, w http.ResponseWriter, 
 // unchanged.
 func (s *Server) topKColdStart(ctx context.Context, st *liveState, history []int32, k int) ([]Item, error) {
 	sp := trace.StartSpanNoCtx(ctx, "foldin")
-	uf, err := mf.FoldInUser(st.model, history, s.FoldInReg)
+	uf, err := mf.FoldInUser(st.params, history, s.FoldInReg)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -717,8 +779,8 @@ func (s *Server) topKColdStart(ctx context.Context, st *liveState, history []int
 	}
 	sp.End()
 	sp = trace.StartSpanNoCtx(ctx, "score")
-	scores := make([]float64, st.model.NumItems())
-	st.model.ScoreAllFoldIn(uf, scores)
+	scores := make([]float64, st.params.NumItems())
+	st.params.ScoreAllFoldIn(uf, scores)
 	sp.End()
 	sp = trace.StartSpanNoCtx(ctx, "topk")
 	defer sp.End()
@@ -727,7 +789,7 @@ func (s *Server) topKColdStart(ctx context.Context, st *liveState, history []int
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	m := s.Model()
+	m := s.Params()
 	k, err := s.parseK(r)
 	if err != nil {
 		s.httpError(ctx, w, http.StatusBadRequest, err)

@@ -3,13 +3,15 @@ package store
 import (
 	"bytes"
 	"testing"
+
+	"clapf/internal/mf"
 )
 
 // FuzzLoad throws arbitrary bytes at the model loader. Load must never
 // panic or over-allocate; it either returns a model whose re-serialization
 // is consistent, or an error. The seed corpus covers the interesting
-// shapes: a valid v1 file, a valid v2 file with metadata, a truncated
-// file, and a file whose checksum was flipped.
+// shapes: valid v1, v2, and v3 files, truncated files, and files whose
+// checksums were flipped.
 func FuzzLoad(f *testing.F) {
 	m := sampleModel(1, true)
 	var v1 bytes.Buffer
@@ -23,11 +25,25 @@ func FuzzLoad(f *testing.F) {
 	flipped := append([]byte(nil), v1.Bytes()...)
 	flipped[len(flipped)-1] ^= 0xFF
 
+	var v3 bytes.Buffer
+	if err := SaveF32(&v3, mf.QuantizeF32(m), sampleMeta()); err != nil {
+		f.Fatal(err)
+	}
+	v3flip := append([]byte(nil), v3.Bytes()...)
+	v3flip[len(v3flip)-1] ^= 0xFF // section byte: section CRC must catch it
+	v3hdr := append([]byte(nil), v3.Bytes()...)
+	v3hdr[9] ^= 0x01 // version word: dispatch must reject cleanly
+
 	f.Add(v1.Bytes())
 	f.Add(v2.Bytes())
 	f.Add(v1.Bytes()[:v1.Len()/2])
 	f.Add(flipped)
 	f.Add([]byte{})
+	f.Add(v3.Bytes())
+	f.Add(v3.Bytes()[:v3HeaderFixed/2])
+	f.Add(v3.Bytes()[:v3.Len()-7])
+	f.Add(v3flip)
+	f.Add(v3hdr)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, meta, err := LoadWithMeta(bytes.NewReader(data))

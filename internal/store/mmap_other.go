@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file into the heap
+// instead. LoadMapped keeps working — the O(1) page-in property is simply
+// not available, only the zero-parse float32 view.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, fmt.Errorf("read in lieu of mmap: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

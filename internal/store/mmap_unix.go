@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and returns the mapping plus its
+// release function. The mapping shares the page cache with the file, so a
+// cold load touches no factor bytes until they are scored (or verified).
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

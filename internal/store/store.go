@@ -22,6 +22,12 @@
 // versions remain loadable. Plain Save still emits version 1 so model
 // files consumed by older tooling are byte-identical; SaveWithMeta emits
 // version 2.
+//
+// Version 3 (storef32.go) is the serving-side export format: a
+// page-aligned, little-endian float32 flat section with split header and
+// section checksums, written by SaveF32/SaveF32File and readable either
+// through the ordinary streaming loaders (widened to float64) or
+// zero-copy via LoadMapped (mapped.go).
 package store
 
 import (
@@ -40,7 +46,8 @@ import (
 
 var magic = [8]byte{'C', 'L', 'A', 'P', 'F', 'M', 'F', 0}
 
-// Version is the current format version.
+// Version is the current float64 streaming format version (v3, the
+// float32 flat format, is VersionF32 in storef32.go).
 const Version uint32 = 2
 
 const flagBias uint32 = 1
@@ -184,8 +191,8 @@ func LoadWithMeta(r io.Reader) (*mf.Model, *Meta, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if version < 1 || version > Version {
-		return nil, nil, fmt.Errorf("store: unsupported version %d (have %d)", version, Version)
+	if version < 1 || version > VersionF32 {
+		return nil, nil, fmt.Errorf("store: unsupported version %d (have %d)", version, VersionF32)
 	}
 	flags, err := readU32(tr)
 	if err != nil {
@@ -197,13 +204,14 @@ func LoadWithMeta(r io.Reader) (*mf.Model, *Meta, error) {
 			return nil, nil, err
 		}
 	}
-	const maxDim = 1 << 31
-	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
-		dims[0] > maxDim || dims[1] > maxDim || dims[2] > 1<<20 {
-		return nil, nil, fmt.Errorf("store: implausible dimensions %v", dims)
+	if err := validateDims(dims); err != nil {
+		return nil, nil, err
 	}
-	if dims[0]*dims[2] > 1<<34 || dims[1]*dims[2] > 1<<34 {
-		return nil, nil, fmt.Errorf("store: parameter block too large: %v", dims)
+	if version == VersionF32 {
+		// The float32 flat layout diverges after the dims words; its
+		// loader widens the factors into a float64 Model so every
+		// existing consumer reads v3 files transparently.
+		return loadV3Stream(tr, crc, r, flags, dims)
 	}
 	numUsers, numItems, dim := int(dims[0]), int(dims[1]), int(dims[2])
 	useBias := flags&flagBias != 0
@@ -340,6 +348,21 @@ func LoadFileWithMeta(path string) (*mf.Model, *Meta, error) {
 	}
 	defer f.Close()
 	return LoadWithMeta(bufio.NewReader(f))
+}
+
+// validateDims rejects dimension words no real model could have written,
+// so a corrupt header cannot drive a huge allocation before any checksum
+// is verified.
+func validateDims(dims []uint64) error {
+	const maxDim = 1 << 31
+	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
+		dims[0] > maxDim || dims[1] > maxDim || dims[2] > 1<<20 {
+		return fmt.Errorf("store: implausible dimensions %v", dims)
+	}
+	if dims[0]*dims[2] > 1<<34 || dims[1]*dims[2] > 1<<34 {
+		return fmt.Errorf("store: parameter block too large: %v", dims)
+	}
+	return nil
 }
 
 func writeU32(w io.Writer, v uint32) error {

@@ -8,7 +8,16 @@
 #   BENCH_serve.json — drives the recommendation HTTP stack over a
 #   loopback connection and compares the sequential single-request path
 #   against the /recommend/batch endpoint and the warmed top-K cache
-#   (QPS plus p50/p95/p99 per path).
+#   (QPS plus p50/p95/p99 per path). The report's "f32" section runs the
+#   float32 serving kernels against float64 on a synthetic production
+#   catalog (single-user full-catalog scan and blocked multi-user sweep),
+#   records the parameter-bytes ratio (must be <= 0.55), Welch t-tests of
+#   per-user Prec@5/NDCG@5 float32-vs-float64 (both p must be > 0.05, i.e.
+#   quantization is statistically invisible), and recall@10 of a
+#   full-probe IVF index over float32 factors against the float64 exact
+#   ranking (full width isolates quantization loss; pruning loss is
+#   BENCH_retrieval.json's gate). The scan arm —
+#   the exact-mode request cost — must show f32_scan_speedup >= 1.2.
 #
 #   BENCH_guard.json — reruns the parallel workload with the training
 #   guardrails armed (loss watchdog, non-finite sentinels, gradient
@@ -64,7 +73,8 @@ go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 echo "wrote $OUT"
 
 go run ./cmd/clapf-bench -exp serve -dataset ML100K \
-	-scale "$SCALE" -requests 1500 -batch 64 -json "$SERVE_OUT"
+	-scale "$SCALE" -requests 1500 -batch 64 \
+	-kernel-items 524288 -json "$SERVE_OUT"
 
 echo "wrote $SERVE_OUT"
 

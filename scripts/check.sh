@@ -26,8 +26,16 @@ echo "chaos-recovery gate ok"
 
 # Short fuzz smoke over the model-file loader: a few seconds of random
 # inputs against the corrupt-file handling, on top of the seed corpus the
-# regular tests already replay.
+# regular tests already replay. The corpus seeds all three format
+# versions, including v3 float32 files with flipped section/header bytes.
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=5s ./internal/store
+
+# Store v3 gate: round-trip, mmap load/Verify/Close, and the corruption
+# matrix (truncation at every boundary, CRC flips, non-canonical section
+# offsets) must all be clean errors, never panics. -count=1 defeats the
+# test cache so the gate always actually runs.
+go test -race -count=1 -run '^Test(SaveF32|V3|LoadMapped|V1V2)' ./internal/store
+echo "store v3 gate ok"
 
 # IVF fuzz smoke: adversarial factor matrices (NaN/Inf rows, zero norms,
 # duplicates, nlist > items) against index construction and full-width
@@ -41,11 +49,21 @@ go test -run='^$' -fuzz='^FuzzIVFBuild$' -fuzztime=5s ./internal/retrieval
 go test -race -count=1 -run '^TestIVFSmoke$' ./internal/retrieval
 echo "ivf retrieval smoke ok"
 
+# Batch-IVF gate: the /recommend/batch endpoint must answer through the
+# installed retrieval index exactly like the single-request path (no
+# silent dense fall-back), keep cache keys mode-scoped, and stay
+# consistent across retrieval mode flips with batches in flight — the
+# flip test races batches against SetRetrieval, hence the race detector.
+# -count=1 defeats the test cache so the gate always actually runs.
+go test -race -count=1 -run '^Test(BatchIVF|ModeFlip|ServeFloat32)' ./internal/serve
+echo "batch-ivf gate ok"
+
 # Serve load-test smoke: a tiny single/batch/cached sweep through a live
-# loopback server, so a serving regression fails the gate before the full
-# scripts/bench.sh run would catch it.
+# loopback server — including the float32-vs-float64 kernel arms and the
+# quantization parity check — so a serving regression fails the gate
+# before the full scripts/bench.sh run would catch it.
 go run ./cmd/clapf-bench -exp serve -dataset ML100K -scale 0.05 \
-	-requests 60 -batch 16 >/dev/null
+	-requests 60 -batch 16 -kernel-items 4096 >/dev/null
 echo "serve smoke ok"
 
 # Trace smoke: end-to-end tracing under the race detector — a request
