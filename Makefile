@@ -23,8 +23,9 @@ fmt:
 # quantization-parity arms (BENCH_serve.json), guardrail overhead
 # (BENCH_guard.json), request-tracing overhead with the slow-capture
 # certification (BENCH_trace.json), sharded-serving availability under
-# chaos — shard kill, latency, torn responses (BENCH_cluster.json) — and
+# chaos — shard kill, latency, torn responses (BENCH_cluster.json) —
 # exact-vs-IVF retrieval throughput with recall@10 on the full-size
-# ML20M catalog (BENCH_retrieval.json).
+# ML20M catalog (BENCH_retrieval.json), and feedback-WAL append
+# throughput plus online-update serve overhead (BENCH_ingest.json).
 bench:
 	sh scripts/bench.sh

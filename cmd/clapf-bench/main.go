@@ -14,6 +14,7 @@
 //	clapf-bench -exp trace    -dataset ML100K [-requests 2000] [-rounds 3] [-json out.json]
 //	clapf-bench -exp cluster  -dataset ML100K [-shards 3] [-requests 2000] [-load-workers 8] [-json out.json]
 //	clapf-bench -exp retrieval -dataset ML20M -scale 1 [-nlist 0] [-nprobe 0] [-bench-users 1200] [-json out.json]
+//	clapf-bench -exp ingest   -dataset ML100K [-events 8192] [-requests 2000] [-json out.json]
 //
 // Each experiment prints an aligned text table (or CSV with -csv where
 // supported) matching the corresponding table/figure of the paper. The
@@ -30,9 +31,12 @@
 // and tail latency under shard kills, injected latency, and torn
 // responses; the retrieval experiment answers the same top-K queries with
 // the dense exact kernel and the cluster-pruned IVF index and reports the
-// throughput ratio alongside recall@10 against the exact ranking. For
-// these, -json additionally writes the machine-readable report consumed
-// by scripts/bench.sh.
+// throughput ratio alongside recall@10 against the exact ranking; the
+// ingest experiment measures feedback WAL append throughput and durable
+// ack latency across fsync batching levels, then the /recommend p95
+// overhead of serving with a live online-update stream. For these,
+// -json additionally writes the machine-readable report consumed by
+// scripts/bench.sh.
 package main
 
 import (
@@ -51,7 +55,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval")
+		exp     = flag.String("exp", "table2", "experiment: table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval, ingest")
 		ds      = flag.String("dataset", "ML100K", "Table 1 dataset profile")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1 = full size)")
 		reps    = flag.Int("reps", 3, "replicate splits to average")
@@ -71,16 +75,17 @@ func main() {
 		nlist   = flag.Int("nlist", 0, "IVF cell count for -exp retrieval (0 = default)")
 		nprobe  = flag.Int("nprobe", 0, "IVF probe width for -exp retrieval (0 = default)")
 		bu      = flag.Int("bench-users", 1200, "user-base cap for -exp retrieval (full item catalog; 0 = no cap)")
+		evs     = flag.Int("events", 8192, "feedback events per WAL append arm for -exp ingest")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *kitems, *clip, *rounds, *shards, *load, *nlist, *nprobe, *bu); err != nil {
+	if err := run(os.Stdout, *exp, *ds, *scale, *reps, *epochs, *seed, *maxEval, *asCSV, *workers, *jsonOut, *reqs, *batch, *kitems, *clip, *rounds, *shards, *load, *nlist, *nprobe, *bu, *evs); err != nil {
 		fmt.Fprintln(os.Stderr, "clapf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch, kernelItems int, clipNorm float64, rounds, shards, loadWorkers, nlist, nprobe, benchUsers int) error {
+func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed uint64, maxEval int, asCSV bool, workers, jsonOut string, requests, batch, kernelItems int, clipNorm float64, rounds, shards, loadWorkers, nlist, nprobe, benchUsers, events int) error {
 	setup, err := experiments.DefaultSetup(ds, scale)
 	if err != nil {
 		return err
@@ -238,8 +243,20 @@ func run(out io.Writer, exp, ds string, scale float64, reps, epochs int, seed ui
 			return experiments.WriteRetrievalBenchJSON(w, bench)
 		})
 
+	case "ingest":
+		bench, err := experiments.RunIngestBench(setup, events, requests)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderIngestBench(out, bench); err != nil {
+			return err
+		}
+		return writeJSONReport(out, jsonOut, func(w io.Writer) error {
+			return experiments.WriteIngestBenchJSON(w, bench)
+		})
+
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, fig2, fig3, fig4, parallel, serve, guard, trace, cluster, retrieval, ingest)", exp)
 	}
 }
 

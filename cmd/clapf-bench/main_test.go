@@ -18,7 +18,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			// scale 0.05, 1 rep, 2 epoch-equivalents: seconds, not minutes.
-			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+			if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -27,7 +27,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 
 func TestRunCSVModes(t *testing.T) {
 	for _, exp := range []string{"table2", "fig2", "fig3", "fig4"} {
-		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+		if err := run(io.Discard, exp, "ML100K", 0.05, 1, 2, 1, 30, true, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 			t.Fatalf("%s csv: %v", exp, err)
 		}
 	}
@@ -35,7 +35,7 @@ func TestRunCSVModes(t *testing.T) {
 
 func TestRunParallelExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "parallel.json")
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -67,7 +67,7 @@ func TestRunParallelExperiment(t *testing.T) {
 
 func TestRunServeExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "serve.json")
-	if err := run(io.Discard, "serve", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 8, 512, 10, 1, 3, 4, 0, 0, 50); err != nil {
+	if err := run(io.Discard, "serve", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 8, 512, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -99,7 +99,7 @@ func TestRunServeExperiment(t *testing.T) {
 
 func TestRunGuardExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "guard.json")
-	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 2, 1, 30, false, "1,2", jsonPath, 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 		t.Fatalf("guard: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -124,29 +124,29 @@ func TestRunGuardExperiment(t *testing.T) {
 }
 
 func TestRunUnknowns(t *testing.T) {
-	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "nope", "ML100K", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "table2", "bogus", 0.1, 1, 1, 1, 10, false, "", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, "0,2", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, "0,2", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err == nil {
 		t.Error("zero worker count accepted")
 	}
-	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, " , ", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "parallel", "ML100K", 0.05, 1, 1, 1, 10, false, " , ", "", 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err == nil {
 		t.Error("empty worker list accepted")
 	}
-	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 1, 1, 10, false, "1", "", 20, 4, 0, 0, 1, 3, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "guard", "ML100K", 0.05, 1, 1, 1, 10, false, "1", "", 20, 4, 0, 0, 1, 3, 4, 0, 0, 50, 256); err == nil {
 		t.Error("non-positive clip norm accepted for -exp guard")
 	}
-	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 1, 1, 10, false, "", "", 40, 4, 0, 10, 1, 1, 4, 0, 0, 50); err == nil {
+	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 1, 1, 10, false, "", "", 40, 4, 0, 10, 1, 1, 4, 0, 0, 50, 256); err == nil {
 		t.Error("single-shard cluster bench accepted")
 	}
 }
 
 func TestRunClusterExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "cluster.json")
-	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 80, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+	if err := run(io.Discard, "cluster", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 80, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -178,7 +178,7 @@ func TestRunClusterExperiment(t *testing.T) {
 
 func TestRunTraceExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(io.Discard, "trace", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 4, 0, 10, 1, 3, 4, 0, 0, 50); err != nil {
+	if err := run(io.Discard, "trace", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 30, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
 		t.Fatalf("trace: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -203,11 +203,45 @@ func TestRunTraceExperiment(t *testing.T) {
 	}
 }
 
+func TestRunIngestExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "ingest.json")
+	if err := run(io.Discard, "ingest", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 20, 4, 0, 10, 1, 3, 4, 0, 0, 50, 256); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read json report: %v", err)
+	}
+	var bench experiments.IngestBench
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("decode json report: %v", err)
+	}
+	if len(bench.Appends) != 3 {
+		t.Fatalf("append rows = %d, want 3 (fsync-every 1, 8, 64)", len(bench.Appends))
+	}
+	for i, want := range []int{1, 8, 64} {
+		r := bench.Appends[i]
+		if r.SyncEvery != want {
+			t.Errorf("row %d: sync_every = %d, want %d", i, r.SyncEvery, want)
+		}
+		if r.EventsPerSec <= 0 || r.Events <= 0 {
+			t.Errorf("row %d: %d events at %v/s, want > 0", i, r.Events, r.EventsPerSec)
+		}
+	}
+	s := bench.Serve
+	if s.BaselineP95ms <= 0 || s.IngestP95ms <= 0 {
+		t.Errorf("serve overhead p95s = %v / %v, want > 0", s.BaselineP95ms, s.IngestP95ms)
+	}
+	if s.ConcurrentEvents <= 0 {
+		t.Errorf("concurrent events = %d, want > 0 (stream never ran)", s.ConcurrentEvents)
+	}
+}
+
 func TestRunRetrievalExperiment(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "retrieval.json")
 	// Full probe width (nlist == nprobe == 4) so IVF recall must be
 	// exactly 1 even at this miniature scale.
-	if err := run(io.Discard, "retrieval", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 20, 4, 0, 10, 1, 3, 4, 4, 4, 50); err != nil {
+	if err := run(io.Discard, "retrieval", "ML100K", 0.05, 1, 2, 1, 30, false, "", jsonPath, 20, 4, 0, 10, 1, 3, 4, 4, 4, 50, 256); err != nil {
 		t.Fatalf("retrieval: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)

@@ -18,6 +18,11 @@
 // and every degraded response says so in its "degraded" field.
 //
 // Endpoints: GET /recommend and GET /similar (proxied with failover),
+// POST /feedback (forwarded to the user's owning shard only — feedback
+// writes are never hedged or failed over, since the owner's WAL is the
+// durability domain; when the owner is down the event is buffered and
+// acknowledged with a labeled 202, drained by a background flusher, with
+// an honest 503 once the bounded buffer fills),
 // GET /healthz (per-shard breaker and membership state, plus each
 // shard's reported retrieval mode; -retrieval exact|ivf makes the prober
 // flag shards that drift from the expected mode), GET /readyz,
@@ -71,6 +76,8 @@ type options struct {
 	probeInterval  time.Duration
 	probeTimeout   time.Duration
 	seed           uint64
+	feedbackBuffer int
+	feedbackFlush  time.Duration
 
 	// sigCh, when non-nil, replaces signal.Notify delivery.
 	sigCh chan os.Signal
@@ -95,6 +102,8 @@ func main() {
 	flag.DurationVar(&o.probeInterval, "probe-interval", time.Second, "health probe sweep interval")
 	flag.DurationVar(&o.probeTimeout, "probe-timeout", 500*time.Millisecond, "per-shard health probe timeout")
 	flag.Uint64Var(&o.seed, "seed", 0, "jitter seed (0 = from the clock, so routers desynchronize)")
+	flag.IntVar(&o.feedbackBuffer, "feedback-buffer", 4096, "buffered-ack queue entries for POST /feedback while the owning shard is down (<0 disables buffering)")
+	flag.DurationVar(&o.feedbackFlush, "feedback-flush-interval", 250*time.Millisecond, "how often buffered feedback is retried against its owning shard")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -170,6 +179,7 @@ func buildRouter(o options) (*cluster.Router, error) {
 		Quorum:         o.quorum,
 		Breaker:        cluster.BreakerConfig{FailureThreshold: o.breakFailures, Cooldown: o.breakCooldown},
 		Probe:          cluster.ProbeConfig{Interval: o.probeInterval, Timeout: o.probeTimeout},
+		Feedback:       cluster.FeedbackConfig{BufferSize: o.feedbackBuffer, FlushInterval: o.feedbackFlush},
 		Seed:           seed,
 	})
 }
@@ -184,6 +194,8 @@ func run(o options) error {
 	router.SetLogger(logger)
 	stopProber := router.StartProber()
 	defer stopProber()
+	stopFlusher := router.StartFeedbackFlusher()
+	defer stopFlusher()
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

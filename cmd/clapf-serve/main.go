@@ -25,6 +25,16 @@
 // cache is invalidated atomically whenever the model is swapped, so a
 // reload can never serve stale rankings.
 //
+// -feedback-log DIR enables streaming ingest: POST /feedback appends
+// each {user,item} event to a crash-safe segmented WAL and acknowledges
+// only after the covering fsync (-feedback-sync batches group commits),
+// then applies a bounded online fold-in update to the user's serving
+// factors and invalidates just that user's cached answers. On restart
+// the WAL is replayed — torn tails are truncated, acknowledged events
+// are never lost — and -promote-every folds the accumulated log into
+// -model on a cadence, hot-promoting the re-export with generation
+// fencing; a failed promotion leaves the old generation serving.
+//
 // -retrieval ivf answers top-K queries from a cluster-pruned IVF index
 // over the item factors instead of scoring the whole catalog — sublinear
 // per-query cost at a small, tunable recall loss (-nlist/-nprobe; the
@@ -58,6 +68,8 @@ import (
 	"time"
 
 	"clapf"
+	"clapf/internal/dataset"
+	"clapf/internal/feedback"
 	"clapf/internal/obs"
 	"clapf/internal/retrieval"
 	"clapf/internal/serve"
@@ -83,6 +95,11 @@ type options struct {
 	retrievalMode        string
 	nlist, nprobe        int
 	storeMmap            bool
+	feedbackLog          string
+	feedbackSync         int
+	feedbackFlush        time.Duration
+	promoteEvery         time.Duration
+	promotePrune         bool
 
 	// sigCh, when non-nil, replaces signal.Notify delivery.
 	sigCh chan os.Signal
@@ -110,6 +127,11 @@ func main() {
 	flag.IntVar(&o.nlist, "nlist", 0, "IVF cells for -retrieval ivf (0 = 2*sqrt(items))")
 	flag.IntVar(&o.nprobe, "nprobe", 0, "IVF cells probed per query for -retrieval ivf (0 = nlist/4)")
 	flag.BoolVar(&o.storeMmap, "store-mmap", false, "mmap a float32 v3 model file instead of parsing it onto the heap (requires a -model exported with clapf-train -export-f32; SIGHUP reloads stay mapped)")
+	flag.StringVar(&o.feedbackLog, "feedback-log", "", "directory for the streaming-feedback WAL; enables POST /feedback with durable acks and online fold-in updates (incompatible with -store-mmap: promotion re-exports float64 factors)")
+	flag.IntVar(&o.feedbackSync, "feedback-sync", 1, "fsync the feedback WAL every N appends (1 = every event before its ack; higher batches group commits)")
+	flag.DurationVar(&o.feedbackFlush, "feedback-flush-interval", 5*time.Millisecond, "max time an unsynced feedback append waits for its group-commit fsync (only with -feedback-sync > 1)")
+	flag.DurationVar(&o.promoteEvery, "promote-every", 0, "interval for folding the feedback log into -model and hot-promoting it (0 disables the promotion loop)")
+	flag.BoolVar(&o.promotePrune, "promote-prune", false, "drop feedback WAL segments already folded into the promoted model (trades disk for forgetting pre-promotion exclusion history on restart)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -121,42 +143,49 @@ func main() {
 // buildServer loads the model and dataset and wires the HTTP server.
 // With storeMmap the model file is paged in via mmap (v3 float32 format
 // only) after a one-off full-section checksum, and the server is flagged
-// so hot reloads stay on the mapped path.
-func buildServer(modelPath, trainPath string, storeMmap bool) (*serve.Server, error) {
+// so hot reloads stay on the mapped path. The returned meta is the model
+// file's metadata trailer (nil on the mmap path or for files without
+// one) — its FeedbackSeq watermark seeds the feedback ingest pipeline;
+// the dataset is returned so the same parse feeds the ingestor.
+func buildServer(modelPath, trainPath string, storeMmap bool) (*serve.Server, *store.Meta, *dataset.Dataset, error) {
 	if modelPath == "" || trainPath == "" {
-		return nil, fmt.Errorf("-model and -train are required")
+		return nil, nil, nil, fmt.Errorf("-model and -train are required")
 	}
 	f, err := os.Open(trainPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	train, err := clapf.ReadDatasetTSV(f)
 	f.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if storeMmap {
 		mm, err := store.LoadMapped(modelPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if err := mm.Verify(); err != nil {
 			mm.Close()
-			return nil, err
+			return nil, nil, nil, err
 		}
 		server, err := serve.NewFromParams(mm.Factors(), train)
 		if err != nil {
 			mm.Close()
-			return nil, err
+			return nil, nil, nil, err
 		}
 		server.SetStoreMapped(true)
-		return server, nil
+		return server, nil, train, nil
 	}
-	model, err := clapf.LoadModelFile(modelPath)
+	model, meta, err := store.LoadFileWithMeta(modelPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return serve.New(model, train)
+	server, err := serve.New(model, train)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return server, meta, train, nil
 }
 
 // newHandler assembles the final handler: the instrumented serve mux,
@@ -181,7 +210,10 @@ func newHandler(server *serve.Server, pprofOn bool) http.Handler {
 func run(o options) error {
 	logger := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
 
-	server, err := buildServer(o.modelPath, o.trainPath, o.storeMmap)
+	if o.feedbackLog != "" && o.storeMmap {
+		return fmt.Errorf("-feedback-log needs float64 factors for online fold-in re-export; drop -store-mmap")
+	}
+	server, meta, train, err := buildServer(o.modelPath, o.trainPath, o.storeMmap)
 	if err != nil {
 		return err
 	}
@@ -209,6 +241,63 @@ func run(o options) error {
 	server.Tracer().SetSlowThreshold(o.traceSlow)
 	stopSampler := server.StartRuntimeSampler(10 * time.Second)
 	defer stopSampler()
+
+	if o.feedbackLog != "" {
+		// Order matters: recover the WAL, seed the ingestor's watermark
+		// from the model file's FeedbackSeq, replay the retained log into
+		// the exclusion/fold-in state, and only then attach the pipeline
+		// to the server — EnableFeedback rebuilds the serving overlay from
+		// everything the replay recovered beyond the watermark.
+		fsync := server.Registry().NewHistogram("clapf_feedback_fsync_seconds",
+			"Feedback WAL fsync latency (group commits).",
+			obs.ExponentialBuckets(1e-5, 4, 10))
+		wal, rec, err := feedback.OpenWAL(o.feedbackLog, feedback.WALConfig{
+			SyncEvery:    o.feedbackSync,
+			SyncInterval: o.feedbackFlush,
+			FsyncSeconds: fsync,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		ing := feedback.NewIngestor(wal, train, feedback.Config{FoldInReg: server.FoldInReg}, server.Registry())
+		var folded uint64
+		if meta != nil {
+			folded = meta.FeedbackSeq
+		}
+		if installed := ing.SetFolded(folded); installed != folded {
+			logger.Warn("feedback: model watermark exceeds the log; clamped",
+				"model_folded_seq", folded, "wal_last_seq", installed,
+				"hint", "the model was promoted against a different feedback log")
+			folded = installed
+		}
+		replayed, err := ing.Replay()
+		if err != nil {
+			return err
+		}
+		ing.Bind(server)
+		if err := server.EnableFeedback(ing); err != nil {
+			return err
+		}
+		logger.Info("feedback ingest enabled", "dir", o.feedbackLog,
+			"replayed", replayed, "watermark", folded, "last_seq", wal.LastSeq(),
+			"recovered_truncated_bytes", rec.TruncatedBytes, "sync_every", o.feedbackSync)
+		if o.promoteEvery > 0 {
+			prom, err := feedback.NewPromoter(ing, server, feedback.PromoteConfig{
+				Interval:  o.promoteEvery,
+				ModelPath: o.modelPath,
+				Prune:     o.promotePrune,
+				Logger:    logger,
+			})
+			if err != nil {
+				return err
+			}
+			promCtx, promCancel := context.WithCancel(context.Background())
+			defer promCancel()
+			go prom.Run(promCtx)
+		}
+	}
 	params := server.Params()
 
 	ln, err := net.Listen("tcp", o.addr)

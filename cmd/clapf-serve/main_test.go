@@ -52,7 +52,7 @@ func fixtureFiles(t *testing.T) (modelPath, trainPath string) {
 
 func TestBuildServerAndServe(t *testing.T) {
 	modelPath, trainPath := fixtureFiles(t)
-	s, err := buildServer(modelPath, trainPath, false)
+	s, _, _, err := buildServer(modelPath, trainPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestBuildServerAndServe(t *testing.T) {
 
 func TestHandlerMetricsAndPprof(t *testing.T) {
 	modelPath, trainPath := fixtureFiles(t)
-	s, err := buildServer(modelPath, trainPath, false)
+	s, _, _, err := buildServer(modelPath, trainPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,16 +125,16 @@ func TestHandlerMetricsAndPprof(t *testing.T) {
 
 func TestBuildServerErrors(t *testing.T) {
 	modelPath, trainPath := fixtureFiles(t)
-	if _, err := buildServer("", trainPath, false); err == nil {
+	if _, _, _, err := buildServer("", trainPath, false); err == nil {
 		t.Error("missing model path accepted")
 	}
-	if _, err := buildServer(modelPath, "", false); err == nil {
+	if _, _, _, err := buildServer(modelPath, "", false); err == nil {
 		t.Error("missing train path accepted")
 	}
-	if _, err := buildServer(filepath.Join(t.TempDir(), "gone"), trainPath, false); err == nil {
+	if _, _, _, err := buildServer(filepath.Join(t.TempDir(), "gone"), trainPath, false); err == nil {
 		t.Error("missing model file accepted")
 	}
-	if _, err := buildServer(modelPath, filepath.Join(t.TempDir(), "gone"), false); err == nil {
+	if _, _, _, err := buildServer(modelPath, filepath.Join(t.TempDir(), "gone"), false); err == nil {
 		t.Error("missing train file accepted")
 	}
 }

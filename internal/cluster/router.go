@@ -65,6 +65,9 @@ type Config struct {
 	Breaker BreakerConfig
 	// Probe configures the /readyz health prober.
 	Probe ProbeConfig
+	// Feedback configures the POST /feedback write path (owner affinity,
+	// buffered-ack degradation).
+	Feedback FeedbackConfig
 	// StaleCacheSize bounds the router-local stale top-K cache used as a
 	// degradation fallback; 0 disables it. Default 4096.
 	StaleCacheSize int
@@ -215,6 +218,7 @@ type Router struct {
 	lat    *latencyTracker
 	stale  *staleCache
 	pop    *popFallback
+	fbuf   *feedbackBuffer // nil when buffering is disabled
 
 	log    *slog.Logger
 	reg    *obs.Registry
@@ -233,6 +237,9 @@ type Router struct {
 	availGauge   *obs.GaugeVec   // {shard}
 	brkGauge     *obs.GaugeVec   // {shard}
 	reloads      *obs.CounterVec // {result}
+
+	feedbackBuffered *obs.Counter
+	feedbackFlushed  *obs.Counter
 
 	probeMu  chMutex
 	stopProb chan struct{}
@@ -302,6 +309,9 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, err
 		}
 	}
+	if fc := cfg.Feedback.withDefaults(); fc.BufferSize > 0 {
+		r.fbuf = &feedbackBuffer{cap: fc.BufferSize}
+	}
 
 	r.httpm = obs.NewHTTPMetrics(r.reg, "clapf_router_")
 	r.tracer = trace.New(r.reg, "clapf_router_", trace.Config{SampleRate: 0.01})
@@ -329,6 +339,13 @@ func NewRouter(cfg Config) (*Router, error) {
 		"Breaker position per shard: 0 closed, 1 open, 2 half-open.", "shard")
 	r.reloads = r.reg.NewCounterVec("clapf_router_rolling_reloads_total",
 		"Rolling model reload sweeps by result.", "result")
+	r.feedbackBuffered = r.reg.NewCounter("clapf_router_feedback_buffered_total",
+		"Feedback events accepted into the router buffer because the owning shard was down.")
+	r.feedbackFlushed = r.reg.NewCounter("clapf_router_feedback_flushed_total",
+		"Buffered feedback events later delivered to their owning shard.")
+	r.reg.NewGaugeFunc("clapf_router_feedback_buffer_entries",
+		"Feedback events currently waiting in the router buffer.",
+		func() float64 { return float64(r.FeedbackBuffered()) })
 	r.reg.NewGaugeFunc("clapf_router_stale_cache_entries",
 		"Entries in the router-local stale top-K fallback cache.",
 		func() float64 { return float64(r.stale.size()) })
@@ -389,6 +406,7 @@ func (r *Router) RouterStats() Stats {
 			DegradedReplica:    r.degraded.With(DegradedReplica).Value(),
 			DegradedStaleCache: r.degraded.With(DegradedStaleCache).Value(),
 			DegradedPopRank:    r.degraded.With(DegradedPopRank).Value(),
+			DegradedBuffered:   r.degraded.With(DegradedBuffered).Value(),
 		},
 	}
 }
@@ -399,7 +417,7 @@ func (r *Router) Available(i int) bool { return r.shards[i].available.Load() }
 // normalizeRouterPath bounds the router's metric path label.
 func normalizeRouterPath(p string) string {
 	switch p {
-	case "/healthz", "/readyz", "/recommend", "/similar", "/metrics", "/debug/traces":
+	case "/healthz", "/readyz", "/recommend", "/similar", "/feedback", "/metrics", "/debug/traces":
 		return p
 	}
 	return "other"
@@ -413,6 +431,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", r.handleReady)
 	mux.HandleFunc("GET /recommend", r.handleRecommend)
 	mux.HandleFunc("GET /similar", r.handleSimilar)
+	mux.HandleFunc("POST /feedback", r.handleFeedback)
 	mux.Handle("GET /metrics", r.reg.Handler())
 	mux.Handle("GET /debug/traces", r.tracer.Handler())
 	var h http.Handler = mux
@@ -437,6 +456,9 @@ type HealthResponse struct {
 	Status   string        `json:"status"`
 	Shards   []ShardHealth `json:"shards"`
 	Eligible int           `json:"eligible_shards"`
+	// FeedbackBuffered is the count of feedback events waiting in the
+	// router's buffered-ack queue for their owning shard to return.
+	FeedbackBuffered int `json:"feedback_buffered,omitempty"`
 }
 
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -458,6 +480,7 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	if resp.Eligible == 0 {
 		resp.Status = "degraded"
 	}
+	resp.FeedbackBuffered = r.FeedbackBuffered()
 	writeJSON(w, http.StatusOK, resp)
 }
 

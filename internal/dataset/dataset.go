@@ -139,6 +139,40 @@ func (d *Dataset) Positives(u int32) []int32 { return d.rows[u] }
 // NumPositives returns n_u⁺ for user u.
 func (d *Dataset) NumPositives(u int32) int { return len(d.rows[u]) }
 
+// MergeSorted merges two ascending id slices into one ascending slice
+// with duplicates collapsed. When either input is empty the other is
+// returned as-is (no copy), so the common no-extra-history case costs
+// nothing. Both the serving exclusion path and the feedback fold-in path
+// use it to extend a user's training positives with streamed events while
+// keeping the deterministic ordering the fold-in solve depends on.
+func MergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
 // IsPositive reports whether Y_ui = 1.
 func (d *Dataset) IsPositive(u, i int32) bool {
 	row := d.rows[u]

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/feedback"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/serve"
+)
+
+// IngestAppendRow is one WAL group-commit configuration's measured append
+// throughput and durable-ack latency distribution. Every append in the
+// arm is acked only after a covering fsync, so AckP50ms/AckP95ms are the
+// client-visible durability cost at that batching level.
+type IngestAppendRow struct {
+	SyncEvery    int     `json:"sync_every"`
+	Events       int     `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AckP50ms     float64 `json:"ack_p50_ms"`
+	AckP95ms     float64 `json:"ack_p95_ms"`
+}
+
+// IngestServeOverhead compares /recommend latency with the online-update
+// pipeline idle against the same load with a steady concurrent POST
+// /feedback stream (WAL appends, overlay fold-ins, targeted cache
+// invalidation all active). Both arms run cache-off so every request
+// pays the full score-and-rank cost and the comparison cannot hide
+// overlay overhead behind cache hits. Arms alternate for Rounds rounds
+// and each reports its best (minimum) percentile, the same
+// noise-suppression trick the trace bench uses.
+type IngestServeOverhead struct {
+	Requests         int     `json:"requests_per_round"`
+	Rounds           int     `json:"rounds"`
+	ConcurrentEvents int     `json:"concurrent_events"`
+	BaselineP50ms    float64 `json:"baseline_p50_ms"`
+	BaselineP95ms    float64 `json:"baseline_p95_ms"`
+	IngestP50ms      float64 `json:"ingest_p50_ms"`
+	IngestP95ms      float64 `json:"ingest_p95_ms"`
+	OverheadPct      float64 `json:"p95_overhead_pct"`
+}
+
+// IngestBench is the streaming-feedback ingest report: WAL append
+// throughput across fsync batching levels, plus the serve-path tail
+// cost of keeping online updates hot.
+type IngestBench struct {
+	Dataset       string              `json:"dataset"`
+	Users         int                 `json:"users"`
+	Items         int                 `json:"items"`
+	Dim           int                 `json:"dim"`
+	AppendWorkers int                 `json:"append_workers"`
+	Cores         int                 `json:"cores"`
+	Appends       []IngestAppendRow   `json:"appends"`
+	Serve         IngestServeOverhead `json:"serve_overhead"`
+}
+
+// ingestAppendWorkers is the concurrent-appender count for the WAL arms.
+// It matches the largest SyncEvery level so the group-commit batch can
+// actually fill: with fewer writers than the batch size, every batched
+// append waits out the flusher tick and the arm measures the ticker, not
+// the log.
+const ingestAppendWorkers = 64
+
+// ingestSyncLevels are the fsync batching levels the append arms sweep.
+var ingestSyncLevels = []int{1, 8, 64}
+
+// ingestOverheadRounds is how many alternating baseline/ingest rounds
+// the serve-overhead arm runs.
+const ingestOverheadRounds = 5
+
+// RunIngestBench measures the crash-safe feedback ingest path. The
+// append arms drive ingestAppendWorkers concurrent writers through a
+// fresh WAL at each fsync batching level; throughput is wall-clock
+// events/sec and latency is the per-append durable-ack distribution.
+// The serve arm then loads a live serve.Handler() stack — once with
+// feedback idle and once with a steady concurrent ingest stream — and
+// reports the /recommend p95 overhead the online-update path costs.
+func RunIngestBench(s Setup, events, requests int) (*IngestBench, error) {
+	if events < ingestAppendWorkers {
+		return nil, fmt.Errorf("experiments: ingest bench needs events >= %d, got %d", ingestAppendWorkers, events)
+	}
+	if requests < 1 {
+		return nil, fmt.Errorf("experiments: ingest bench needs requests >= 1, got %d", requests)
+	}
+	profile := s.Profile.Scaled(s.Scale)
+	world, err := datagen.Generate(profile, mathx.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	train := world.Data
+	const dim = 16
+	m := mf.MustNew(mf.Config{
+		NumUsers: train.NumUsers(), NumItems: train.NumItems(),
+		Dim: dim, UseBias: true, InitStd: 0.1,
+	})
+	m.InitGaussian(mathx.NewRNG(s.Seed+1), 0.1)
+
+	out := &IngestBench{
+		Dataset: s.Profile.Name, Users: train.NumUsers(), Items: train.NumItems(),
+		Dim: dim, AppendWorkers: ingestAppendWorkers, Cores: runtime.NumCPU(),
+	}
+
+	for _, level := range ingestSyncLevels {
+		row, err := runAppendArm(level, events)
+		if err != nil {
+			return nil, err
+		}
+		out.Appends = append(out.Appends, row)
+	}
+
+	overhead, err := runServeOverheadArm(m, train, requests)
+	if err != nil {
+		return nil, err
+	}
+	out.Serve = *overhead
+	return out, nil
+}
+
+// runAppendArm opens a fresh WAL at the given SyncEvery and appends
+// events from ingestAppendWorkers goroutines, each waiting for its
+// durable ack before the next append — the contract the serve ingest
+// path holds before acknowledging a client.
+func runAppendArm(syncEvery, events int) (IngestAppendRow, error) {
+	dir, err := os.MkdirTemp("", "clapf-ingest-wal-")
+	if err != nil {
+		return IngestAppendRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	wal, _, err := feedback.OpenWAL(dir, feedback.WALConfig{SyncEvery: syncEvery})
+	if err != nil {
+		return IngestAppendRow{}, err
+	}
+	defer wal.Close()
+
+	perWorker := events / ingestAppendWorkers
+	total := perWorker * ingestAppendWorkers
+	ts := time.Now()
+	lat := make([][]time.Duration, ingestAppendWorkers)
+	errs := make([]error, ingestAppendWorkers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < ingestAppendWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				start := time.Now()
+				if _, err := wal.Append(int32(w), int32(i), ts); err != nil {
+					errs[w] = err
+					return
+				}
+				lat[w] = append(lat[w], time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return IngestAppendRow{}, err
+		}
+	}
+
+	all := make([]time.Duration, 0, total)
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	row := IngestAppendRow{
+		SyncEvery:   syncEvery,
+		Events:      total,
+		WallSeconds: wall.Seconds(),
+		AckP50ms:    percentileMs(all, 50),
+		AckP95ms:    percentileMs(all, 95),
+	}
+	if wall > 0 {
+		row.EventsPerSec = float64(total) / wall.Seconds()
+	}
+	return row, nil
+}
+
+// ingestStreamPause is the gap between streamed POST /feedback events in
+// the serve-overhead arm. Together with the durable-ack wait (~the WAL
+// flusher tick) it paces the stream near 100 events/sec — heavy traffic
+// for the bench's user base, but not so dense that on a small machine
+// the stream's fsyncs timeshare the measured requests into a pure
+// CPU-contention benchmark.
+const ingestStreamPause = 10 * time.Millisecond
+
+// runServeOverheadArm measures the /recommend latency cost of the live
+// online-update pipeline. The baseline server has no feedback sink; the
+// ingest server runs the full WAL + overlay + invalidation path with a
+// background goroutine streaming POST /feedback at ingestStreamPause
+// pacing while requests are timed. Arms alternate and keep their best
+// percentiles, so a scheduler hiccup in one round cannot masquerade as
+// ingest overhead.
+func runServeOverheadArm(m *mf.Model, train *dataset.Dataset, requests int) (*IngestServeOverhead, error) {
+	numUsers := train.NumUsers()
+
+	baseSrv, err := serve.New(m, train)
+	if err != nil {
+		return nil, err
+	}
+	baseSrv.SetCacheSize(0)
+	baseTS := httptest.NewServer(baseSrv.Handler())
+	defer baseTS.Close()
+
+	ingSrv, err := serve.New(m, train)
+	if err != nil {
+		return nil, err
+	}
+	ingSrv.SetCacheSize(0)
+	dir, err := os.MkdirTemp("", "clapf-ingest-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	wal, _, err := feedback.OpenWAL(dir, feedback.WALConfig{SyncEvery: 8})
+	if err != nil {
+		return nil, err
+	}
+	defer wal.Close()
+	ing := feedback.NewIngestor(wal, train, feedback.Config{FoldInReg: ingSrv.FoldInReg}, nil)
+	ing.Bind(ingSrv)
+	if err := ingSrv.EnableFeedback(ing); err != nil {
+		return nil, err
+	}
+	ingTS := httptest.NewServer(ingSrv.Handler())
+	defer ingTS.Close()
+
+	// Populate an overlay row for every user up front: steady-state
+	// serving reads merged histories for the whole user base, not a cold
+	// overlay.
+	freshItem := func(u int32, skip int) (int32, bool) {
+		for i := int32(0); int(i) < train.NumItems(); i++ {
+			if !train.IsPositive(u, i) {
+				if skip == 0 {
+					return i, true
+				}
+				skip--
+			}
+		}
+		return 0, false
+	}
+	client := ingTS.Client()
+	for u := 0; u < numUsers; u++ {
+		item, ok := freshItem(int32(u), 0)
+		if !ok {
+			continue
+		}
+		body := fmt.Sprintf(`{"user":%d,"item":%d}`, u, item)
+		if _, err := doTimed(client, http.MethodPost, ingTS.URL+"/feedback", []byte(body)); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &IngestServeOverhead{Requests: requests, Rounds: ingestOverheadRounds}
+	best := func(cur, candidate float64) float64 {
+		if cur == 0 || candidate < cur {
+			return candidate
+		}
+		return cur
+	}
+	for round := 0; round < ingestOverheadRounds; round++ {
+		base, err := driveSingle(baseTS.Client(), baseTS.URL, numUsers, requests)
+		if err != nil {
+			return nil, err
+		}
+		out.BaselineP50ms = best(out.BaselineP50ms, base.P50ms)
+		out.BaselineP95ms = best(out.BaselineP95ms, base.P95ms)
+
+		// Stream feedback while the ingest arm is measured: round-robin
+		// users, cycling through each user's fresh items so some events
+		// extend the overlay and some hit the dedupe path — the mix a
+		// live tier sees.
+		stop := make(chan struct{})
+		streamed := make(chan int, 1)
+		var streamErr error
+		go func() {
+			n := 0
+			defer func() { streamed <- n }()
+			for attempt := 0; ; attempt++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := int32(attempt % numUsers)
+				item, ok := freshItem(u, (attempt/numUsers)%4)
+				if !ok {
+					continue
+				}
+				body := fmt.Sprintf(`{"user":%d,"item":%d}`, u, item)
+				if _, err := doTimed(client, http.MethodPost, ingTS.URL+"/feedback", []byte(body)); err != nil {
+					streamErr = err
+					return
+				}
+				n++
+				time.Sleep(ingestStreamPause)
+			}
+		}()
+		ingRow, err := driveSingle(ingTS.Client(), ingTS.URL, numUsers, requests)
+		close(stop)
+		out.ConcurrentEvents += <-streamed
+		if err != nil {
+			return nil, err
+		}
+		if streamErr != nil {
+			return nil, streamErr
+		}
+		out.IngestP50ms = best(out.IngestP50ms, ingRow.P50ms)
+		out.IngestP95ms = best(out.IngestP95ms, ingRow.P95ms)
+	}
+	if out.BaselineP95ms > 0 {
+		out.OverheadPct = (out.IngestP95ms - out.BaselineP95ms) / out.BaselineP95ms * 100
+	}
+	return out, nil
+}
+
+// RenderIngestBench prints the ingest report as an aligned text table.
+func RenderIngestBench(w io.Writer, b *IngestBench) error {
+	if _, err := fmt.Fprintf(w,
+		"ingest bench on %s (%d users, %d items, dim %d, %d append workers, %d cores)\n",
+		b.Dataset, b.Users, b.Items, b.Dim, b.AppendWorkers, b.Cores); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %9s %12s %12s %12s\n",
+		"fsync-every", "events", "events/s", "ack p50(ms)", "ack p95(ms)"); err != nil {
+		return err
+	}
+	for _, r := range b.Appends {
+		if _, err := fmt.Fprintf(w, "%-12d %9d %12.0f %12.4f %12.4f\n",
+			r.SyncEvery, r.Events, r.EventsPerSec, r.AckP50ms, r.AckP95ms); err != nil {
+			return err
+		}
+	}
+	s := b.Serve
+	_, err := fmt.Fprintf(w,
+		"serve overhead (best of %d rounds, %d reqs/round, %d concurrent events): p95 %.4fms idle vs %.4fms under ingest (%+.2f%%)\n",
+		s.Rounds, s.Requests, s.ConcurrentEvents, s.BaselineP95ms, s.IngestP95ms, s.OverheadPct)
+	return err
+}
+
+// WriteIngestBenchJSON emits the report as indented JSON (the
+// BENCH_ingest.json payload of scripts/bench.sh).
+func WriteIngestBenchJSON(w io.Writer, b *IngestBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

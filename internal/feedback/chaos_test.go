@@ -1,0 +1,411 @@
+package feedback
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clapf/internal/datagen"
+	"clapf/internal/dataset"
+	"clapf/internal/mathx"
+	"clapf/internal/mf"
+	"clapf/internal/serve"
+	"clapf/internal/store"
+)
+
+// The chaos suite proves the crash-safety contract end to end:
+//
+//   - an acknowledged event survives any crash (torn tails truncate only
+//     the unacknowledged suffix);
+//   - a crash at any point in the promotion state machine — including
+//     between the watermarked export and the hot swap — recovers to
+//     factors byte-identical to an uninterrupted run;
+//   - a failed promotion leaves the old generation serving.
+//
+// Gated in check.sh under -race.
+
+// chaosFixture builds a deterministic world and a trained-enough model.
+func chaosFixture(t testing.TB) (*mf.Model, *dataset.Dataset) {
+	t.Helper()
+	w, err := datagen.Generate(datagen.Profile{
+		Name: "chaos", Users: 40, Items: 70, Pairs: 900,
+		ZipfExp: 0.6, Dim: 4, Affinity: 5,
+	}, mathx.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mf.MustNew(mf.Config{
+		NumUsers: w.Data.NumUsers(), NumItems: w.Data.NumItems(), Dim: 4, UseBias: true,
+	})
+	m.InitGaussian(mathx.NewRNG(12), 0.1)
+	return m, w.Data
+}
+
+// pipeline is one serve+ingest stack, wired exactly as cmd/clapf-serve
+// wires it: recover WAL, seed watermark from the model file, replay,
+// bind, enable.
+type pipeline struct {
+	srv *serve.Server
+	ing *Ingestor
+	wal *WAL
+}
+
+// boot starts (or restarts, after a crash) the pipeline from the model
+// file and WAL dir. Leaving a previous pipeline un-Closed is the crash.
+func boot(t testing.TB, modelPath, walDir string, train *dataset.Dataset) *pipeline {
+	t.Helper()
+	model, meta, err := store.LoadFileWithMeta(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(model, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, _, err := OpenWAL(walDir, WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := NewIngestor(wal, train, Config{FoldInReg: srv.FoldInReg}, nil)
+	if meta != nil {
+		ing.SetFolded(meta.FeedbackSeq)
+	}
+	if _, err := ing.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	ing.Bind(srv)
+	if err := srv.EnableFeedback(ing); err != nil {
+		t.Fatal(err)
+	}
+	return &pipeline{srv: srv, ing: ing, wal: wal}
+}
+
+// chaosEvents is the deterministic event schedule shared by the
+// interrupted and uninterrupted runs.
+func chaosEvents(train *dataset.Dataset, n int) [][2]int32 {
+	rng := mathx.NewRNG(99)
+	out := make([][2]int32, n)
+	for i := range out {
+		out[i] = [2]int32{
+			int32(rng.Intn(train.NumUsers())),
+			int32(rng.Intn(train.NumItems())),
+		}
+	}
+	return out
+}
+
+func ingestAll(t testing.TB, p *pipeline, events [][2]int32) {
+	t.Helper()
+	for i, ev := range events {
+		if _, _, err := p.ing.Ingest(context.Background(), ev[0], ev[1]); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+}
+
+// servingFactors snapshots every user's effective serving vector (base
+// or overlay) as raw bits, for byte-identity comparison across runs.
+func servingFactors(srv *serve.Server) [][]uint64 {
+	params := srv.Params()
+	out := make([][]uint64, params.NumUsers())
+	for u := range out {
+		vec := params.UserVector(int32(u), nil)
+		bits := make([]uint64, len(vec))
+		for j, v := range vec {
+			bits[j] = math.Float64bits(v)
+		}
+		out[u] = bits
+	}
+	return out
+}
+
+func requireSameFactors(t testing.TB, a, b [][]uint64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("user counts differ: %d vs %d", len(a), len(b))
+	}
+	for u := range a {
+		for j := range a[u] {
+			if a[u][j] != b[u][j] {
+				t.Fatalf("user %d factor %d differs: %016x vs %016x",
+					u, j, a[u][j], b[u][j])
+			}
+		}
+	}
+}
+
+// Crash with a torn tail: every acknowledged event survives recovery;
+// only the torn (never-acknowledged) suffix is dropped.
+func TestFeedbackChaosTornTailLosesNoAckedEvents(t *testing.T) {
+	model, train := chaosFixture(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.clapf")
+	if err := store.SaveFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+
+	p := boot(t, modelPath, walDir, train)
+	events := chaosEvents(train, 25)
+	acked := make(map[uint64][2]int32)
+	for _, ev := range events {
+		seq, _, err := p.ing.Ingest(context.Background(), ev[0], ev[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked[seq] = ev
+	}
+	// Crash mid-append: the process dies while writing event 26 — a
+	// partial frame lands on disk and no ack is ever sent. The old
+	// pipeline is abandoned, not closed.
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x18, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2 := boot(t, modelPath, walDir, train)
+	defer p2.wal.Close()
+	got := make(map[uint64][2]int32)
+	if err := p2.wal.Replay(func(ev Event) error {
+		got[ev.Seq] = [2]int32{ev.User, ev.Item}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for seq, ev := range acked {
+		g, ok := got[seq]
+		if !ok {
+			t.Fatalf("acked event seq %d lost after crash recovery", seq)
+		}
+		if g != ev {
+			t.Fatalf("acked event seq %d corrupted: %v vs %v", seq, g, ev)
+		}
+	}
+	// The log continues from the last acked sequence number.
+	seq, _, err := p2.ing.Ingest(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(len(events) + 1); seq != want {
+		t.Fatalf("post-recovery seq = %d, want %d", seq, want)
+	}
+}
+
+// Group commit under concurrency, then crash: durability acks are only
+// sent after the covering fsync, so every acked event must be in the
+// recovered log even at SyncEvery 16.
+func TestFeedbackChaosGroupCommitCrash(t *testing.T) {
+	model, train := chaosFixture(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.clapf")
+	if err := store.SaveFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	srvModel, _, err := store.LoadFileWithMeta(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(srvModel, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, _, err := OpenWAL(walDir, WALConfig{SyncEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := NewIngestor(wal, train, Config{}, nil)
+	ing.Bind(srv)
+	if err := srv.EnableFeedback(ing); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, per = 8, 10
+	type ack struct {
+		seq uint64
+		ev  [2]int32
+	}
+	acks := make(chan ack, workers*per)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				u := int32((w*per + i) % train.NumUsers())
+				it := int32((w + i*3) % train.NumItems())
+				seq, _, err := ing.Ingest(context.Background(), u, it)
+				if err != nil {
+					errs <- err
+					return
+				}
+				acks <- ack{seq: seq, ev: [2]int32{u, it}}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(acks)
+	// Crash: abandon without Close or final sync.
+	p2 := boot(t, modelPath, walDir, train)
+	defer p2.wal.Close()
+	got := make(map[uint64][2]int32)
+	if err := p2.wal.Replay(func(ev Event) error {
+		got[ev.Seq] = [2]int32{ev.User, ev.Item}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for a := range acks {
+		if g, ok := got[a.seq]; !ok || g != a.ev {
+			t.Fatalf("acked seq %d missing or wrong after crash: %v ok=%v", a.seq, g, ok)
+		}
+	}
+}
+
+// Crash between the watermarked export and the hot swap — the worst
+// window in the promotion state machine — then recover and finish the
+// schedule: the final serving factors are byte-identical to a run that
+// never crashed, and so are the recommendations.
+func TestFeedbackChaosCrashMidPromotionReplayByteIdentical(t *testing.T) {
+	model, train := chaosFixture(t)
+	events := chaosEvents(train, 30)
+
+	// Uninterrupted reference run: all 30 events, no promotion, no crash.
+	refDir := t.TempDir()
+	refModel := filepath.Join(refDir, "m.clapf")
+	if err := store.SaveFile(refModel, model); err != nil {
+		t.Fatal(err)
+	}
+	ref := boot(t, refModel, filepath.Join(refDir, "wal"), train)
+	defer ref.wal.Close()
+	ingestAll(t, ref, events)
+	want := servingFactors(ref.srv)
+
+	// Interrupted run: promote after 12 events, export (but do not swap)
+	// after 20 — the simulated crash point — then restart and finish.
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.clapf")
+	if err := store.SaveFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	p := boot(t, modelPath, walDir, train)
+	ingestAll(t, p, events[:12])
+	prom, err := NewPromoter(p.ing, p.srv, PromoteConfig{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome, err := prom.PromoteOnce(); err != nil || outcome != PromoteOK {
+		t.Fatalf("promotion = %q, %v", outcome, err)
+	}
+	if p.srv.Generation() != 1 {
+		t.Fatalf("generation = %d after promotion, want 1", p.srv.Generation())
+	}
+	ingestAll(t, p, events[12:20])
+	// The promoter's export step, verbatim — then the process dies
+	// before SwapParamsFenced.
+	base := p.srv.Model()
+	seq, users := p.ing.snapshot()
+	clone := base.Clone()
+	for u, merged := range users {
+		vec, err := mf.FoldInUser(base, merged, p.ing.cfg.FoldInReg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(clone.UserFactors(u), vec)
+	}
+	if err := store.SaveFileWithMeta(modelPath, clone, &store.Meta{FeedbackSeq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (abandon) and restart from the exported file + WAL.
+	p2 := boot(t, modelPath, walDir, train)
+	defer p2.wal.Close()
+	if got := p2.ing.Folded(); got != seq {
+		t.Fatalf("recovered watermark = %d, want %d", got, seq)
+	}
+	ingestAll(t, p2, events[20:])
+	requireSameFactors(t, want, servingFactors(p2.srv))
+
+	// Recommendations agree too: the exclusion history (train + every
+	// replayed event) survived the crash alongside the factors.
+	refH, gotH := ref.srv.Handler(), p2.srv.Handler()
+	for u := 0; u < 5; u++ {
+		path := fmt.Sprintf("/recommend?user=%d&k=10", u)
+		a := httptest.NewRecorder()
+		refH.ServeHTTP(a, httptest.NewRequest(http.MethodGet, path, nil))
+		b := httptest.NewRecorder()
+		gotH.ServeHTTP(b, httptest.NewRequest(http.MethodGet, path, nil))
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("user %d: status %d vs %d", u, a.Code, b.Code)
+		}
+		if a.Body.String() != b.Body.String() {
+			t.Fatalf("user %d top-K diverged after crash recovery:\n%s\n%s", u, a.Body, b.Body)
+		}
+	}
+}
+
+// A promotion that cannot export (or loses the generation fence) leaves
+// the previous generation serving, untouched.
+func TestFeedbackChaosFailedPromotionKeepsOldGeneration(t *testing.T) {
+	model, train := chaosFixture(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.clapf")
+	if err := store.SaveFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	p := boot(t, modelPath, filepath.Join(dir, "wal"), train)
+	defer p.wal.Close()
+	ingestAll(t, p, chaosEvents(train, 10))
+	before := servingFactors(p.srv)
+	gen := p.srv.Generation()
+
+	// Export target unwritable (parent directory does not exist): the
+	// error outcome must not swap.
+	prom, err := NewPromoter(p.ing, p.srv, PromoteConfig{ModelPath: filepath.Join(dir, "missing", "m.clapf")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, perr := prom.PromoteOnce()
+	if outcome != PromoteError || perr == nil {
+		t.Fatalf("promotion = %q, %v; want error", outcome, perr)
+	}
+	if p.srv.Generation() != gen {
+		t.Fatalf("failed promotion bumped generation to %d", p.srv.Generation())
+	}
+	requireSameFactors(t, before, servingFactors(p.srv))
+
+	// A stale generation fence refuses the swap the same way.
+	if err := p.srv.SwapParamsFenced(p.srv.Model().Clone(), 5, gen+100); err != serve.ErrGenerationFenced {
+		t.Fatalf("stale fence: err = %v, want ErrGenerationFenced", err)
+	}
+	if p.srv.Generation() != gen {
+		t.Fatalf("fenced swap bumped generation to %d", p.srv.Generation())
+	}
+	requireSameFactors(t, before, servingFactors(p.srv))
+
+	// And the watermark never advanced, so the next healthy promotion
+	// still covers every event.
+	if p.ing.Folded() != 0 {
+		t.Fatalf("failed promotion advanced watermark to %d", p.ing.Folded())
+	}
+	stats := p.ing.Stats()
+	if stats.Promotions[PromoteError] != 1 {
+		t.Fatalf("promotions = %v, want one error outcome", stats.Promotions)
+	}
+}

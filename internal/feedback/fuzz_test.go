@@ -1,0 +1,96 @@
+package feedback
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeSegmentFile(dir string, raw []byte) error {
+	return os.WriteFile(filepath.Join(dir, segmentName(1)), raw, 0o644)
+}
+
+// FuzzReplay drives the frame decoder with arbitrary segment bodies. The
+// decoder sits on the recovery path, where it must turn any byte soup a
+// crash (or disk) can produce into a clean prefix of valid events — never
+// a panic, never an out-of-bounds consumed count, and always a prefix
+// that re-encodes to exactly the bytes it was decoded from.
+func FuzzReplay(f *testing.F) {
+	// Seed: a healthy three-record body.
+	var healthy []byte
+	for i := 0; i < 3; i++ {
+		healthy = encodeFrame(healthy, Event{Seq: uint64(i + 1), User: int32(i), Item: int32(10 + i), UnixNano: 99})
+	}
+	f.Add(healthy)
+	// Seed: torn tail — a partial final frame.
+	f.Add(healthy[:len(healthy)-11])
+	// Seed: bit-flipped payload byte in the second record.
+	flipped := bytes.Clone(healthy)
+	flipped[(frameOverhead+payloadSize)+frameOverhead+5] ^= 0xFF
+	f.Add(flipped)
+	// Seed: bit-flipped length field.
+	flen := bytes.Clone(healthy)
+	flen[0] ^= 0x40
+	f.Add(flen)
+	// Seeds: empty and pure garbage.
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, 100))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		events, consumed := decodeFrames(body)
+		if consumed < 0 || consumed > len(body) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(body))
+		}
+		if consumed != len(events)*(frameOverhead+payloadSize) {
+			t.Fatalf("consumed %d bytes for %d events", consumed, len(events))
+		}
+		// Round-trip: the consumed prefix must re-encode byte-identically,
+		// so truncating a torn tail at `consumed` preserves exactly the
+		// decoded events and nothing else.
+		var re []byte
+		for _, ev := range events {
+			re = encodeFrame(re, ev)
+		}
+		if !bytes.Equal(re, body[:consumed]) {
+			t.Fatalf("re-encoded prefix differs from input")
+		}
+		// Decoding the re-encoded bytes is a fixpoint.
+		again, c2 := decodeFrames(re)
+		if c2 != consumed || len(again) != len(events) {
+			t.Fatalf("re-decode: %d events / %d bytes, want %d / %d", len(again), c2, len(events), consumed)
+		}
+	})
+}
+
+// FuzzReplay's file-level cousin: arbitrary bytes as a whole segment file
+// must either recover (possibly truncating) or fail cleanly — and a
+// recovered log must accept appends.
+func FuzzSegmentRecovery(f *testing.F) {
+	valid := encodeHeader(1)
+	for i := 0; i < 2; i++ {
+		valid = encodeFrame(valid, Event{Seq: uint64(i + 1), User: 1, Item: int32(i)})
+	}
+	f.Add(valid)
+	f.Add(valid[:headerSize-2])
+	f.Add(valid[:headerSize+5])
+	flip := bytes.Clone(valid)
+	flip[headerSize+frameOverhead] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		if err := writeSegmentFile(dir, raw); err != nil {
+			t.Skip()
+		}
+		w, _, err := OpenWAL(dir, WALConfig{})
+		if err != nil {
+			return // clean refusal is acceptable
+		}
+		defer w.Close()
+		if _, err := w.Append(7, 7, time.Unix(0, 0)); err != nil {
+			t.Fatalf("recovered log rejects appends: %v", err)
+		}
+	})
+}

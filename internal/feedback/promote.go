@@ -1,0 +1,175 @@
+package feedback
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"clapf/internal/guard"
+	"clapf/internal/mf"
+	"clapf/internal/obs"
+	"clapf/internal/serve"
+	"clapf/internal/store"
+)
+
+// Promotion outcomes — the label values of clapf_promotions_total.
+const (
+	// PromoteOK: a new generation with the folded log went live.
+	PromoteOK = "ok"
+	// PromoteNoop: no events beyond the watermark; nothing to do.
+	PromoteNoop = "noop"
+	// PromoteFenced: another swap (operator SIGHUP, admin reload) won the
+	// race between export and promote; the stale export was not promoted
+	// and the old — well, the *other* — generation keeps serving.
+	PromoteFenced = "fenced"
+	// PromoteError: export or swap failed; the old generation keeps
+	// serving and the WAL keeps accumulating.
+	PromoteError = "error"
+)
+
+// PromoteConfig parameterizes the background promotion loop.
+type PromoteConfig struct {
+	// Interval between promotion attempts. Default 30s.
+	Interval time.Duration
+	// ModelPath is the export target — the same path cmd/clapf-serve
+	// loads and reloads from, so the on-disk artifact and the serving
+	// generation advance together and a post-crash restart finds the
+	// promoted factors with their FeedbackSeq watermark.
+	ModelPath string
+	// Prune removes WAL segments fully below the watermark after a
+	// successful promotion. Off by default: retained segments are what
+	// rebuilds ingested-item exclusion history on a cold restart, so
+	// pruning trades disk for forgetting old exclusions.
+	Prune bool
+	// Logger receives promotion diagnostics; nil discards.
+	Logger *slog.Logger
+}
+
+// Promoter periodically folds the accumulated feedback log into a
+// re-exported model and promotes it through the server's atomic hot-swap
+// with generation fencing.
+//
+// The promotion state machine, in order, with the crash story at each
+// edge (every state recovers to consistency because acknowledged events
+// are always durable in the WAL and the model file carries the watermark
+// of what it has absorbed):
+//
+//	snapshot  — capture (S, merged histories) under the ingest lock.
+//	sync      — force the WAL durable through S (normally a no-op: acks
+//	            already waited).
+//	export    — clone the base model, re-solve each touched user's
+//	            factors, write atomically with Meta.FeedbackSeq = S.
+//	            Crash before/during: old file + old watermark remain;
+//	            restart replays everything it needs. Crash after: new
+//	            file claims S; restart replays only seq > S — factors
+//	            identical either way (fold-in is a pure function of the
+//	            merged history).
+//	fence     — abort unless the server generation still equals the one
+//	            the export was computed against.
+//	promote   — SwapParamsFenced(clone, S, gen): rebuilds the overlay
+//	            (users fully at or below S drop out; later events
+//	            re-solve), bumps the generation. Failure or fence leaves
+//	            the previous generation serving untouched.
+//	prune     — optionally drop WAL segments fully below S.
+type Promoter struct {
+	ing *Ingestor
+	srv *serve.Server
+	cfg PromoteConfig
+}
+
+// NewPromoter wires a promoter; cfg.ModelPath must be set.
+func NewPromoter(ing *Ingestor, srv *serve.Server, cfg PromoteConfig) (*Promoter, error) {
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("feedback: promoter needs a model path")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	return &Promoter{ing: ing, srv: srv, cfg: cfg}, nil
+}
+
+// Run executes the promotion loop until ctx is canceled. Each attempt's
+// outcome is counted in clapf_promotions_total; errors are logged and the
+// loop continues — a failed promotion never stops serving, and the next
+// tick retries with a fresh snapshot.
+func (p *Promoter) Run(ctx context.Context) {
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			outcome, err := p.PromoteOnce()
+			if err != nil {
+				p.cfg.Logger.Error("feedback: promotion failed; previous generation keeps serving",
+					"outcome", outcome, "err", err)
+			} else if outcome == PromoteOK {
+				p.cfg.Logger.Info("feedback: promoted folded model",
+					"generation", p.srv.Generation(), "watermark", p.ing.Folded())
+			}
+		}
+	}
+}
+
+// PromoteOnce runs a single promotion attempt and returns its outcome.
+func (p *Promoter) PromoteOnce() (string, error) {
+	outcome, err := p.promote()
+	p.ing.countPromotion(outcome)
+	return outcome, err
+}
+
+func (p *Promoter) promote() (string, error) {
+	gen := p.srv.Generation()
+	base := p.srv.Model()
+	if base == nil {
+		return PromoteError, fmt.Errorf("feedback: promotion needs a float64 base model (mmap/float32 serving cannot re-export)")
+	}
+	seq, users := p.ing.snapshot()
+	if seq <= p.ing.Folded() {
+		return PromoteNoop, nil
+	}
+	// Everything the export bakes must be durable before the watermarked
+	// file can exist: a model claiming seq S while the WAL could lose an
+	// event <= S would break replay coverage.
+	if err := p.ing.WAL().Sync(); err != nil {
+		return PromoteError, err
+	}
+	clone := base.Clone()
+	for u, merged := range users {
+		vec, err := mf.FoldInUser(base, merged, p.ing.cfg.FoldInReg)
+		if err != nil {
+			return PromoteError, fmt.Errorf("feedback: folding user %d: %w", u, err)
+		}
+		if n := guard.ScanVector(vec); n > 0 {
+			return PromoteError, fmt.Errorf("feedback: folded factors for user %d carry %d non-finite entries", u, n)
+		}
+		copy(clone.UserFactors(u), vec)
+	}
+	if err := store.SaveFileWithMeta(p.cfg.ModelPath, clone, &store.Meta{FeedbackSeq: seq}); err != nil {
+		return PromoteError, err
+	}
+	err := p.srv.SwapParamsFenced(clone, seq, gen)
+	if errors.Is(err, serve.ErrGenerationFenced) {
+		// Another reload won between export and promote. The exported
+		// file is stale relative to the new generation's base; the next
+		// tick re-exports against it. Nothing was swapped.
+		return PromoteFenced, nil
+	}
+	if err != nil {
+		return PromoteError, err
+	}
+	if p.cfg.Prune {
+		if removed, perr := p.ing.WAL().PruneTo(seq); perr != nil {
+			p.cfg.Logger.Warn("feedback: pruning WAL after promotion failed", "err", perr)
+		} else if removed > 0 {
+			p.cfg.Logger.Info("feedback: pruned folded WAL segments", "removed", removed, "watermark", seq)
+		}
+	}
+	return PromoteOK, nil
+}

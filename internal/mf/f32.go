@@ -215,6 +215,26 @@ func (f *Factors32) ScoreAllFoldIn(userFactors []float64, out []float64) {
 	}
 }
 
+// ScoreRangeFoldIn fills out[lo:hi) with exactly the values ScoreAllFoldIn
+// computes — same DotF64F32 kernel, same accumulation order — so blocked
+// folded-in sweeps agree with the dense one to the last bit.
+func (f *Factors32) ScoreRangeFoldIn(userFactors []float64, lo, hi int, out []float64) {
+	if lo < 0 || hi > f.numItems || lo > hi {
+		panic(fmt.Sprintf("mf: ScoreRangeFoldIn [%d,%d) out of range [0,%d)", lo, hi, f.numItems))
+	}
+	if len(out) != f.numItems {
+		panic(fmt.Sprintf("mf: ScoreRangeFoldIn buffer has length %d, want %d", len(out), f.numItems))
+	}
+	for i := lo; i < hi; i++ {
+		off := i * f.dim
+		s := mathx.DotF64F32(userFactors, f.v[off:off+f.dim])
+		if f.b != nil {
+			s += float64(f.b[i])
+		}
+		out[i] = s
+	}
+}
+
 // UserVector widens U_u into dst and returns it.
 func (f *Factors32) UserVector(u int32, dst []float64) []float64 {
 	return mathx.WidenF32(f.userRow(u), dst)

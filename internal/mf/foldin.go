@@ -75,6 +75,20 @@ func (m *Model) ScoreAllFoldIn(userFactors []float64, out []float64) {
 	}
 }
 
+// ScoreRangeFoldIn fills out[lo:hi) with exactly the values ScoreAllFoldIn
+// computes — same per-item kernel — for blocked folded-in scans.
+func (m *Model) ScoreRangeFoldIn(userFactors []float64, lo, hi int, out []float64) {
+	if lo < 0 || hi > m.NumItems() || lo > hi {
+		panic(fmt.Sprintf("mf: ScoreRangeFoldIn [%d,%d) out of range [0,%d)", lo, hi, m.NumItems()))
+	}
+	if len(out) != m.NumItems() {
+		panic(fmt.Sprintf("mf: ScoreRangeFoldIn buffer has length %d, want %d", len(out), m.NumItems()))
+	}
+	for i := lo; i < hi; i++ {
+		out[i] = m.ScoreFoldIn(userFactors, int32(i))
+	}
+}
+
 // SimilarItems returns the k items most similar to item i by cosine over
 // the learned factors, best first, excluding i itself. Zero-norm items
 // (never trained) score −1 and sink to the bottom. Works against any

@@ -1,0 +1,172 @@
+package mf
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Overlay is an updatable per-user layer over a read-only Params: the
+// online-learning surface. The base representation (a trained Model or a
+// mapped Factors32 store) stays frozen; users touched by streaming
+// feedback get a replacement float64 factor row — the output of a
+// FoldInUser solve over their extended history — and every scoring method
+// routes those users through the fold-in kernels while everyone else hits
+// the base's stored-user path untouched.
+//
+// Because FoldInUser is a pure function of (item factors, deduped sorted
+// history, reg), an overlaid row is exactly what a promotion export bakes
+// into the user matrix and exactly what a post-crash replay recomputes —
+// the property the feedback pipeline's consistency proofs rest on.
+//
+// Rows are immutable once set: Set stores a private copy and replaces the
+// map entry, so a reader that picked up a row before a concurrent Set
+// keeps scoring a consistent vector. Reads take an RLock only for the map
+// lookup; the scan itself runs lock-free on the immutable row.
+type Overlay struct {
+	base Params
+
+	mu   sync.RWMutex
+	rows map[int32][]float64
+}
+
+// NewOverlay returns an empty overlay on base.
+func NewOverlay(base Params) *Overlay {
+	return &Overlay{base: base, rows: make(map[int32][]float64)}
+}
+
+// Base returns the wrapped read-only parameter set.
+func (o *Overlay) Base() Params { return o.base }
+
+// Set installs a replacement factor row for user u. The vector is copied;
+// non-finite entries and shape mismatches are rejected so a poisoned
+// fold-in solve can never reach the scoring path.
+func (o *Overlay) Set(u int32, vec []float64) error {
+	if u < 0 || int(u) >= o.base.NumUsers() {
+		return fmt.Errorf("mf: overlay user %d out of range [0,%d)", u, o.base.NumUsers())
+	}
+	if len(vec) != o.base.Dim() {
+		return fmt.Errorf("mf: overlay row has dim %d, want %d", len(vec), o.base.Dim())
+	}
+	for _, x := range vec {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("mf: overlay row for user %d has non-finite entry %v", u, x)
+		}
+	}
+	row := make([]float64, len(vec))
+	copy(row, vec)
+	o.mu.Lock()
+	o.rows[u] = row
+	o.mu.Unlock()
+	return nil
+}
+
+// Drop removes user u's overlaid row, restoring the base factors.
+func (o *Overlay) Drop(u int32) {
+	o.mu.Lock()
+	delete(o.rows, u)
+	o.mu.Unlock()
+}
+
+// Len reports how many users currently have overlaid rows.
+func (o *Overlay) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.rows)
+}
+
+// Row returns u's overlaid factor row, or nil when u scores from the
+// base. The returned slice is immutable; callers must not mutate it.
+func (o *Overlay) Row(u int32) []float64 {
+	o.mu.RLock()
+	row := o.rows[u]
+	o.mu.RUnlock()
+	return row
+}
+
+// NumUsers returns the base's user count.
+func (o *Overlay) NumUsers() int { return o.base.NumUsers() }
+
+// NumItems returns the base's item count.
+func (o *Overlay) NumItems() int { return o.base.NumItems() }
+
+// Dim returns the base's latent dimensionality.
+func (o *Overlay) Dim() int { return o.base.Dim() }
+
+// HasBias reports whether the base has per-item biases.
+func (o *Overlay) HasBias() bool { return o.base.HasBias() }
+
+// Bias returns the base's b_i; item parameters are never overlaid.
+func (o *Overlay) Bias(i int32) float64 { return o.base.Bias(i) }
+
+// ScoreAll scores every item for u: overlaid users through the base's
+// fold-in kernel, everyone else through the stored-user kernel.
+func (o *Overlay) ScoreAll(u int32, out []float64) {
+	if row := o.Row(u); row != nil {
+		o.base.ScoreAllFoldIn(row, out)
+		return
+	}
+	o.base.ScoreAll(u, out)
+}
+
+// ScoreRange fills out[lo:hi) with the same values ScoreAll computes.
+func (o *Overlay) ScoreRange(u int32, lo, hi int, out []float64) {
+	if row := o.Row(u); row != nil {
+		o.base.ScoreRangeFoldIn(row, lo, hi, out)
+		return
+	}
+	o.base.ScoreRange(u, lo, hi, out)
+}
+
+// ScoreAllFoldIn delegates to the base: a fold-in caller already carries
+// its own user vector, so the overlay has nothing to add.
+func (o *Overlay) ScoreAllFoldIn(userFactors []float64, out []float64) {
+	o.base.ScoreAllFoldIn(userFactors, out)
+}
+
+// ScoreRangeFoldIn delegates to the base.
+func (o *Overlay) ScoreRangeFoldIn(userFactors []float64, lo, hi int, out []float64) {
+	o.base.ScoreRangeFoldIn(userFactors, lo, hi, out)
+}
+
+// UserVector returns the overlaid row when present, else the base's.
+func (o *Overlay) UserVector(u int32, dst []float64) []float64 {
+	if row := o.Row(u); row != nil {
+		return row
+	}
+	return o.base.UserVector(u, dst)
+}
+
+// ItemVector returns the base's V_i; item parameters are never overlaid.
+func (o *Overlay) ItemVector(i int32, dst []float64) []float64 {
+	return o.base.ItemVector(i, dst)
+}
+
+// CountNonFinite scans the base plus every overlaid row. Set rejects
+// non-finite rows, so overlay contributions should always be zero; the
+// scan keeps the swap-time validation gate honest anyway.
+func (o *Overlay) CountNonFinite() (u, v, b int) {
+	u, v, b = o.base.CountNonFinite()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, row := range o.rows {
+		for _, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				u++
+			}
+		}
+	}
+	return
+}
+
+// ElemBytes reports the base's storage width; overlaid rows are always
+// float64 but are a vanishing fraction of the footprint.
+func (o *Overlay) ElemBytes() int { return o.base.ElemBytes() }
+
+// ParamBytes returns the base footprint plus the overlaid rows'.
+func (o *Overlay) ParamBytes() int64 {
+	o.mu.RLock()
+	n := len(o.rows)
+	o.mu.RUnlock()
+	return o.base.ParamBytes() + 8*int64(n)*int64(o.base.Dim())
+}

@@ -32,6 +32,12 @@ type Params interface {
 	// vector; out must have length NumItems.
 	ScoreAllFoldIn(userFactors []float64, out []float64)
 
+	// ScoreRangeFoldIn fills out[lo:hi) with the same values
+	// ScoreAllFoldIn would, bit for bit, so blocked callers can tile a
+	// folded-in scan the way ScoreRange tiles a stored-user scan. The
+	// online-update overlay routes updated users through it.
+	ScoreRangeFoldIn(userFactors []float64, lo, hi int, out []float64)
+
 	// UserVector returns U_u as float64, reusing dst when it has
 	// capacity. Implementations may return internal storage (the model
 	// does); callers must not mutate the result.
@@ -58,6 +64,7 @@ type Params interface {
 var (
 	_ Params = (*Model)(nil)
 	_ Params = (*Factors32)(nil)
+	_ Params = (*Overlay)(nil)
 )
 
 // UserVector returns U_u. The model stores float64 natively, so this is the

@@ -179,7 +179,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		sp = trace.StartSpanNoCtx(ctx, "topk")
 		for _, p := range pending {
 			u := p.u
-			items := s.rankTopK(rows[rowOf[u]], p.k, excludeSorted(s.train.Positives(u)))
+			items := s.rankTopK(rows[rowOf[u]], p.k, excludeSorted(s.positivesFor(u)))
 			s.cacheEvictions.Add(uint64(st.cache.put(cacheKey{user: u, k: p.k, mode: st.mode}, items)))
 			results[p.idx].Items = items
 		}

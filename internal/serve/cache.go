@@ -92,6 +92,28 @@ func (c *resultCache) put(key cacheKey, items []Item) (evicted int) {
 	return evicted
 }
 
+// invalidateUser drops every entry belonging to user u — the targeted
+// invalidation the online-update path needs: one user's factors changed,
+// so only that user's cached top-K answers (across all k and modes) are
+// stale; everyone else's stay warm. The scan is over the key map, bounded
+// by the cache capacity (microseconds at the default 4096), and runs
+// under the same mutex as get/put.
+func (c *resultCache) invalidateUser(u int32) (removed int) {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.byKey {
+		if key.user == u {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+			removed++
+		}
+	}
+	return removed
+}
+
 // size returns the current entry count.
 func (c *resultCache) size() int {
 	if c == nil {

@@ -194,3 +194,43 @@ func TestCacheInvalidatedOnSwapModel(t *testing.T) {
 			preSwapHits, got)
 	}
 }
+
+func TestCacheInvalidateUserIsTargeted(t *testing.T) {
+	c := newResultCache(8)
+	a := []Item{{Item: 1, Score: 0.5}}
+	// User 7 under two ks and two modes; users 8 and 9 once each.
+	c.put(cacheKey{user: 7, k: 5}, a)
+	c.put(cacheKey{user: 7, k: 10}, a)
+	c.put(cacheKey{user: 7, k: 5, mode: 1}, a)
+	c.put(cacheKey{user: 8, k: 5}, a)
+	c.put(cacheKey{user: 9, k: 10}, a)
+
+	if removed := c.invalidateUser(7); removed != 3 {
+		t.Fatalf("invalidateUser(7) removed %d entries, want 3", removed)
+	}
+	if _, ok := c.get(cacheKey{user: 7, k: 5}); ok {
+		t.Error("user 7 entry survived invalidation")
+	}
+	if _, ok := c.get(cacheKey{user: 7, k: 5, mode: 1}); ok {
+		t.Error("user 7 IVF-mode entry survived invalidation")
+	}
+	// Everyone else's entries stay warm — the whole point of targeted
+	// invalidation.
+	if _, ok := c.get(cacheKey{user: 8, k: 5}); !ok {
+		t.Error("user 8 entry was collaterally invalidated")
+	}
+	if _, ok := c.get(cacheKey{user: 9, k: 10}); !ok {
+		t.Error("user 9 entry was collaterally invalidated")
+	}
+	if c.size() != 2 {
+		t.Errorf("size = %d, want 2", c.size())
+	}
+	// Nil cache and absent user are both safe no-ops.
+	var nilCache *resultCache
+	if removed := nilCache.invalidateUser(7); removed != 0 {
+		t.Errorf("nil cache invalidation removed %d", removed)
+	}
+	if removed := c.invalidateUser(42); removed != 0 {
+		t.Errorf("absent user invalidation removed %d", removed)
+	}
+}

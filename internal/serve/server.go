@@ -59,10 +59,15 @@ import (
 // gone (see store.MappedModel).
 type liveState struct {
 	params mf.Params
-	eng    *score.Engine
-	mode   retrieval.Mode
-	index  *retrieval.Index // nil in exact mode
-	cache  *resultCache
+	// base is the read-only parameter set under params. With streaming
+	// feedback enabled, params is an *mf.Overlay wrapping base (online
+	// user-factor updates land in the overlay); otherwise params == base.
+	base    mf.Params
+	overlay *mf.Overlay // nil when feedback is disabled
+	eng     *score.Engine
+	mode    retrieval.Mode
+	index   *retrieval.Index // nil in exact mode
+	cache   *resultCache
 }
 
 // DefaultCacheSize bounds the per-generation top-K result cache.
@@ -110,6 +115,7 @@ type Server struct {
 	storeMapped    atomic.Bool   // ReloadFromFile pages v3 files in via mmap
 	shedSem        chan struct{} // the live shed semaphore (test hook)
 	adminReload    func() error  // optional /admin/reload action (EnableAdminReload)
+	feedback       FeedbackSink  // optional streaming ingest (EnableFeedback)
 	jitterMu       sync.Mutex
 	jitter         *mathx.RNG    // Retry-After jitter; RNG is not concurrency-safe
 	generation     atomic.Uint64 // model swaps since construction
@@ -129,6 +135,7 @@ type Server struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	nonfinite      *obs.Counter
+	onlineRejected *obs.Counter // registered by EnableFeedback
 	started        time.Time
 }
 
@@ -170,7 +177,7 @@ func NewFromParams(model mf.Params, train *dataset.Dataset) (*Server, error) {
 	s.jitter = mathx.NewRNG(uint64(s.started.UnixNano()))
 	s.cacheSize.Store(DefaultCacheSize)
 	s.retr.Store(&retrievalSettings{})
-	if err := s.install(model); err != nil {
+	if err := s.install(model, KeepFoldedSeq); err != nil {
 		return nil, err
 	}
 	s.ready.Store(true)
@@ -308,12 +315,19 @@ func (s *Server) Params() mf.Params { return s.live.Load().params }
 
 // Model returns the currently served model when the live parameter set is
 // a float64 *mf.Model, and nil when the server is serving float32 factors
-// (NewFromParams/SwapParams with an mf.Factors32). Callers that only need
-// dimensions or scores should use Params.
+// (NewFromParams/SwapParams with an mf.Factors32). With feedback enabled
+// the online-update overlay is transparent: this returns the base model
+// under it. Callers that only need dimensions or scores should use Params.
 func (s *Server) Model() *mf.Model {
-	m, _ := s.live.Load().params.(*mf.Model)
+	m, _ := s.live.Load().base.(*mf.Model)
 	return m
 }
+
+// BaseParams returns the read-only parameter set under the live state —
+// identical to Params unless streaming feedback has wrapped it in an
+// online-update overlay. Fold-in solves on the ingest path run against it
+// so they see exactly the factors a promotion export will bake.
+func (s *Server) BaseParams() mf.Params { return s.live.Load().base }
 
 // Generation returns how many successful model swaps have happened.
 func (s *Server) Generation() uint64 { return s.generation.Load() }
@@ -334,7 +348,7 @@ func (s *Server) SetCacheSize(n int) {
 	s.cacheSize.Store(int64(n))
 	st := s.live.Load()
 	s.live.Store(&liveState{
-		params: st.params, eng: st.eng,
+		params: st.params, base: st.base, overlay: st.overlay, eng: st.eng,
 		mode: st.mode, index: st.index,
 		cache: newResultCache(n),
 	})
@@ -362,27 +376,50 @@ func (s *Server) SetRetrieval(mode retrieval.Mode, cfg retrieval.Config) error {
 	defer s.swapMu.Unlock()
 	old := s.retr.Load()
 	s.retr.Store(&retrievalSettings{mode: mode, cfg: cfg})
-	if err := s.install(s.live.Load().params); err != nil {
+	if err := s.install(s.live.Load().base, KeepFoldedSeq); err != nil {
 		s.retr.Store(old)
 		return err
 	}
 	return nil
 }
 
-// install builds and publishes the liveState for m: scoring engine, the
-// retrieval index when IVF mode is on, plus an empty result cache.
+// install builds and publishes the liveState for base parameter set m:
+// the online-update overlay when feedback is enabled, the scoring engine,
+// the retrieval index when IVF mode is on, plus an empty result cache.
 // Publishing the bundle through one pointer store is what makes cache and
 // index invalidation atomic with the model swap. Callers must hold swapMu
 // (or, in New, be the only goroutine that can see the server).
-func (s *Server) install(m mf.Params) error {
+//
+// folded is the feedback watermark m incorporates (KeepFoldedSeq when the
+// caller doesn't know — retrieval/cache rebuilds, non-promotion swaps).
+// With a feedback sink attached, the whole build-and-publish runs under
+// the sink's lock: the sink rebuilds the overlay from events beyond the
+// watermark, and because ingest applies updates under the same lock, an
+// event is either folded into the overlay being built or applied after
+// the new state is published — never dropped in between.
+func (s *Server) install(m mf.Params, folded uint64) error {
+	sink := s.feedback
+	if sink != nil {
+		sink.Lock()
+		defer sink.Unlock()
+	}
 	st := &liveState{
 		params: m,
-		eng:    score.NewEngine(m),
+		base:   m,
 		mode:   s.retr.Load().mode,
 		cache:  newResultCache(int(s.cacheSize.Load())),
 	}
+	if sink != nil {
+		ov, err := sink.RebuildOverlay(m, folded)
+		if err != nil {
+			return fmt.Errorf("serve: rebuilding online-update overlay: %w", err)
+		}
+		st.overlay = ov
+		st.params = ov
+	}
+	st.eng = score.NewEngine(st.params)
 	if st.mode == retrieval.ModeIVF {
-		ix, err := retrieval.BuildIVF(m, s.retr.Load().cfg)
+		ix, err := retrieval.BuildIVF(st.params, s.retr.Load().cfg)
 		if err != nil {
 			return fmt.Errorf("serve: building IVF index: %w", err)
 		}
@@ -419,16 +456,49 @@ func (s *Server) SwapModel(m *mf.Model) error {
 // drops its liveState snapshot, an mmap-backed parameter set is unmapped
 // by its finalizer.
 func (s *Server) SwapParams(m mf.Params) error {
+	return s.swapParams(m, KeepFoldedSeq, 0, false)
+}
+
+// KeepFoldedSeq passed as a folded watermark means "unknown — keep the
+// feedback sink's current watermark". Swaps that do not come from a
+// promotion or a watermarked file use it.
+const KeepFoldedSeq = ^uint64(0)
+
+// ErrGenerationFenced is returned by SwapParamsFenced when another swap
+// won the race: the candidate was exported against a generation that is
+// no longer live, so promoting it could silently roll the model back.
+var ErrGenerationFenced = fmt.Errorf("serve: generation changed since export; promotion fenced")
+
+// SwapParamsAt is SwapParams for a candidate that incorporates feedback
+// events up to WAL sequence number folded (a promotion export or a model
+// file with a FeedbackSeq watermark). The feedback overlay is rebuilt to
+// carry only events beyond the watermark.
+func (s *Server) SwapParamsAt(m mf.Params, folded uint64) error {
+	return s.swapParams(m, folded, 0, false)
+}
+
+// SwapParamsFenced is SwapParamsAt guarded by generation fencing: the
+// swap proceeds only if the server's generation still equals expectGen —
+// the generation the caller exported against. The check runs under the
+// swap lock, so a SIGHUP reload racing a promotion cannot interleave.
+func (s *Server) SwapParamsFenced(m mf.Params, folded, expectGen uint64) error {
+	return s.swapParams(m, folded, expectGen, true)
+}
+
+func (s *Server) swapParams(m mf.Params, folded, expectGen uint64, fence bool) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil model")
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	if fence && s.generation.Load() != expectGen {
+		return ErrGenerationFenced
+	}
 	if err := validateParams(m, s.train); err != nil {
 		s.reloadRejected.Inc()
 		return err
 	}
-	if err := s.install(m); err != nil {
+	if err := s.install(m, folded); err != nil {
 		s.reloadRejected.Inc()
 		return err
 	}
@@ -463,8 +533,16 @@ func (s *Server) ReloadFromFile(path string) error {
 		}
 	} else {
 		var m *mf.Model
-		if m, err = store.LoadFile(path); err == nil {
-			err = s.SwapModel(m)
+		var meta *store.Meta
+		if m, meta, err = store.LoadFileWithMeta(path); err == nil {
+			// The file's FeedbackSeq watermark (0 for pre-feedback files)
+			// tells the overlay rebuild which WAL events the user factors
+			// already incorporate.
+			folded := uint64(0)
+			if meta != nil {
+				folded = meta.FeedbackSeq
+			}
+			err = s.SwapParamsAt(m, folded)
 		}
 	}
 	if err != nil {
@@ -511,7 +589,7 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 // routed endpoints keep their path, everything else collapses.
 func normalizeMetricPath(p string) string {
 	switch p {
-	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/metrics", "/debug/traces", "/admin/reload":
+	case "/healthz", "/readyz", "/recommend", "/recommend/batch", "/similar", "/feedback", "/metrics", "/debug/traces", "/admin/reload":
 		return p
 	}
 	return "other"
@@ -534,6 +612,10 @@ func (s *Server) Handler() http.Handler {
 	if s.adminReload != nil {
 		mux.HandleFunc("POST /admin/reload", s.handleAdminReload)
 	}
+	// Mounted unconditionally and gated at request time, so enabling
+	// feedback after Handler() has been built (tests, late wiring) still
+	// serves the route.
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
 	var h http.Handler = mux
 	h = s.timeoutMiddleware(h)
 	h = s.shedMiddleware(h)
@@ -575,12 +657,15 @@ type HealthResponse struct {
 	// goroutine count, live heap bytes, and the worst recent GC pause —
 	// so a probe shows scheduler and memory pressure without a scrape.
 	Runtime obs.RuntimeVitals `json:"runtime"`
+	// Feedback carries the streaming-ingest pipeline's state when
+	// EnableFeedback is active.
+	Feedback *FeedbackStats `json:"feedback,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.live.Load()
 	m := st.params
-	s.writeJSON(r.Context(), w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:          "ok",
 		Users:           m.NumUsers(),
 		Items:           m.NumItems(),
@@ -590,7 +675,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		RequestsTotal:   s.httpm.TotalRequests(),
 		Runtime:         s.RuntimeVitals(),
-	})
+	}
+	if sink := s.feedback; sink != nil {
+		stats := sink.Stats()
+		resp.Feedback = &stats
+	}
+	s.writeJSON(r.Context(), w, http.StatusOK, resp)
 }
 
 // handleReady is the routing signal, distinct from liveness: a draining
@@ -667,7 +757,7 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 		cells := st.index.ProbeCells(uf, 0)
 		sp.End()
 		sp = trace.StartSpanNoCtx(ctx, "score")
-		top, dropped := st.index.SearchCells(uf, cells, k, s.train.Positives(u))
+		top, dropped := st.index.SearchCells(uf, cells, k, s.positivesFor(u))
 		sp.End()
 		items = s.countDropped(top, dropped)
 	} else {
@@ -676,7 +766,7 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 		st.eng.ScoreAll(u, scores)
 		sp.End()
 		sp = trace.StartSpanNoCtx(ctx, "merge")
-		exclude := excludeSorted(s.train.Positives(u))
+		exclude := excludeSorted(s.positivesFor(u))
 		sp.End()
 		sp = trace.StartSpanNoCtx(ctx, "topk")
 		items = s.rankTopK(scores, k, exclude)
@@ -686,6 +776,23 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 	s.cacheEvictions.Add(uint64(st.cache.put(key, items)))
 	sp.End()
 	return items
+}
+
+// positivesFor returns user u's exclusion set: the training positives,
+// extended with any items ingested through /feedback. Without a feedback
+// sink — or for users with no ingested events — this is the dataset's own
+// slice, shared and allocation-free; with extras it is a fresh sorted
+// merge. Every known-user ranking path (exact, IVF, batch sweep) excludes
+// through it, so an ingested item stops being recommended back to its
+// user the moment its append is acknowledged.
+func (s *Server) positivesFor(u int32) []int32 {
+	pos := s.train.Positives(u)
+	if sink := s.feedback; sink != nil {
+		if extra := sink.ExtraPositives(u); len(extra) > 0 {
+			pos = dataset.MergeSorted(pos, extra)
+		}
+	}
+	return pos
 }
 
 // excludeSorted builds a TopK exclusion over a sorted id list. rank.TopK

@@ -89,6 +89,13 @@ type Meta struct {
 	// SinceRefresh preserves the parallel trainer's position in the
 	// rank-list rebuild cadence.
 	SinceRefresh int `json:"since_refresh,omitempty"`
+	// FeedbackSeq is the streaming-ingest watermark: the last feedback
+	// WAL sequence number whose fold-in update is baked into the user
+	// factors of this file. On startup the serving stack replays only WAL
+	// events beyond it, so a crash between a promotion export and the
+	// promote step recovers to exactly the factors an uninterrupted run
+	// would hold. Zero means no feedback is incorporated.
+	FeedbackSeq uint64 `json:"feedback_seq,omitempty"`
 }
 
 // WorkerMeta is one Hogwild worker's resumable state inside a parallel

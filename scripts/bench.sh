@@ -47,11 +47,18 @@
 #   of IVF against the exact ranking. At the index defaults,
 #   ivf_speedup_vs_exact must be >= 3 with ivf_recall_at_10 >= 0.95.
 #
+#   BENCH_ingest.json — measures the crash-safe feedback ingest path:
+#   WAL append throughput and durable-ack p50/p95 at fsync-every-1/8/64
+#   (64 concurrent appenders, every append acked only after a covering
+#   fsync), then /recommend latency with the online-update pipeline idle
+#   versus under a steady concurrent POST /feedback stream.
+#   p95_overhead_pct must be <= 5 on a quiet machine.
+#
 # All reports carry a "cores" field recording the machine they ran on:
 # speedup is bounded by physical cores, so interpret the ratios against
 # that number, not in the abstract.
 #
-# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json] [cluster_out.json] [retrieval_out.json]
+# Usage: scripts/bench.sh [workers] [scale] [epochs] [out.json] [serve_out.json] [guard_out.json] [trace_out.json] [cluster_out.json] [retrieval_out.json] [ingest_out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,6 +72,7 @@ GUARD_OUT="${6:-BENCH_guard.json}"
 TRACE_OUT="${7:-BENCH_trace.json}"
 CLUSTER_OUT="${8:-BENCH_cluster.json}"
 RETRIEVAL_OUT="${9:-BENCH_retrieval.json}"
+INGEST_OUT="${10:-BENCH_ingest.json}"
 
 go run ./cmd/clapf-bench -exp parallel -dataset ML100K \
 	-scale "$SCALE" -epochs "$EPOCHS" -reps 1 -evalusers 500 \
@@ -103,3 +111,8 @@ go run ./cmd/clapf-bench -exp retrieval -dataset ML20M \
 	-scale 1 -bench-users 1200 -json "$RETRIEVAL_OUT"
 
 echo "wrote $RETRIEVAL_OUT"
+
+go run ./cmd/clapf-bench -exp ingest -dataset ML100K \
+	-scale "$SCALE" -events 8192 -requests 1500 -json "$INGEST_OUT"
+
+echo "wrote $INGEST_OUT"

@@ -81,3 +81,20 @@ echo "trace smoke ok"
 # shared-state concurrency. -count=1 defeats the test cache.
 go test -race -count=1 -run '^TestClusterChaos' ./internal/cluster
 echo "cluster chaos gate ok"
+
+# Feedback chaos gate: the crash-safe ingest guarantee — zero
+# acknowledged-but-lost events across torn-tail and group-commit
+# crashes, post-replay factors byte-identical to an uninterrupted run
+# even when the crash lands between the watermarked export and the hot
+# swap, and a failed promotion leaves the old generation serving. Under
+# the race detector: ingest, overlay rebuilds, and promotion all share
+# the consistency lock. -count=1 defeats the test cache.
+go test -race -count=1 -run '^TestFeedbackChaos' ./internal/feedback
+echo "feedback chaos gate ok"
+
+# WAL decoder fuzz smoke: random and mutated segment bodies against the
+# frame decoder (torn tails, bit flips, length lies) plus whole-file
+# recovery — decode must be a clean prefix parse, never a panic, and
+# recovery must leave an appendable log or fail outright.
+go test -run='^$' -fuzz='^FuzzReplay$' -fuzztime=5s ./internal/feedback
+echo "feedback fuzz smoke ok"
