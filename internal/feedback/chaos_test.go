@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"clapf/internal/datagen"
 	"clapf/internal/dataset"
@@ -278,10 +280,10 @@ func TestFeedbackChaosGroupCommitCrash(t *testing.T) {
 	}
 }
 
-// Crash between the watermarked export and the hot swap — the worst
-// window in the promotion state machine — then recover and finish the
-// schedule: the final serving factors are byte-identical to a run that
-// never crashed, and so are the recommendations.
+// Crash the instant the watermarked export lands on disk — the promoted
+// in-memory generation dies with the process — then recover and finish
+// the schedule: the final serving factors are byte-identical to a run
+// that never crashed, and so are the recommendations.
 func TestFeedbackChaosCrashMidPromotionReplayByteIdentical(t *testing.T) {
 	model, train := chaosFixture(t)
 	events := chaosEvents(train, 30)
@@ -318,8 +320,9 @@ func TestFeedbackChaosCrashMidPromotionReplayByteIdentical(t *testing.T) {
 		t.Fatalf("generation = %d after promotion, want 1", p.srv.Generation())
 	}
 	ingestAll(t, p, events[12:20])
-	// The promoter's export step, verbatim — then the process dies
-	// before SwapParamsFenced.
+	// The promoter's fold-and-export, written straight to the model path
+	// — the on-disk state right after publish — then the process dies
+	// before anything else happens.
 	base := p.srv.Model()
 	seq, users := p.ing.snapshot()
 	clone := base.Clone()
@@ -357,6 +360,128 @@ func TestFeedbackChaosCrashMidPromotionReplayByteIdentical(t *testing.T) {
 		if a.Body.String() != b.Body.String() {
 			t.Fatalf("user %d top-K diverged after crash recovery:\n%s\n%s", u, a.Body, b.Body)
 		}
+	}
+}
+
+// Rotation crash, then prune, then two restarts: a crash mid-rotation
+// leaves a durable-header, zero-frame active segment, and a promotion
+// with Prune enabled can then remove every predecessor. The empty
+// segment's header must still pin the sequence chain — its firstSeq
+// promises everything below it was assigned. Before that, recovery
+// derived the last sequence only from decoded frames, restarted the log
+// at seq 1 inside a segment claiming firstSeq 6, and the NEXT recovery
+// silently discarded the acknowledged, fsync'd appends as a torn tail.
+func TestFeedbackChaosRotateCrashPruneRestartKeepsSequenceChain(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 5; i++ {
+		if _, err := w.Append(i, i, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-rotation: rotateLocked is exactly the pre-crash suffix —
+	// the sealed predecessor and the new segment's header are durable,
+	// but no frame ever lands in the new segment.
+	w.mu.Lock()
+	err = w.rotateLocked(6)
+	w.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promotion with Prune enabled: every record of the sealed segment
+	// is at or below the watermark, so it is removed, leaving only the
+	// empty active segment. The process then dies (w is abandoned).
+	if removed, err := w.PruneTo(5); err != nil || removed != 1 {
+		t.Fatalf("PruneTo = %d, %v; want 1 segment removed", removed, err)
+	}
+
+	w2, info, err := OpenWAL(dir, WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 5 {
+		t.Fatalf("recovered LastSeq = %d, want 5 (empty active segment header pins the chain)", info.LastSeq)
+	}
+	seq, err := w2.Append(9, 9, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("post-recovery append got seq %d, want 6", seq)
+	}
+	// Crash again (abandon without Close): the acked append was fsync'd
+	// and must survive the second recovery intact.
+	w3, info3, err := OpenWAL(dir, WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if info3.LastSeq != 6 || info3.TruncatedBytes != 0 {
+		t.Fatalf("second recovery: LastSeq = %d, truncated = %d; acked append lost",
+			info3.LastSeq, info3.TruncatedBytes)
+	}
+	var got []Event
+	if err := w3.Replay(func(ev Event) error { got = append(got, ev); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 6 || got[0].User != 9 || got[0].Item != 9 {
+		t.Fatalf("replay after second crash = %+v, want the one acked event at seq 6", got)
+	}
+}
+
+// An operator deploy+reload racing the promotion's export-to-swap window
+// must win cleanly: the promotion comes back fenced, and the freshly
+// deployed model file is never overwritten by the stale export (which
+// only ever existed as a discarded temp file).
+func TestFeedbackChaosRacingReloadNotClobberedByPromotion(t *testing.T) {
+	model, train := chaosFixture(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.clapf")
+	if err := store.SaveFile(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	p := boot(t, modelPath, filepath.Join(dir, "wal"), train)
+	defer p.wal.Close()
+	ingestAll(t, p, chaosEvents(train, 10))
+
+	prom, err := NewPromoter(p.ing, p.srv, PromoteConfig{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	operator := model.Clone()
+	operator.InitGaussian(mathx.NewRNG(77), 0.1)
+	var deployed []byte
+	prom.beforeSwap = func() {
+		// The operator deploys a new trained model and reloads — after
+		// the promoter computed its export, before the fenced swap.
+		if err := store.SaveFile(modelPath, operator); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.srv.ReloadFromFile(modelPath); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(modelPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deployed = b
+	}
+	outcome, perr := prom.PromoteOnce()
+	if outcome != PromoteFenced || perr != nil {
+		t.Fatalf("promotion = %q, %v; want fenced", outcome, perr)
+	}
+	after, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(deployed, after) {
+		t.Fatal("fenced promotion overwrote the freshly deployed model file")
+	}
+	if _, err := os.Stat(modelPath + ".promote"); !os.IsNotExist(err) {
+		t.Fatalf("fenced promotion left its temp export behind: %v", err)
 	}
 }
 

@@ -192,24 +192,33 @@ func (ing *Ingestor) recordLocked(u, item int32, seq uint64) bool {
 // the event. The overlay update itself is applied before the durability
 // wait resolves; on a crash in that window the event simply vanishes with
 // the process, unacknowledged.
+//
+// The WAL append runs outside ing.mu: with SyncEvery <= 1 the fsync
+// happens inside Begin, and holding the sink lock across it would gate
+// every read-path ExtraPositives call — and model swaps — behind
+// multi-millisecond disk flushes. Sequence assignment has the WAL's own
+// lock, and recordLocked is order-independent, so concurrent ingests
+// recording out of sequence order is harmless.
 func (ing *Ingestor) Ingest(ctx context.Context, user, item int32) (uint64, bool, error) {
 	if ing.srv == nil {
 		return 0, false, fmt.Errorf("feedback: ingestor not bound to a server")
 	}
-	ing.mu.Lock()
 	p, err := ing.wal.Begin(user, item, time.Now())
 	if err != nil {
-		ing.mu.Unlock()
 		return 0, false, err
 	}
+	ing.mu.Lock()
 	applied := ing.recordLocked(user, item, p.Seq)
 	if applied {
 		merged := dataset.MergeSorted(ing.train.Positives(user), ing.extras[user])
 		if uerr := ing.srv.UpdateUser(user, merged); uerr != nil {
 			// The event is recorded and will be durable; the factor update
 			// is refused (non-finite guard). The user keeps serving base
-			// factors and the exclusion still applies.
+			// factors — but the exclusion set just grew, so any cached
+			// top-K may still carry the ingested item. UpdateUser only
+			// invalidates on success; drop the stale entries here.
 			applied = false
+			ing.srv.InvalidateUserCache(user)
 		} else if ing.updates != nil {
 			ing.updates.Inc()
 		}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"time"
 
 	"clapf/internal/guard"
@@ -21,11 +23,15 @@ const (
 	// PromoteNoop: no events beyond the watermark; nothing to do.
 	PromoteNoop = "noop"
 	// PromoteFenced: another swap (operator SIGHUP, admin reload) won the
-	// race between export and promote; the stale export was not promoted
-	// and the old — well, the *other* — generation keeps serving.
+	// race between export and promote; the stale export was discarded —
+	// never written to the model path — and the old — well, the *other* —
+	// generation keeps serving.
 	PromoteFenced = "fenced"
-	// PromoteError: export or swap failed; the old generation keeps
-	// serving and the WAL keeps accumulating.
+	// PromoteError: export, swap, or post-swap publish failed. On an
+	// export or swap failure the old generation keeps serving; on a
+	// publish failure the promoted generation is live but the on-disk
+	// model lags, which WAL replay covers on restart. Either way the WAL
+	// keeps accumulating (the watermark file was not pruned).
 	PromoteError = "error"
 )
 
@@ -60,23 +66,38 @@ type PromoteConfig struct {
 //	sync      — force the WAL durable through S (normally a no-op: acks
 //	            already waited).
 //	export    — clone the base model, re-solve each touched user's
-//	            factors, write atomically with Meta.FeedbackSeq = S.
-//	            Crash before/during: old file + old watermark remain;
-//	            restart replays everything it needs. Crash after: new
-//	            file claims S; restart replays only seq > S — factors
-//	            identical either way (fold-in is a pure function of the
-//	            merged history).
-//	fence     — abort unless the server generation still equals the one
-//	            the export was computed against.
-//	promote   — SwapParamsFenced(clone, S, gen): rebuilds the overlay
-//	            (users fully at or below S drop out; later events
-//	            re-solve), bumps the generation. Failure or fence leaves
-//	            the previous generation serving untouched.
-//	prune     — optionally drop WAL segments fully below S.
+//	            factors, write to a temp file beside ModelPath with
+//	            Meta.FeedbackSeq = S. The shared model path is NOT
+//	            touched yet: an operator may be deploying a new trained
+//	            model to it right now, and an export folded from the old
+//	            base must never clobber that. Crash before/during: old
+//	            file + old watermark remain; restart replays everything
+//	            it needs.
+//	promote   — SwapParamsFenced(clone, S, gen): under the swap lock,
+//	            abort unless the server generation still equals the one
+//	            the export was computed against; otherwise rebuild the
+//	            overlay (users fully at or below S drop out; later
+//	            events re-solve) and bump the generation. Failure or
+//	            fence leaves the previous generation serving untouched
+//	            and discards the temp export.
+//	publish   — rename the temp export onto ModelPath, after re-checking
+//	            that no further swap superseded ours. Crash between
+//	            promote and publish: the old file + old watermark
+//	            remain; restart replays seq > old-watermark — factors
+//	            identical (fold-in is a pure function of the merged
+//	            history). Crash after: the new file claims S; restart
+//	            replays only seq > S — same factors either way.
+//	prune     — optionally drop WAL segments fully below S. Runs only
+//	            after a durable publish: the on-disk watermark must
+//	            cover everything pruning forgets.
 type Promoter struct {
 	ing *Ingestor
 	srv *serve.Server
 	cfg PromoteConfig
+
+	// beforeSwap, when set, runs between export and the fenced swap —
+	// the chaos suite injects racing reloads into exactly that window.
+	beforeSwap func()
 }
 
 // NewPromoter wires a promoter; cfg.ModelPath must be set.
@@ -107,7 +128,7 @@ func (p *Promoter) Run(ctx context.Context) {
 		case <-t.C:
 			outcome, err := p.PromoteOnce()
 			if err != nil {
-				p.cfg.Logger.Error("feedback: promotion failed; previous generation keeps serving",
+				p.cfg.Logger.Error("feedback: promotion attempt failed",
 					"outcome", outcome, "err", err)
 			} else if outcome == PromoteOK {
 				p.cfg.Logger.Info("feedback: promoted folded model",
@@ -151,18 +172,47 @@ func (p *Promoter) promote() (string, error) {
 		}
 		copy(clone.UserFactors(u), vec)
 	}
-	if err := store.SaveFileWithMeta(p.cfg.ModelPath, clone, &store.Meta{FeedbackSeq: seq}); err != nil {
+	// Export beside the shared model path; it becomes ModelPath only
+	// after the fenced swap has made this export the live generation.
+	tmpPath := p.cfg.ModelPath + ".promote"
+	if err := store.SaveFileWithMeta(tmpPath, clone, &store.Meta{FeedbackSeq: seq}); err != nil {
 		return PromoteError, err
+	}
+	if p.beforeSwap != nil {
+		p.beforeSwap()
 	}
 	err := p.srv.SwapParamsFenced(clone, seq, gen)
 	if errors.Is(err, serve.ErrGenerationFenced) {
-		// Another reload won between export and promote. The exported
-		// file is stale relative to the new generation's base; the next
-		// tick re-exports against it. Nothing was swapped.
+		// Another reload won between export and promote. The export is
+		// stale relative to the new generation's base; discard it — the
+		// next tick re-exports against the winner. Nothing was swapped
+		// and the deployed model file was never touched.
+		os.Remove(tmpPath)
 		return PromoteFenced, nil
 	}
 	if err != nil {
+		os.Remove(tmpPath)
 		return PromoteError, err
+	}
+	// Publish. Re-check that our swap (gen+1) is still the live
+	// generation: a reload landing in the instant since would have
+	// deployed a fresher model file that this export must not overwrite.
+	if p.srv.Generation() != gen+1 {
+		os.Remove(tmpPath)
+		return PromoteFenced, nil
+	}
+	if err := os.Rename(tmpPath, p.cfg.ModelPath); err == nil {
+		err = syncDir(filepath.Dir(p.cfg.ModelPath))
+	}
+	if err != nil {
+		// The promoted generation is live; only the on-disk copy lags (or
+		// its rename is not yet durable). A restart before the next
+		// successful publish loads the old file and replays the WAL —
+		// factors identical — but pruning would break exactly that
+		// replay, so skip it.
+		os.Remove(tmpPath)
+		return PromoteError, fmt.Errorf("feedback: promoted generation %d is live but publishing its export failed: %w",
+			p.srv.Generation(), err)
 	}
 	if p.cfg.Prune {
 		if removed, perr := p.ing.WAL().PruneTo(seq); perr != nil {

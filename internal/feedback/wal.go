@@ -348,11 +348,16 @@ func (w *WAL) recover() (RecoveryInfo, error) {
 				"segment", name, "bytes", tail, "offset", headerSize+consumed)
 		}
 		info.Events += uint64(len(events))
-		if len(events) > 0 {
-			lastSeq = events[len(events)-1].Seq
-		} else if idx > 0 {
-			// Empty but valid final segment: rotation crashed after the
-			// header sync. Its first seq tells us nothing new.
+		// A valid header pins the sequence chain even when the segment is
+		// empty (a rotation crash after the header sync): it promises the
+		// next record will be firstSeq, so every lower sequence number has
+		// already been assigned. Deriving lastSeq only from decoded frames
+		// would restart an empty log whose predecessors were pruned at
+		// seq 0 — new appends would then contradict the active segment's
+		// header and the NEXT recovery would discard them, acknowledged,
+		// as a torn tail.
+		if end := firstSeq - 1 + uint64(len(events)); end > lastSeq {
+			lastSeq = end
 		}
 		expectNext = firstSeq + uint64(len(events))
 		info.Segments++

@@ -80,16 +80,31 @@ func (s *Server) EnableFeedback(sink FeedbackSink) error {
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	if s.feedback != nil {
+	if s.feedback.Load() != nil {
 		return fmt.Errorf("serve: feedback already enabled")
 	}
-	s.feedback = sink
+	// Register the counter before the sink is published: the atomic store
+	// below is what makes the sink visible to request goroutines, so
+	// everything they may read through it must be written first.
+	if s.onlineRejected == nil {
+		s.onlineRejected = s.reg.NewCounter("clapf_online_update_rejected_total",
+			"Online fold-in updates refused by the non-finite guard; the user keeps serving base factors.")
+	}
+	s.feedback.Store(&sink)
 	if err := s.install(s.live.Load().base, KeepFoldedSeq); err != nil {
-		s.feedback = nil
+		s.feedback.Store(nil)
 		return err
 	}
-	s.onlineRejected = s.reg.NewCounter("clapf_online_update_rejected_total",
-		"Online fold-in updates refused by the non-finite guard; the user keeps serving base factors.")
+	return nil
+}
+
+// feedbackSink returns the attached streaming-ingest sink, nil before
+// EnableFeedback. Lock-free readers on request goroutines go through
+// this — never through the field directly.
+func (s *Server) feedbackSink() FeedbackSink {
+	if p := s.feedback.Load(); p != nil {
+		return *p
+	}
 	return nil
 }
 
@@ -118,6 +133,16 @@ func (s *Server) UpdateUser(u int32, history []int32) error {
 	}
 	st.cache.invalidateUser(u)
 	return nil
+}
+
+// InvalidateUserCache drops user u's cached top-K entries from the live
+// generation. The ingest path calls it when an event extends u's
+// exclusion set but the factor update itself is refused (non-finite
+// guard): UpdateUser only invalidates on success, yet the cached
+// rankings may still carry the just-ingested item that positivesFor now
+// excludes.
+func (s *Server) InvalidateUserCache(u int32) {
+	s.live.Load().cache.invalidateUser(u)
 }
 
 // feedbackRequest is the POST /feedback body: one event, or a batch under
@@ -149,7 +174,8 @@ const maxFeedbackBody = 1 << 20
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	if s.feedback == nil {
+	sink := s.feedbackSink()
+	if sink == nil {
 		s.httpError(ctx, w, http.StatusNotFound, fmt.Errorf("feedback ingest not enabled (start with -feedback-log)"))
 		return
 	}
@@ -195,7 +221,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var lastSeq uint64
 	applied := 0
 	for _, ev := range events {
-		seq, ok, err := s.feedback.Ingest(ctx, ev.User, ev.Item)
+		seq, ok, err := sink.Ingest(ctx, ev.User, ev.Item)
 		if err != nil {
 			sp.End()
 			// Durability could not be confirmed: the client must not treat

@@ -111,11 +111,15 @@ type Server struct {
 	// publish a state derived from a model that was just swapped out.
 	swapMu sync.Mutex
 
-	ready          atomic.Bool
-	storeMapped    atomic.Bool   // ReloadFromFile pages v3 files in via mmap
-	shedSem        chan struct{} // the live shed semaphore (test hook)
-	adminReload    func() error  // optional /admin/reload action (EnableAdminReload)
-	feedback       FeedbackSink  // optional streaming ingest (EnableFeedback)
+	ready       atomic.Bool
+	storeMapped atomic.Bool   // ReloadFromFile pages v3 files in via mmap
+	shedSem     chan struct{} // the live shed semaphore (test hook)
+	adminReload func() error  // optional /admin/reload action (EnableAdminReload)
+	// feedback is the optional streaming-ingest sink. Atomic because
+	// EnableFeedback supports late wiring: request goroutines may already
+	// be serving when the sink is attached, and they read it lock-free
+	// (positivesFor, handleFeedback, handleHealth). Read via feedbackSink.
+	feedback       atomic.Pointer[FeedbackSink]
 	jitterMu       sync.Mutex
 	jitter         *mathx.RNG    // Retry-After jitter; RNG is not concurrency-safe
 	generation     atomic.Uint64 // model swaps since construction
@@ -398,7 +402,7 @@ func (s *Server) SetRetrieval(mode retrieval.Mode, cfg retrieval.Config) error {
 // event is either folded into the overlay being built or applied after
 // the new state is published — never dropped in between.
 func (s *Server) install(m mf.Params, folded uint64) error {
-	sink := s.feedback
+	sink := s.feedbackSink()
 	if sink != nil {
 		sink.Lock()
 		defer sink.Unlock()
@@ -676,7 +680,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		RequestsTotal:   s.httpm.TotalRequests(),
 		Runtime:         s.RuntimeVitals(),
 	}
-	if sink := s.feedback; sink != nil {
+	if sink := s.feedbackSink(); sink != nil {
 		stats := sink.Stats()
 		resp.Feedback = &stats
 	}
@@ -787,7 +791,7 @@ func (s *Server) topKForUser(ctx context.Context, st *liveState, u int32, k int)
 // user the moment its append is acknowledged.
 func (s *Server) positivesFor(u int32) []int32 {
 	pos := s.train.Positives(u)
-	if sink := s.feedback; sink != nil {
+	if sink := s.feedbackSink(); sink != nil {
 		if extra := sink.ExtraPositives(u); len(extra) > 0 {
 			pos = dataset.MergeSorted(pos, extra)
 		}
